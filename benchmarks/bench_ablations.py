@@ -1,0 +1,168 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Local-memory accommodation (paper section VII-B.1): AMD's smaller local
+  memory forces fewer codon patterns per work-group; disabling the
+  accommodation would overflow the device limit.
+* The 512-pattern threading minimum (section VI-B): threading must never
+  lose to serial on small problems.
+* Kernel-variant ablation (section VII-B.2): the x86 loop-over-states
+  kernel vs the GPU all-states-concurrent kernel on the same CPU.
+* Sub-pointer strategies (section VII-A): CUDA pointer arithmetic vs
+  OpenCL sub-buffers produce identical results on identical data.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import build_impl
+from repro.accel import (
+    CPUWorkload,
+    XEON_E5_2680V4_SYSTEM,
+    fit_pattern_block_size,
+)
+from repro.impl.accelerated import AcceleratedImplementation
+from repro.util.tables import format_table
+
+
+def test_ablation_localmem(benchmark, record):
+    """Patterns-per-work-group across devices, models, and precisions."""
+
+    def sweep():
+        rows = []
+        for device_kb, device in ((48.0, "NVIDIA (48 KB)"),
+                                  (32.0, "AMD (32 KB)")):
+            for states, label in ((4, "nucleotide"), (61, "codon")):
+                for precision in ("single", "double"):
+                    rows.append([
+                        device, label, precision,
+                        fit_pattern_block_size(states, precision, device_kb, 16),
+                    ])
+        return rows
+
+    rows = benchmark(sweep)
+    record("ablation_localmem", format_table(
+        ["device", "model", "precision", "patterns/work-group"], rows,
+        title="Ablation: local-memory-driven work-group shrinking (VII-B.1)",
+    ))
+    by = {(r[0], r[1], r[2]): r[3] for r in rows}
+    # Nucleotide never constrained; AMD codon tighter than NVIDIA codon.
+    assert by[("NVIDIA (48 KB)", "nucleotide", "single")] == 16
+    assert by[("AMD (32 KB)", "codon", "single")] < by[
+        ("NVIDIA (48 KB)", "codon", "single")]
+
+
+def test_ablation_threading_minimum(benchmark, record):
+    """Model: threaded never slower than serial under 512 patterns."""
+
+    def sweep():
+        rows = []
+        for patterns in (64, 128, 256, 511, 512, 1024, 4096):
+            w = CPUWorkload(16, patterns)
+            serial = XEON_E5_2680V4_SYSTEM.throughput("serial", w)
+            pool = XEON_E5_2680V4_SYSTEM.throughput("thread-pool", w)
+            rows.append([patterns, serial, pool, pool / serial])
+        return rows
+
+    rows = benchmark(sweep)
+    record("ablation_threading_min", format_table(
+        ["patterns", "serial GFLOPS", "thread-pool GFLOPS", "ratio"], rows,
+        title="Ablation: the 512-pattern threading minimum (VI-B)",
+    ))
+    for patterns, serial, pool, ratio in rows:
+        assert ratio >= 0.999  # never slower
+        if patterns >= 1024:
+            assert ratio > 2.0  # and decisively faster once active
+
+
+def test_ablation_kernel_variant(benchmark, record):
+    """x86 vs GPU kernel variants on the CPU device (VII-B.2)."""
+
+    def sweep():
+        rows = []
+        for patterns in (1000, 10_000, 100_000):
+            w = CPUWorkload(16, patterns)
+            x86 = XEON_E5_2680V4_SYSTEM.throughput(
+                "opencl-x86", w, kernel_variant="x86")
+            gpu = XEON_E5_2680V4_SYSTEM.throughput(
+                "opencl-x86", w, kernel_variant="gpu")
+            rows.append([patterns, x86, gpu, x86 / gpu])
+        return rows
+
+    rows = benchmark(sweep)
+    record("ablation_kernel_variant", format_table(
+        ["patterns", "x86 kernel", "GPU kernel", "x86/GPU"], rows,
+        title="Ablation: loop-over-states vs all-states-concurrent on CPU",
+    ))
+    for _, x86, gpu, ratio in rows:
+        assert ratio > 3.0
+
+
+def test_ablation_newton_vs_brent(benchmark, record):
+    """Derivative-based (Newton, via upper partials) vs derivative-free
+    (Brent) branch optimisation: same optimum, far fewer evaluations."""
+    from repro.core.highlevel import TreeLikelihood
+    from repro.ml import optimize_branch_lengths, optimize_branch_lengths_newton
+    from repro.model import HKY85, SiteModel
+    from repro.seq import compress_patterns, simulate_alignment
+    from repro.tree import yule_tree
+
+    tree = yule_tree(8, rng=500)
+    model = HKY85(2.0)
+    sm = SiteModel.gamma(0.6, 2)
+    aln = simulate_alignment(tree, model, 300, sm, rng=501)
+    data = compress_patterns(aln)
+
+    def perturbed():
+        work = tree.copy()
+        rng = np.random.default_rng(502)
+        for n in work.nodes():
+            if not n.is_root:
+                n.branch_length *= float(np.exp(rng.normal(0, 0.8)))
+        return work
+
+    def run_newton():
+        with TreeLikelihood(
+            perturbed(), data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.log_likelihood()
+            return optimize_branch_lengths_newton(tl, max_sweeps=8)
+
+    newton = benchmark.pedantic(run_newton, rounds=2, iterations=1)
+    with TreeLikelihood(perturbed(), data, model, sm) as tl:
+        tl.log_likelihood()
+        brent = optimize_branch_lengths(tl, max_passes=8)
+
+    record("ablation_newton_vs_brent", format_table(
+        ["method", "logL", "evaluations", "passes"],
+        [["Newton (upper partials)", newton.log_likelihood,
+          newton.n_evaluations, newton.n_passes],
+         ["Brent (derivative-free)", brent.log_likelihood,
+          brent.n_evaluations, brent.n_passes]],
+        title="Ablation: analytic-derivative vs derivative-free branch "
+              "optimisation",
+    ))
+    assert abs(newton.log_likelihood - brent.log_likelihood) < 1.0
+    assert newton.n_evaluations < brent.n_evaluations
+
+
+def test_ablation_subpointer_strategies(benchmark):
+    """CUDA pointer arithmetic vs OpenCL sub-buffers: identical results."""
+    from repro.accel.device import QUADRO_P5000
+
+    def run(framework):
+        def factory(config, prec):
+            return AcceleratedImplementation(
+                config, prec, framework=framework, device=QUADRO_P5000
+            )
+
+        impl, plan = build_impl(factory, patterns=512, seed=5)
+        impl.update_partials(plan.operations)
+        value = impl.calculate_root_log_likelihoods(plan.root_index)
+        impl.finalize()
+        return value
+
+    cuda_value = benchmark.pedantic(
+        run, args=("cuda",), rounds=2, iterations=1
+    )
+    opencl_value = run("opencl")
+    assert np.isclose(cuda_value, opencl_value, rtol=1e-12)

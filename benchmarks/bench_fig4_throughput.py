@@ -1,0 +1,97 @@
+"""Paper Figure 4: partials throughput vs unique site patterns.
+
+Records both panels (nucleotide and codon) across all eight
+device/implementation series from the calibrated models, asserts the
+figure's qualitative structure, and wall-clock-benchmarks the functional
+kernels of representative backends at two problem sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_impl
+from repro.bench import fig4_series
+from repro.impl import CPUSSEImplementation
+from repro.impl.accelerated import AcceleratedImplementation
+
+
+def test_regenerate_fig4_nucleotide(benchmark, record):
+    result = benchmark(fig4_series, 4)
+    record("fig4_nucleotide", result.table())
+    headers = result.headers
+    by_patterns = {row[0]: row for row in result.rows}
+    r9 = headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
+    threads = headers.index("C++ threads: Intel Xeon E5-2680v4 x2")
+    x86 = headers.index("OpenCL-x86: Intel Xeon E5-2680v4 x2")
+    serial = headers.index("C++ serial: Intel Xeon E5-2680")
+
+    # Text anchor: 444.92 GFLOPS at 475,081 patterns, ~58x serial.
+    assert abs(by_patterns[475_081][r9] - 444.92) / 444.92 < 0.05
+    assert 45 < by_patterns[475_081][r9] / by_patterns[475_081][serial] < 70
+    # GPU curves scale strongly with patterns (section VIII-A.1).
+    assert by_patterns[100][r9] < 0.01 * by_patterns[475_081][r9]
+    # CPU threaded hump and the x86 crossover at very large patterns.
+    assert by_patterns[20_092][threads] > by_patterns[475_081][threads]
+    assert by_patterns[475_081][x86] > by_patterns[475_081][threads]
+
+
+def test_regenerate_fig4_codon(benchmark, record):
+    result = benchmark(fig4_series, 61)
+    record("fig4_codon", result.table())
+    headers = result.headers
+    by_patterns = {row[0]: row for row in result.rows}
+    r9 = headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
+    x86 = headers.index("OpenCL-x86: Intel Xeon E5-2680v4 x2")
+    serial = headers.index("C++ serial: Intel Xeon E5-2680")
+
+    # Text anchors: 1324.19 GFLOPS at 28,419 patterns = ~253x serial,
+    # ~2x the OpenCL-x86 CPU solution.
+    assert abs(by_patterns[28_419][r9] - 1324.19) / 1324.19 < 0.05
+    assert 200 < by_patterns[28_419][r9] / by_patterns[28_419][serial] < 300
+    assert 1.5 < by_patterns[28_419][r9] / by_patterns[28_419][x86] < 2.6
+    # Codon throughput is much less pattern-sensitive (section VIII-A.2).
+    assert by_patterns[100][r9] > 0.2 * by_patterns[28_419][r9]
+
+
+BACKENDS = {
+    "cpu-sse": lambda config, prec: CPUSSEImplementation(config, prec),
+    "cuda-p5000": None,      # filled below
+    "opencl-r9nano": None,
+}
+
+
+def _accelerated(framework, device_name):
+    from repro.accel.device import get_device
+
+    device = get_device(device_name)
+
+    def factory(config, prec):
+        return AcceleratedImplementation(
+            config, prec, framework=framework, device=device
+        )
+
+    return factory
+
+
+BACKENDS["cuda-p5000"] = _accelerated("cuda", "P5000")
+BACKENDS["opencl-r9nano"] = _accelerated("opencl", "R9 Nano")
+
+
+@pytest.mark.parametrize("patterns", [500, 4000])
+@pytest.mark.parametrize("backend", list(BACKENDS))
+def test_partials_pass(benchmark, backend, patterns):
+    impl, plan = build_impl(BACKENDS[backend], patterns=patterns)
+    benchmark.pedantic(
+        impl.update_partials, args=(plan.operations,), rounds=3, iterations=1,
+    )
+    impl.finalize()
+
+
+@pytest.mark.parametrize("backend", ["cuda-p5000", "opencl-r9nano"])
+def test_codon_partials_pass(benchmark, backend):
+    impl, plan = build_impl(
+        BACKENDS[backend], patterns=256, states=61, categories=1,
+    )
+    benchmark.pedantic(
+        impl.update_partials, args=(plan.operations,), rounds=3, iterations=1,
+    )
+    impl.finalize()

@@ -1,0 +1,64 @@
+"""Paper Figure 5: multicore scaling of the threaded and OpenCL-x86 backends.
+
+Records the 1-56 thread scaling curves from the calibrated model (taskset
+for the threaded model, device fission for OpenCL-x86) and wall-clock
+benchmarks the real thread-pool implementation at several thread counts
+(functional only on this 1-core host) plus the OpenCL device-fission path.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_impl
+from repro.bench import fig5_scaling
+from repro.impl import CPUThreadPoolImplementation
+
+
+def test_regenerate_fig5(benchmark, record):
+    result = benchmark(fig5_scaling)
+    record("fig5_scaling", result.table())
+    pool = {row[0]: row[1] for row in result.rows}
+    x86 = {row[0]: row[2] for row in result.rows}
+    # Strong early scaling, saturation near/before the paper's ~27-thread
+    # knee, and nothing gained past it (section VIII-B).
+    assert pool[8] > 3 * pool[1]
+    assert pool[56] < 1.10 * pool[27]
+    assert x86[56] < 1.25 * x86[27]
+    # Both curves monotone non-decreasing.
+    threads = [row[0] for row in result.rows]
+    assert [pool[t] for t in threads] == sorted(pool[t] for t in threads)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_pool_thread_counts(benchmark, threads):
+    def factory(config, prec):
+        return CPUThreadPoolImplementation(config, prec, thread_count=threads)
+
+    impl, plan = build_impl(factory, patterns=2000)
+    benchmark.pedantic(
+        impl.update_partials, args=(plan.operations,), rounds=3, iterations=1,
+    )
+    impl.finalize()
+
+
+def test_device_fission_functional():
+    """clCreateSubDevices drives the fission half of Fig. 5."""
+    from repro.accel.device import XEON_E5_2680V4_X2
+    from repro.accel.opencl import OpenCLInterface, clCreateSubDevices
+    from repro.impl.accelerated import AcceleratedImplementation
+
+    times = {}
+    for units in (14, 56):
+        sub_device = clCreateSubDevices(XEON_E5_2680V4_X2, units)
+
+        def factory(config, prec, dev=sub_device):
+            return AcceleratedImplementation(
+                config, prec, interface=OpenCLInterface(dev)
+            )
+
+        impl, plan = build_impl(factory, patterns=2048)
+        impl.reset_simulated_time()
+        impl.update_partials(plan.operations)
+        times[units] = impl.simulated_time
+        impl.finalize()
+    # Fewer compute units -> more simulated time.
+    assert times[14] > times[56]

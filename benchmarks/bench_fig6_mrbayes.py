@@ -1,0 +1,66 @@
+"""Paper Figure 6: MrBayes 3.2.6 application-level speedups.
+
+Records the modelled speedup bars (both datasets, both precisions, five
+implementations) against MrBayes-MPI double precision, and wall-clock
+benchmarks real short MC^3 analyses through the native-SSE baseline and
+two BEAGLE backends.
+"""
+
+import pytest
+
+from repro.bench import fig6_mrbayes, fig6_speedup
+from repro.mcmc import MrBayesRunner, nucleotide_analysis
+from repro.model import HKY85, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import yule_tree
+
+
+def test_regenerate_fig6(benchmark, record):
+    result = benchmark(fig6_mrbayes)
+    record("fig6_mrbayes", result.table())
+    import numpy as np
+
+    for row in result.rows:
+        model_value, paper = row[3], row[4]
+        if np.isfinite(paper):
+            assert 0.55 < model_value / paper < 1.6, row
+
+
+def test_fig6_headline_claims():
+    """The abstract's 39-fold codon claim and the 7.6x/13.8x text anchors."""
+    x86_codon = fig6_speedup(
+        "OpenCL-x86: Intel Xeon E5-2680v4 x2", 61, "single")
+    assert 33 < x86_codon < 48  # abstract: 39-fold
+
+    sse_nt = fig6_speedup("MrBayes-SSE", 4, "single")
+    sse_codon = fig6_speedup("MrBayes-SSE", 61, "single")
+    gpu_nt = fig6_speedup("OpenCL-GPU: AMD FirePro S9170", 4, "single")
+    gpu_codon = fig6_speedup("OpenCL-GPU: AMD FirePro S9170", 61, "single")
+    assert abs(gpu_nt / sse_nt - 7.6) < 1.5
+    assert abs(gpu_codon / sse_codon - 13.8) < 3.0
+
+
+@pytest.fixture(scope="module")
+def analysis_spec():
+    tree = yule_tree(8, rng=80)
+    model = HKY85(2.0)
+    sm = SiteModel.gamma(0.5, 4)
+    aln = simulate_alignment(tree, model, 400, sm, rng=81)
+    return nucleotide_analysis(tree, compress_patterns(aln))
+
+
+@pytest.mark.parametrize(
+    "backend", ["native-sse", "cpu-sse", "cpp-threads"]
+)
+def test_mcmc_generations(benchmark, analysis_spec, backend):
+    """Wall-clock of a short 2-chain analysis per likelihood backend."""
+
+    def run():
+        runner = MrBayesRunner(
+            analysis_spec, backend=backend, precision="single",
+            n_chains=2, rng=82,
+        )
+        return runner.run(20, sample_interval=10)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result.result.samples) == 2

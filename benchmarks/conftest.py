@@ -1,0 +1,93 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module regenerates one paper table/figure through
+``repro.bench.harness`` (calibrated-model numbers, paper values side by
+side), writes it under ``benchmarks/results/``, and additionally times a
+real, reduced-scale computation on this host with pytest-benchmark so the
+functional kernels behind each experiment are genuinely exercised.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.model import HKY85, SiteModel
+from repro.seq import synthetic_pattern_set
+from repro.tree import balanced_tree, plan_traversal
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Persist a regenerated table and echo it into the pytest output."""
+
+    def _record(name: str, table: str) -> None:
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+        print("\n" + table)
+
+    return _record
+
+
+def build_impl(
+    impl_cls_or_factory,
+    tips: int = 8,
+    patterns: int = 2000,
+    states: int = 4,
+    categories: int = 4,
+    precision: str = "single",
+    seed: int = 2,
+):
+    """Construct an implementation pre-loaded with a synthetic workload.
+
+    Returns ``(impl, plan)`` ready for repeated ``update_partials`` calls.
+    """
+    from repro.bench.genomictest import model_for_states
+    from repro.core.types import InstanceConfig
+
+    tree = balanced_tree(tips, rng=1)
+    model = model_for_states(states)
+    sm = (
+        SiteModel.gamma(0.5, categories)
+        if categories > 1
+        else SiteModel.uniform()
+    )
+    data = synthetic_pattern_set(tips, patterns, states, rng=seed)
+    config = InstanceConfig(
+        tip_count=tips,
+        partials_buffer_count=tree.n_nodes - tips,
+        compact_buffer_count=tips,
+        state_count=states,
+        pattern_count=patterns,
+        eigen_buffer_count=1,
+        matrix_buffer_count=tree.n_nodes,
+        category_count=categories,
+    )
+    impl = impl_cls_or_factory(config, precision)
+    for t in range(tips):
+        impl.set_tip_states(t, data.tip_states[t])
+    impl.set_pattern_weights(data.weights)
+    impl.set_category_rates(sm.rates)
+    impl.set_category_weights(0, sm.weights)
+    impl.set_state_frequencies(0, model.frequencies)
+    e = model.eigen
+    impl.set_eigen_decomposition(
+        0,
+        np.asarray(e.eigenvectors),
+        np.asarray(e.inverse_eigenvectors),
+        np.asarray(e.eigenvalues),
+    )
+    plan = plan_traversal(tree)
+    impl.update_transition_matrices(
+        0, list(plan.branch_node_indices), plan.branch_lengths
+    )
+    return impl, plan

@@ -1,0 +1,58 @@
+"""Drive the genomictest benchmark program across problem sizes.
+
+Reproduces the methodology of paper section V-A on this host: random
+synthetic datasets of growing size, effective-GFLOPS throughput of the
+partial-likelihoods function, plus the cross-backend correctness check.
+
+Run:  python examples/genomictest_cli.py
+"""
+
+from repro.bench import run_genomictest, verify_backends
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    print("correctness: ", end="")
+    verify_backends(tips=8, patterns=200, states=4)
+    print("all backends agree on a random dataset\n")
+
+    rows = []
+    for states, label in ((4, "nucleotide"), (61, "codon")):
+        for patterns in (200, 1000, 5000):
+            result = run_genomictest(
+                tips=16,
+                patterns=patterns,
+                states=states,
+                backend="cpu-sse",
+                precision="single",
+                reps=3,
+            )
+            rows.append(
+                [label, patterns,
+                 f"{result.seconds_per_eval * 1e3:.2f} ms",
+                 f"{result.gflops:.2f}"]
+            )
+    print(format_table(
+        ["model", "patterns", "time/eval", "GFLOPS (wall, this host)"],
+        rows,
+        title="genomictest: vectorised CPU backend on this machine",
+    ))
+
+    # The simulated accelerators report modelled device time instead.
+    rows = []
+    for backend in ("cuda", "opencl-gpu", "opencl-x86"):
+        result = run_genomictest(
+            tips=16, patterns=5000, states=4,
+            backend=backend, precision="single", reps=3, mode="model",
+        )
+        rows.append([backend, f"{result.gflops:.2f}"])
+    print()
+    print(format_table(
+        ["backend", "GFLOPS (simulated device)"],
+        rows,
+        title="genomictest: simulated accelerators, nucleotide 5k patterns",
+    ))
+
+
+if __name__ == "__main__":
+    main()

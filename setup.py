@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose setuptools lacks the
+`bdist_wheel`-based editable pipeline (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

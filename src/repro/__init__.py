@@ -1,0 +1,64 @@
+"""repro: a reproduction of the BEAGLE heterogeneous-hardware library.
+
+Reproduces Ayres & Cummings, *Heterogeneous Hardware Support in BEAGLE, a
+High-Performance Computing Library for Statistical Phylogenetics*
+(ICPP Workshops 2017).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import TreeLikelihood, HKY85, SiteModel
+    from repro.tree import yule_tree
+    from repro.seq import simulate_patterns
+
+    tree = yule_tree(16, rng=1)
+    model = HKY85(kappa=2.0)
+    data = simulate_patterns(tree, model, 1000, rng=2)
+    with TreeLikelihood(tree, data, model, SiteModel.gamma(0.5)) as tl:
+        print(tl.log_likelihood())
+"""
+
+from repro.core import (
+    BeagleInstance,
+    Flag,
+    InstanceConfig,
+    InstanceDetails,
+    Operation,
+    ReturnCode,
+    TreeLikelihood,
+    create_instance,
+    default_manager,
+)
+from repro.model import (
+    GTR,
+    GY94,
+    HKY85,
+    JC69,
+    K80,
+    MG94,
+    SiteModel,
+    SubstitutionModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BeagleInstance",
+    "create_instance",
+    "TreeLikelihood",
+    "Flag",
+    "ReturnCode",
+    "Operation",
+    "InstanceConfig",
+    "InstanceDetails",
+    "default_manager",
+    "SubstitutionModel",
+    "JC69",
+    "K80",
+    "HKY85",
+    "GTR",
+    "GY94",
+    "MG94",
+    "SiteModel",
+]

@@ -1,0 +1,254 @@
+"""Simulated device catalog — the hardware of paper Tables I and II.
+
+Each :class:`DeviceSpec` carries the published specification of one of the
+paper's benchmark devices (cores, memory, bandwidth, peak single-precision
+throughput) plus the calibration parameters of the roofline performance
+model (:mod:`repro.accel.perfmodel`).  The published numbers come straight
+from Table II; derived numbers (double-precision ratios, local memory)
+come from the vendors' architecture documents; efficiency/overhead
+parameters are calibrated against the paper's measured results and
+documented per experiment in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+
+class ProcessorType(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+    PHI = "phi"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description + performance-model calibration of one device."""
+
+    name: str
+    vendor: str
+    processor: ProcessorType
+    compute_units: int              # GPU cores / CPU hardware threads
+    memory_gb: float
+    bandwidth_gbs: float            # device global-memory bandwidth
+    sp_gflops: float                # theoretical single-precision peak
+    dp_ratio: float                 # DP peak = sp_gflops * dp_ratio
+    local_mem_kb: float = 48.0      # per-work-group local/shared memory
+    supports_fma: bool = True
+
+    # ---- performance-model calibration (see EXPERIMENTS.md) ----
+    #: Fraction of peak compute achievable by the partials kernels.
+    compute_efficiency: float = 0.25
+    #: Fraction of *double-precision* peak achievable.  DP kernels run
+    #: much closer to their (far lower) peak than SP kernels do.
+    dp_compute_efficiency: float = 0.5
+    #: Fraction of peak bandwidth achievable by streaming kernels.
+    memory_efficiency: float = 0.60
+    #: Occupancy ramp window: a launch needs ~``compute_rate * ramp_s``
+    #: flops of work to fill the device's latency-hiding pipelines.
+    ramp_s: float = 7e-6
+    #: Threads in flight needed to hide latency (full occupancy).
+    saturation_threads: int = 32768
+    #: Fixed host-side cost of one kernel launch, seconds.
+    launch_overhead_s: float = 5e-6
+    #: Extra per-work-group dispatch cost, seconds (CPU OpenCL runtimes).
+    workgroup_overhead_s: float = 0.0
+    #: Last-level cache size (CPU devices); working sets below this run at
+    #: ``cache_bandwidth_gbs`` instead of DRAM bandwidth.
+    llc_mb: float = 0.0
+    cache_bandwidth_gbs: float = 0.0
+    #: Multiplicative compute-rate gain from fused multiply-add, per
+    #: precision (paper Table IV measures the end-to-end effect).
+    fma_gain_sp: float = 1.0
+    fma_gain_dp: float = 1.0
+
+    def peak_gflops(self, precision: str) -> float:
+        if precision == "single":
+            return self.sp_gflops
+        return self.sp_gflops * self.dp_ratio
+
+    def with_compute_units(self, n: int) -> "DeviceSpec":
+        """A fission sub-device with ``n`` compute units.
+
+        Bandwidth and cache are shared resources: they do not scale down
+        with the unit count (which is exactly why Fig. 5 saturates around
+        27 threads — compute grows, bandwidth does not).
+        """
+        if not 1 <= n <= self.compute_units:
+            raise ValueError(
+                f"cannot fission {self.name} into {n} of "
+                f"{self.compute_units} units"
+            )
+        frac = n / self.compute_units
+        return replace(
+            self,
+            name=f"{self.name} [{n}cu]",
+            compute_units=n,
+            sp_gflops=self.sp_gflops * frac,
+            saturation_threads=max(1, int(self.saturation_threads * frac)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Paper hardware (Tables I and II), with calibration constants.
+# ---------------------------------------------------------------------------
+
+QUADRO_P5000 = DeviceSpec(
+    name="NVIDIA Quadro P5000",
+    vendor="NVIDIA",
+    processor=ProcessorType.GPU,
+    compute_units=2560,
+    memory_gb=16.0,
+    bandwidth_gbs=288.0,
+    sp_gflops=8900.0,
+    dp_ratio=1.0 / 32.0,            # Pascal GP104: 1/32 DP rate
+    local_mem_kb=48.0,
+    compute_efficiency=0.14,
+    dp_compute_efficiency=0.85,     # DP peak is tiny (1/32); easy to hit
+    memory_efficiency=0.92,
+    ramp_s=5e-6,
+    saturation_threads=2560 * 14,
+    launch_overhead_s=1.5e-6,       # CUDA driver launch; OpenCL adds more
+    fma_gain_sp=1.012,
+    fma_gain_dp=1.08,
+)
+
+RADEON_R9_NANO = DeviceSpec(
+    name="AMD Radeon R9 Nano",
+    vendor="AMD",
+    processor=ProcessorType.GPU,
+    compute_units=4096,
+    memory_gb=4.0,
+    bandwidth_gbs=512.0,
+    sp_gflops=8192.0,
+    dp_ratio=1.0 / 16.0,            # Fiji: 1/16 DP rate
+    local_mem_kb=32.0,              # GCN LDS: less than NVIDIA's 48 KB
+    compute_efficiency=0.15,
+    dp_compute_efficiency=0.5,
+    memory_efficiency=0.66,
+    ramp_s=7e-6,
+    saturation_threads=4096 * 10,
+    launch_overhead_s=2e-6,
+    fma_gain_sp=1.14,               # effective instruction-stream benefit
+    fma_gain_dp=1.30,               # (calibrated to Table IV end-to-end %)
+)
+
+FIREPRO_S9170 = DeviceSpec(
+    name="AMD FirePro S9170",
+    vendor="AMD",
+    processor=ProcessorType.GPU,
+    compute_units=2816,
+    memory_gb=32.0,
+    bandwidth_gbs=320.0,
+    sp_gflops=5240.0,
+    dp_ratio=0.5,                   # Hawaii FirePro: 1/2 DP rate
+    local_mem_kb=32.0,
+    compute_efficiency=0.21,
+    dp_compute_efficiency=0.052,    # fit to Fig. 6 codon-DP bar
+    memory_efficiency=0.66,
+    ramp_s=7e-6,
+    saturation_threads=2816 * 10,
+    launch_overhead_s=2e-6,
+    fma_gain_sp=1.12,
+    fma_gain_dp=1.26,
+)
+
+XEON_E5_2680V4_X2 = DeviceSpec(
+    name="Intel Xeon E5-2680v4 x2",
+    vendor="Intel",
+    processor=ProcessorType.CPU,
+    compute_units=56,               # 2 sockets x 14 cores x 2 SMT
+    memory_gb=256.0,
+    bandwidth_gbs=153.6,            # 2 x 4-channel DDR4-2400
+    sp_gflops=2150.0,               # 28 cores x 2.4 GHz x 32 SP FLOP/cyc
+    dp_ratio=0.5,
+    local_mem_kb=0.0,               # no explicit local memory (paper VII-B.2)
+    compute_efficiency=0.20,
+    memory_efficiency=0.80,
+    saturation_threads=56,
+    launch_overhead_s=2.5e-5,       # OpenCL CPU runtime enqueue cost
+    workgroup_overhead_s=4e-7,
+    llc_mb=70.0,                    # 2 x 35 MB L3
+    cache_bandwidth_gbs=900.0,
+    fma_gain_sp=1.02,
+    fma_gain_dp=1.04,
+)
+
+XEON_PHI_7210 = DeviceSpec(
+    name="Intel Xeon Phi 7210",
+    vendor="Intel",
+    processor=ProcessorType.PHI,
+    compute_units=256,              # 64 cores x 4 SMT
+    memory_gb=16.0,                 # MCDRAM
+    bandwidth_gbs=400.0,
+    sp_gflops=5324.0,               # 64 x 1.3 GHz x 64 SP FLOP/cyc
+    dp_ratio=0.5,
+    local_mem_kb=0.0,
+    compute_efficiency=0.035,       # paper: "we have not done optimization
+                                    # work specific to this platform"
+    memory_efficiency=0.35,
+    saturation_threads=256,
+    launch_overhead_s=6e-5,
+    workgroup_overhead_s=1e-6,
+    llc_mb=32.0,
+    cache_bandwidth_gbs=500.0,
+    fma_gain_sp=1.02,
+    fma_gain_dp=1.04,
+)
+
+CORE_I7_930 = DeviceSpec(
+    name="Intel Core i7-930",
+    vendor="Intel",
+    processor=ProcessorType.CPU,
+    compute_units=8,                # 4 cores x 2 SMT
+    memory_gb=24.0,
+    bandwidth_gbs=25.6,
+    sp_gflops=89.6,                 # 4 x 2.8 GHz x 8 SP FLOP/cyc (SSE)
+    dp_ratio=0.5,
+    local_mem_kb=0.0,
+    compute_efficiency=0.25,
+    memory_efficiency=0.70,
+    saturation_threads=8,
+    launch_overhead_s=3e-5,
+    workgroup_overhead_s=6e-7,
+    llc_mb=8.0,
+    cache_bandwidth_gbs=90.0,
+    fma_gain_sp=1.0,
+    fma_gain_dp=1.0,
+    supports_fma=False,             # Nehalem predates FMA3
+)
+
+#: All catalog devices, keyed by name.
+DEVICE_CATALOG: Dict[str, DeviceSpec] = {
+    d.name: d
+    for d in (
+        QUADRO_P5000,
+        RADEON_R9_NANO,
+        FIREPRO_S9170,
+        XEON_E5_2680V4_X2,
+        XEON_PHI_7210,
+        CORE_I7_930,
+    )
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a catalog device by (case-insensitive substring) name."""
+    if name in DEVICE_CATALOG:
+        return DEVICE_CATALOG[name]
+    matches = [
+        spec
+        for key, spec in DEVICE_CATALOG.items()
+        if name.lower() in key.lower()
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(
+            f"no device matching {name!r}; catalog: {sorted(DEVICE_CATALOG)}"
+        )
+    raise KeyError(
+        f"device name {name!r} is ambiguous: {[m.name for m in matches]}"
+    )

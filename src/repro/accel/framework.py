@@ -1,0 +1,146 @@
+"""The single internal hardware interface shared by CUDA and OpenCL.
+
+Paper section V-B: "This parallel implementation model communicates with
+the CUDA and OpenCL APIs through a single internal interface, which, in
+turn, has an implementation available for each framework."  The interface
+"deals with loading the different kernels and compiling the correct one
+for the given analysis parameters ..., as well as all the hardware
+accelerator related functions such as executing kernels, copying data,
+querying device characteristics" (section VII-A).
+
+:class:`HardwareInterface` is that interface.  The two implementations —
+:class:`repro.accel.cuda.CudaInterface` and
+:class:`repro.accel.opencl.OpenCLInterface` — wrap the corresponding
+simulated driver APIs and differ exactly where the paper says they must:
+sub-pointer addressing is pointer arithmetic under CUDA and
+``clCreateSubBuffer`` under OpenCL.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import DeviceSpec
+from repro.accel.kernelgen import KernelConfig
+from repro.accel.perfmodel import KernelCost, SimulatedClock
+
+#: Host-device interconnect model (PCIe gen3 x16 effective).
+PCIE_BANDWIDTH_GBS = 12.0
+PCIE_LATENCY_S = 8e-6
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid/work-group geometry of one kernel launch.
+
+    CUDA expresses this as (grid, block); OpenCL as (global, local).  The
+    simulated kernels receive it for padding-aware slicing and the
+    perf model uses it for work-group dispatch accounting.
+    """
+
+    global_size: Tuple[int, ...]
+    local_size: Tuple[int, ...]
+
+    @property
+    def n_workgroups(self) -> int:
+        n = 1
+        for g, l in zip(self.global_size, self.local_size):
+            if l <= 0 or g % l != 0:
+                raise ValueError(
+                    f"global size {self.global_size} not a multiple of "
+                    f"local size {self.local_size}"
+                )
+            n *= g // l
+        return n
+
+
+class BufferHandle:
+    """Opaque device-buffer reference; concrete types per framework."""
+
+    nbytes: int
+
+
+class HardwareInterface(abc.ABC):
+    """Uniform accelerator access for the shared implementation model."""
+
+    framework_name: str = "abstract"
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self.clock = SimulatedClock()
+        self._kernel_config: Optional[KernelConfig] = None
+
+    # -- program management ------------------------------------------------
+
+    @abc.abstractmethod
+    def build_program(self, config: KernelConfig) -> None:
+        """Generate and compile the kernel program for ``config``."""
+
+    @property
+    def kernel_config(self) -> KernelConfig:
+        if self._kernel_config is None:
+            raise RuntimeError("no kernel program has been built")
+        return self._kernel_config
+
+    # -- memory ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate(self, shape: Tuple[int, ...], dtype: np.dtype) -> BufferHandle:
+        """Allocate one device buffer."""
+
+    @abc.abstractmethod
+    def allocate_pool(
+        self, n_slots: int, slot_shape: Tuple[int, ...], dtype: np.dtype
+    ) -> BufferHandle:
+        """Allocate a pooled region of ``n_slots`` equal-shaped buffers."""
+
+    @abc.abstractmethod
+    def slot(self, pool: BufferHandle, index: int) -> BufferHandle:
+        """Address one slot of a pooled allocation.
+
+        This is the framework-divergent operation: pointer arithmetic
+        under CUDA, ``clCreateSubBuffer`` under OpenCL (section VII-A).
+        """
+
+    @abc.abstractmethod
+    def upload(self, handle: BufferHandle, host: np.ndarray) -> None:
+        """Copy host data to the device (costs simulated transfer time)."""
+
+    @abc.abstractmethod
+    def download(self, handle: BufferHandle) -> np.ndarray:
+        """Copy device data back to the host."""
+
+    @abc.abstractmethod
+    def view(self, handle: BufferHandle) -> np.ndarray:
+        """Zero-cost internal view for kernel argument resolution."""
+
+    # -- execution -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def launch(
+        self,
+        kernel_name: str,
+        args: Sequence[Any],
+        geometry: LaunchGeometry,
+        cost: KernelCost,
+    ) -> None:
+        """Execute a kernel and advance the simulated clock."""
+
+    def synchronize(self) -> None:
+        """Block until queued work completes (no-op: launches are eager)."""
+
+    @abc.abstractmethod
+    def finalize(self) -> None:
+        """Release contexts/allocations."""
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _transfer_time(self, nbytes: int) -> float:
+        return PCIE_LATENCY_S + nbytes / (PCIE_BANDWIDTH_GBS * 1e9)
+
+    def memory_in_use(self) -> int:
+        raise NotImplementedError

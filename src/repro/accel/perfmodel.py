@@ -1,0 +1,552 @@
+"""Roofline performance model and simulated clock.
+
+The reproduction environment has no GPU, no OpenCL runtime, and a single
+CPU core, so the paper's performance landscape is regenerated from a
+calibrated analytic model rather than wall-clock timing.  Two model
+families cover the paper's hardware:
+
+* :func:`accelerator_kernel_time` — a roofline with work-based occupancy
+  ramp for kernel launches on GPU/OpenCL devices (Fig. 4 GPU curves,
+  Tables IV and V);
+* :class:`CPUSystemModel` — an analytic model of the four CPU execution
+  designs (serial / futures / thread-create / thread-pool) plus the
+  OpenCL-x86 backend on a multicore system (Table III, Fig. 5, the CPU
+  curves of Fig. 4).
+
+Model form for one kernel launch (work ``F`` flops moving ``B`` bytes):
+
+``t = ((F / (C * occ))^p + (B / BW)^p)^(1/p) + t_launch + n_wg * t_wg``
+
+where ``C``/``BW`` are the device's achievable compute/bandwidth rates
+and ``occ = F / (F + C * t_ramp)`` is the occupancy ramp: small launches
+cannot fill the device's latency-hiding pipelines, which throttles the
+*instruction* stream (compute term) but not the already-pipelined DRAM
+stream.  ``p = 2`` soft-maxes the compute/memory bounds so that
+nearly-memory-bound kernels still show small compute-side effects —
+which is exactly what the paper's Table IV measures for FMA: double
+precision (compute-bound) gains ~10-12%, single precision (memory-bound)
+gains under 2%.
+
+Every calibrated constant is either in :mod:`repro.accel.device` or in
+:data:`XEON_E5_2680V4_SYSTEM` below, with the fit recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.accel.device import DeviceSpec, ProcessorType
+from repro.core.compute import partials_flops
+
+SOFTMAX_P = 2.0
+
+#: Fig. 4's speedup axis baseline: the "serial, single threaded and
+#: non-vectorized, CPU implementation" (on the Xeon E5-2680), whose rate
+#: the paper describes as consistent across problem sizes.  Derived from
+#: the paper's own anchors: 444.92 GFLOPS = ~58x (nucleotide) and
+#: 1324.19 GFLOPS = ~253x (codon).
+FIG4_SERIAL_BASELINE_GFLOPS = {4: 7.67, 61: 5.23}
+
+
+class SimulatedClock:
+    """Accumulates simulated device time, in seconds.
+
+    ``advance`` accepts an optional label (kernel name, "memcpy", ...)
+    so that tooling can report a per-kernel time breakdown, mirroring
+    profiler output on real devices.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.events = 0
+        self.by_label: Dict[str, float] = {}
+
+    def advance(self, seconds: float, label: Optional[str] = None) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self.elapsed += seconds
+        self.events += 1
+        if label is not None:
+            self.by_label[label] = self.by_label.get(label, 0.0) + seconds
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.events = 0
+        self.by_label = {}
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Work description of one kernel launch."""
+
+    flops: float
+    bytes_moved: float
+    n_workgroups: int = 1
+    working_set_bytes: float = 0.0
+
+
+def partials_kernel_cost(
+    pattern_count: int,
+    state_count: int,
+    category_count: int,
+    itemsize: int,
+    workgroup_patterns: int = 0,
+) -> KernelCost:
+    """Cost of one partial-likelihoods operation.
+
+    FLOPs follow the paper's effective-FLOP accounting
+    (:func:`repro.core.compute.partials_flops`); bytes cover reading two
+    child partials and writing the destination (transition matrices are
+    small and cached).  ``workgroup_patterns`` > 0 pads the pattern count
+    to a work-group multiple, modelling the padding cost the paper
+    minimises by choosing the smallest peak-performance work-group size
+    (section VII-B.2).
+    """
+    padded = pattern_count
+    n_wg = 1
+    if workgroup_patterns > 0:
+        n_wg = math.ceil(pattern_count / workgroup_patterns)
+        padded = n_wg * workgroup_patterns
+    entries = padded * category_count * state_count
+    return KernelCost(
+        flops=float(padded * category_count * partials_flops(state_count)),
+        bytes_moved=float(3 * entries * itemsize),
+        n_workgroups=n_wg,
+        working_set_bytes=float(3 * entries * itemsize),
+    )
+
+
+def accelerator_kernel_time(
+    device: DeviceSpec,
+    cost: KernelCost,
+    precision: str,
+    use_fma: bool = False,
+    compute_penalty: float = 1.0,
+    launch_overhead_s: Optional[float] = None,
+) -> float:
+    """Simulated execution time of one launch on an accelerator device.
+
+    Parameters
+    ----------
+    compute_penalty:
+        Multiplier > 1 slows the achievable compute rate; used for kernel
+        variants mismatched to the hardware (e.g. the GPU-style kernel
+        running on a CPU — paper Table V measures a 5-6x penalty).
+    launch_overhead_s:
+        Override the device's default launch overhead (framework
+        dependent: CUDA launches are cheaper than OpenCL enqueues).
+    """
+    if cost.flops <= 0:
+        return launch_overhead_s if launch_overhead_s is not None else (
+            device.launch_overhead_s
+        )
+    eff = (
+        device.compute_efficiency
+        if precision == "single"
+        else device.dp_compute_efficiency
+    )
+    compute_rate = device.peak_gflops(precision) * 1e9 * eff
+    if use_fma and device.supports_fma:
+        gain = device.fma_gain_sp if precision == "single" else device.fma_gain_dp
+        compute_rate *= gain
+    compute_rate /= compute_penalty
+
+    bandwidth = device.bandwidth_gbs * 1e9 * device.memory_efficiency
+    if device.llc_mb > 0 and cost.working_set_bytes > 0:
+        bandwidth = _blended_bandwidth(
+            cost.working_set_bytes,
+            device.llc_mb * 2**20,
+            device.cache_bandwidth_gbs * 1e9 * device.memory_efficiency,
+            device.bandwidth_gbs * 1e9 * device.memory_efficiency,
+        )
+
+    # Work-based occupancy: a launch whose total work is small relative to
+    # the device's ramp window cannot fill the latency-hiding pipelines,
+    # throttling the instruction (compute) stream.  This produces Fig. 4's
+    # strong pattern-count scaling for nucleotide models and the weaker
+    # sensitivity of codon models (far more work per pattern).
+    ramp_work = compute_rate * device.ramp_s
+    occ = cost.flops / (cost.flops + ramp_work)
+
+    t_compute = cost.flops / (compute_rate * occ)
+    t_memory = cost.bytes_moved / bandwidth
+    p = SOFTMAX_P
+    t_exec = (t_compute**p + t_memory**p) ** (1.0 / p)
+    t_launch = (
+        device.launch_overhead_s
+        if launch_overhead_s is None
+        else launch_overhead_s
+    )
+    return t_exec + t_launch + cost.n_workgroups * device.workgroup_overhead_s
+
+
+def _blended_bandwidth(
+    working_set: float, llc: float, cache_bw: float, dram_bw: float,
+    sharpness: float = 1.2,
+) -> float:
+    """Harmonic cache/DRAM bandwidth blend by working-set size."""
+    if working_set <= llc:
+        return cache_bw
+    dram_frac = min(1.0, (working_set - llc) / (sharpness * llc))
+    return 1.0 / ((1.0 - dram_frac) / cache_bw + dram_frac / dram_bw)
+
+
+# ---------------------------------------------------------------------------
+# CPU execution-design model (Table III, Fig. 5, CPU curves of Fig. 4)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CPUWorkload:
+    """One genomictest-style partials benchmark configuration."""
+
+    tip_count: int
+    pattern_count: int
+    state_count: int = 4
+    category_count: int = 4
+    precision: str = "single"
+
+    @property
+    def n_operations(self) -> int:
+        return self.tip_count - 1
+
+    @property
+    def flops_per_op(self) -> float:
+        return float(
+            self.pattern_count
+            * self.category_count
+            * partials_flops(self.state_count)
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return self.n_operations * self.flops_per_op
+
+    @property
+    def itemsize(self) -> int:
+        return 4 if self.precision == "single" else 8
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity, flops per byte (2 reads + 1 write)."""
+        return partials_flops(self.state_count) / (3 * self.state_count * self.itemsize)
+
+    @property
+    def working_set_bytes(self) -> float:
+        buffers = 2 * self.tip_count - 1
+        return float(
+            buffers
+            * self.category_count
+            * self.pattern_count
+            * self.state_count
+            * self.itemsize
+        )
+
+    def level_sizes(self) -> List[int]:
+        """Dependency-level sizes of a balanced tree (genomictest shape)."""
+        sizes = []
+        n = self.tip_count // 2
+        while n >= 1:
+            sizes.append(n)
+            n //= 2
+        if sum(sizes) < self.n_operations:
+            sizes[-1] += self.n_operations - sum(sizes)
+        return sizes
+
+
+@dataclass(frozen=True)
+class CPUSystemModel:
+    """Analytic model of one multicore system running the CPU designs.
+
+    Rates are in GFLOPS and bandwidths in GB/s; time methods return
+    seconds for one full partials pass over a workload.  Calibration
+    constants (marked) are fitted to the paper's Table III; the fit is
+    recorded in EXPERIMENTS.md.
+    """
+
+    name: str
+    n_threads: int                  # hardware threads (incl. SMT)
+    physical_cores: int
+    serial_gflops: float            # single-thread cache-resident rate (fit)
+    smt_bonus: float = 0.15         # extra throughput from 2nd SMT thread
+    per_thread_dram_bw: float = 8.0     # GB/s, one streaming thread (fit)
+    per_thread_cache_bw: float = 25.0   # GB/s (fit)
+    aggregate_dram_bw: float = 95.0     # GB/s (fit)
+    aggregate_cache_bw: float = 262.0   # GB/s (fit)
+    llc_mb: float = 70.0
+    per_thread_blend_sharpness: float = 0.2   # cache->DRAM transition (fit)
+    aggregate_blend_sharpness: float = 0.3    # (fit)
+    thread_spawn_s: float = 7e-6        # create+join one std::thread (fit)
+    future_overhead_s: float = 8e-6     # create one std::async future (fit)
+    pool_dispatch_s: float = 4.0e-5     # wake pool + barrier, per call (fit)
+    #: Fraction of a dependency level's thread count that the futures
+    #: scheduler actually keeps busy (std::async placement jitter; fit).
+    futures_concurrency_eff: float = 0.5
+    #: DRAM bandwidth multiplier for freshly created threads whose pages
+    #: and cache state are cold (NUMA first-touch misplacement; fit).
+    #: This is what separates thread-create from thread-pool at large
+    #: working sets in Table III.
+    create_numa_penalty: float = 0.4
+    #: Per-state-count compute efficiency of the C++ kernels relative to
+    #: ``serial_gflops`` scaling.  The codon value is fit to the Fig. 6
+    #: observation that the threaded model reaches about half the
+    #: OpenCL-x86 throughput for codon inferences ("our threaded model
+    #: ... does not perform as well for codon-based inferences as it only
+    #: parallelizes the computation of independent site patterns").
+    state_efficiency: Dict[int, float] = field(
+        default_factory=lambda: {4: 1.0, 20: 0.6, 61: 0.29}
+    )
+    #: Extra compute penalty for *double-precision* high-state-count
+    #: kernels (register pressure at 61 states; fit to the Fig. 6 codon
+    #: double-precision bars).  Applied on top of ``dp_compute_ratio``.
+    dp_state_penalty: Dict[int, float] = field(
+        default_factory=lambda: {61: 0.25}
+    )
+    #: Deep-DRAM decay: beyond ``deep_ws_multiple * llc`` the threaded
+    #: model's effective DRAM bandwidth decays as ``(bound/ws)^0.5`` (TLB
+    #: and page pressure).  This term models the paper's own unexplained
+    #: observation that threaded-model performance "does not monotonically
+    #: increase with the number of patterns" (section VIII-A.1) and the
+    #: crossover where OpenCL-x86 becomes the fastest CPU backend at
+    #: 475k patterns.
+    deep_ws_multiple: float = 4.0
+    #: OpenCL-x86 calibration: achievable compute cap and DRAM efficiency
+    #: (fit to Table V and the Fig. 4/Fig. 6 x86 anchors).
+    x86_compute_gflops: Dict[int, float] = field(
+        default_factory=lambda: {4: 125.0, 20: 300.0, 61: 700.0}
+    )
+    x86_dram_bw: float = 62.0
+    x86_launch_s: float = 4e-6
+    x86_workgroup_s: float = 5.5e-8
+    #: Compute-rate multiplier when the *GPU-variant* kernel (one work
+    #: item per state, explicit local memory) runs on the CPU device —
+    #: the 5-6x gap of Table V's first row that motivated the
+    #: loop-over-states x86 kernel (paper section VII-B.2).
+    x86_gpu_variant_penalty: float = 0.13
+    dp_compute_ratio: float = 0.5
+
+    # -- building blocks -----------------------------------------------------
+
+    def _precision_scale(self, precision: str, state_count: int = 4) -> float:
+        if precision == "single":
+            return 1.0
+        return self.dp_compute_ratio * self.dp_state_penalty.get(
+            state_count, 1.0
+        )
+
+    def _bandwidth(
+        self, n_threads: int, working_set: float, dram_penalty: float = 1.0
+    ) -> float:
+        """Achievable GB/s for ``n_threads`` streaming a working set."""
+        llc = self.llc_mb * 2**20
+        agg_dram = self.aggregate_dram_bw * dram_penalty
+        deep_bound = self.deep_ws_multiple * llc
+        if working_set > deep_bound:
+            agg_dram *= (deep_bound / working_set) ** 0.5
+        per = _blended_bandwidth(
+            working_set, llc,
+            self.per_thread_cache_bw, self.per_thread_dram_bw,
+            self.per_thread_blend_sharpness,
+        )
+        agg = _blended_bandwidth(
+            working_set, llc,
+            self.aggregate_cache_bw, agg_dram,
+            self.aggregate_blend_sharpness,
+        )
+        return min(n_threads * per, agg)
+
+    def _compute_rate(
+        self, n_threads: int, state_count: int, precision: str
+    ) -> float:
+        """Aggregate compute-bound GFLOPS for ``n_threads``."""
+        eff = self.state_efficiency.get(state_count, 0.6)
+        base = self.serial_gflops * eff * self._precision_scale(
+            precision, state_count
+        )
+        physical = min(n_threads, self.physical_cores)
+        smt = max(0, n_threads - self.physical_cores)
+        return base * (physical + self.smt_bonus * smt)
+
+    def _rate(
+        self, n_threads: int, workload: CPUWorkload, dram_penalty: float = 1.0
+    ) -> float:
+        """Achievable GFLOPS: min(compute cap, bandwidth cap)."""
+        compute = self._compute_rate(
+            n_threads, workload.state_count, workload.precision
+        )
+        bw = self._bandwidth(
+            n_threads, workload.working_set_bytes, dram_penalty
+        )
+        return min(compute, bw * workload.intensity)
+
+    # -- the four designs -----------------------------------------------------
+
+    def serial_time(self, workload: CPUWorkload) -> float:
+        return workload.total_flops / (self._rate(1, workload) * 1e9)
+
+    def futures_time(self, workload: CPUWorkload) -> float:
+        """Tree-level concurrency only (paper section VI-A).
+
+        Each operation runs single-threaded; operations within a
+        dependency level overlap, capped by thread count and by aggregate
+        bandwidth; every future pays a creation cost on the issuing
+        thread.
+        """
+        op_time = workload.flops_per_op / (self._rate(1, workload) * 1e9)
+        total = 0.0
+        for level in workload.level_sizes():
+            conc = max(
+                1.0,
+                min(level, self.n_threads) * self.futures_concurrency_eff,
+            )
+            t_compute = (level / conc) * op_time
+            bw_rate = self._bandwidth(conc, workload.working_set_bytes)
+            t_bw = level * workload.flops_per_op / (
+                bw_rate * workload.intensity * 1e9
+            )
+            total += max(t_compute, t_bw) + level * self.future_overhead_s
+        return total
+
+    def _pattern_parallel_compute(
+        self, workload: CPUWorkload, n_threads: int, dram_penalty: float = 1.0
+    ) -> float:
+        if workload.pattern_count < 512 or n_threads == 1:
+            # The 512-pattern threading minimum (paper section VI-B).
+            return self.serial_time(workload)
+        return workload.total_flops / (
+            self._rate(n_threads, workload, dram_penalty) * 1e9
+        )
+
+    def thread_create_time(
+        self, workload: CPUWorkload, n_threads: Optional[int] = None
+    ) -> float:
+        """Pattern-parallel with per-call thread spawn (section VI-B).
+
+        Fresh threads pay both the spawn/join cost and a cold-cache/NUMA
+        bandwidth penalty on DRAM-resident working sets.
+        """
+        n = n_threads or self.n_threads
+        t = self._pattern_parallel_compute(
+            workload, n, dram_penalty=self.create_numa_penalty
+        )
+        if workload.pattern_count >= 512 and n > 1:
+            t += n * self.thread_spawn_s
+        return t
+
+    def thread_pool_time(
+        self, workload: CPUWorkload, n_threads: Optional[int] = None
+    ) -> float:
+        """Pattern-parallel with a persistent pool (section VI-C)."""
+        n = n_threads or self.n_threads
+        t = self._pattern_parallel_compute(workload, n)
+        if workload.pattern_count >= 512 and n > 1:
+            t += self.pool_dispatch_s
+        return t
+
+    def opencl_x86_time(
+        self,
+        workload: CPUWorkload,
+        workgroup_patterns: int = 256,
+        n_threads: Optional[int] = None,
+        kernel_variant: str = "x86",
+    ) -> float:
+        """The OpenCL-x86 backend (section VII-B.2, Tables V and Fig. 5).
+
+        Loop-over-states kernels dispatched in ``workgroup_patterns``-wide
+        work-groups; padding and per-work-group dispatch costs are
+        explicit, reproducing the Table V work-group sweep.  Device
+        fission (Fig. 5) passes ``n_threads``.  ``kernel_variant="gpu"``
+        runs the GPU-style kernel on the CPU instead (Table V row 1).
+        """
+        if workgroup_patterns < 1:
+            raise ValueError("work-group size must be positive")
+        if kernel_variant not in ("x86", "gpu"):
+            raise ValueError(f"unknown kernel variant {kernel_variant!r}")
+        n = n_threads or self.n_threads
+        n_wg = math.ceil(workload.pattern_count / workgroup_patterns)
+        padded = n_wg * workgroup_patterns
+        pad_factor = padded / workload.pattern_count
+        compute_cap = (
+            self.x86_compute_gflops.get(workload.state_count, 300.0)
+            * self._precision_scale(workload.precision, workload.state_count)
+            * (min(n, self.physical_cores) + self.smt_bonus * max(0, n - self.physical_cores))
+            / (self.physical_cores + self.smt_bonus * (self.n_threads - self.physical_cores))
+        )
+        if kernel_variant == "gpu":
+            compute_cap *= self.x86_gpu_variant_penalty
+        llc = self.llc_mb * 2**20
+        bw = min(
+            n * _blended_bandwidth(
+                workload.working_set_bytes, llc,
+                self.per_thread_cache_bw, self.per_thread_dram_bw,
+                self.per_thread_blend_sharpness,
+            ),
+            _blended_bandwidth(
+                workload.working_set_bytes, llc,
+                self.aggregate_cache_bw, self.x86_dram_bw,
+                self.aggregate_blend_sharpness,
+            ),
+        )
+        rate = min(compute_cap, bw * workload.intensity)
+        t = workload.total_flops * pad_factor / (rate * 1e9)
+        per_call = self.x86_launch_s + n_wg * self.x86_workgroup_s
+        return t + workload.n_operations * per_call
+
+    def throughput(self, design: str, workload: CPUWorkload, **kw) -> float:
+        """Effective GFLOPS of one design on one workload."""
+        times = {
+            "serial": self.serial_time,
+            "futures": self.futures_time,
+            "thread-create": self.thread_create_time,
+            "thread-pool": self.thread_pool_time,
+            "opencl-x86": self.opencl_x86_time,
+        }
+        try:
+            fn = times[design]
+        except KeyError:
+            raise ValueError(
+                f"unknown design {design!r}; choose from {sorted(times)}"
+            ) from None
+        return workload.total_flops / fn(workload, **kw) / 1e9
+
+
+#: The paper's system 2: dual Intel Xeon E5-2680v4 (Tables I, III, V;
+#: Figs. 4-6).  Constants fitted to the reconstructed Table III.
+XEON_E5_2680V4_SYSTEM = CPUSystemModel(
+    name="Intel Xeon E5-2680v4 x2",
+    n_threads=56,
+    physical_cores=28,
+    serial_gflops=35.8,
+)
+
+#: The Xeon Phi 7210 standalone CPU (Fig. 4): many weak in-order cores
+#: and no platform-specific optimisation work (paper sections VIII-A.1
+#: and VIII-C: "we have not done optimization work specific to this
+#: platform" / "relatively modest performance from the Xeon Phi CPU
+#: across all scenarios").  The achievable-bandwidth and state-efficiency
+#: constants are fit to the Phi bars of Fig. 6 and the weak sub-10^4
+#: region of Fig. 4.  MCDRAM is modelled as the flat "DRAM" tier (the
+#: tiny per-core L2 gets a nominal 1 MB llc).
+XEON_PHI_7210_SYSTEM = CPUSystemModel(
+    name="Intel Xeon Phi 7210",
+    n_threads=256,
+    physical_cores=64,
+    serial_gflops=2.4,
+    smt_bonus=0.1,
+    per_thread_dram_bw=5.0,
+    per_thread_cache_bw=6.0,
+    aggregate_dram_bw=37.0,
+    aggregate_cache_bw=40.0,
+    llc_mb=1.0,
+    deep_ws_multiple=1e9,           # MCDRAM: no deep-DRAM decay
+    thread_spawn_s=2e-5,
+    future_overhead_s=6e-5,
+    pool_dispatch_s=8e-5,
+    state_efficiency={4: 1.0, 20: 0.3, 61: 0.1},
+    dp_state_penalty={61: 0.8},
+    dp_compute_ratio=0.95,
+    x86_compute_gflops={4: 60.0, 20: 100.0, 61: 150.0},
+    x86_dram_bw=70.0,
+)

@@ -1,0 +1,40 @@
+"""Benchmarking substrate: genomictest, throughput accounting, harnesses."""
+
+from repro.bench.genomictest import (
+    BACKEND_FLAGS,
+    GenomictestResult,
+    model_for_states,
+    run_genomictest,
+    verify_backends,
+)
+from repro.bench.harness import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig4_series,
+    fig5_scaling,
+    fig6_mrbayes,
+    fig6_speedup,
+    table3_threading,
+    table4_fma,
+    table5_workgroup,
+)
+from repro.bench.throughput import PartialsWorkload, gflops
+
+__all__ = [
+    "run_genomictest",
+    "verify_backends",
+    "GenomictestResult",
+    "BACKEND_FLAGS",
+    "model_for_states",
+    "PartialsWorkload",
+    "gflops",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "table3_threading",
+    "table4_fma",
+    "table5_workgroup",
+    "fig4_series",
+    "fig5_scaling",
+    "fig6_mrbayes",
+    "fig6_speedup",
+]

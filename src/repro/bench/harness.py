@@ -1,0 +1,452 @@
+"""Per-experiment regeneration harness: one function per table/figure.
+
+Each function returns an :class:`ExperimentResult` with model-regenerated
+rows *and* the paper's reported values side by side.  The pytest-benchmark
+modules under ``benchmarks/`` and the EXPERIMENTS.md generator both call
+these, so printed tables, recorded results, and assertions share one
+source of truth.
+
+Paper-value provenance: Table III-V numbers are printed in the paper;
+Fig. 4-6 numbers are read off log-scale plots and anchored to the exact
+values quoted in the text (e.g. 444.92 GFLOPS at 475,081 patterns;
+"speedups are 7.6 and 13.8-fold"; the abstract's 39-fold codon speedup).
+Figure-derived values are tagged approximate in EXPERIMENTS.md.
+
+Note on Table III: the published column layout is unambiguous from the
+constraint ``speedup = thread-pool / serial`` (e.g. 35.82 x 5.39 =
+193.07), which identifies the throughput columns as (serial, futures,
+thread-create, thread-pool).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.device import (
+    FIREPRO_S9170,
+    QUADRO_P5000,
+    RADEON_R9_NANO,
+    DeviceSpec,
+)
+from repro.accel.opencl import OPENCL_ENQUEUE_OVERHEAD_S
+from repro.accel.perfmodel import (
+    FIG4_SERIAL_BASELINE_GFLOPS,
+    XEON_E5_2680V4_SYSTEM,
+    XEON_PHI_7210_SYSTEM,
+    CPUSystemModel,
+    CPUWorkload,
+    accelerator_kernel_time,
+    partials_kernel_cost,
+)
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Regenerated rows for one paper table or figure."""
+
+    experiment: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows, title=self.experiment)
+
+
+# ---------------------------------------------------------------------------
+# Table III — CPU threading designs
+# ---------------------------------------------------------------------------
+
+#: Reconstructed published values: tips -> (serial, futures, thread-create,
+#: thread-pool) single-precision GFLOPS at 10,000 patterns.
+TABLE3_PAPER: Dict[int, Tuple[float, float, float, float]] = {
+    8: (35.82, 37.92, 39.07, 193.10),
+    16: (35.47, 59.70, 78.26, 258.99),
+    64: (14.95, 78.67, 87.91, 217.24),
+    128: (13.62, 61.61, 60.19, 126.95),
+}
+
+
+def table3_threading(
+    system: CPUSystemModel = XEON_E5_2680V4_SYSTEM,
+    patterns: int = 10_000,
+) -> ExperimentResult:
+    """Regenerate Table III on the modelled dual-Xeon system."""
+    headers = [
+        "tips",
+        "serial", "(paper)",
+        "futures", "(paper)",
+        "thread-create", "(paper)",
+        "thread-pool", "(paper)",
+        "speedup", "(paper)",
+    ]
+    rows = []
+    for tips, paper in sorted(TABLE3_PAPER.items()):
+        w = CPUWorkload(tips, patterns)
+        serial = system.throughput("serial", w)
+        futures = system.throughput("futures", w)
+        create = system.throughput("thread-create", w)
+        pool = system.throughput("thread-pool", w)
+        rows.append(
+            [
+                tips,
+                serial, paper[0],
+                futures, paper[1],
+                create, paper[2],
+                pool, paper[3],
+                pool / serial, paper[3] / paper[0],
+            ]
+        )
+    return ExperimentResult(
+        "Table III: CPU threading optimizations (SP GFLOPS, 10k patterns)",
+        headers,
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV — FMA on the AMD Radeon R9 Nano
+# ---------------------------------------------------------------------------
+
+#: Published: (precision, patterns) -> (without FMA, with FMA) GFLOPS.
+TABLE4_PAPER: Dict[Tuple[str, int], Tuple[float, float]] = {
+    ("single", 10_000): (213.02, 216.87),
+    ("double", 10_000): (124.14, 136.88),
+    ("single", 100_000): (408.63, 411.43),
+    ("double", 100_000): (178.04, 199.23),
+}
+
+
+def table4_fma(
+    device: DeviceSpec = RADEON_R9_NANO, categories: int = 4
+) -> ExperimentResult:
+    """Regenerate Table IV: FP_FAST_FMA(F) gains on the R9 Nano."""
+    headers = [
+        "precision", "patterns",
+        "no FMA", "(paper)",
+        "FMA", "(paper)",
+        "% gain", "(paper)",
+    ]
+    rows = []
+    for (precision, patterns), paper in TABLE4_PAPER.items():
+        itemsize = 4 if precision == "single" else 8
+        cost = partials_kernel_cost(patterns, 4, categories, itemsize)
+        t0 = accelerator_kernel_time(device, cost, precision, use_fma=False)
+        t1 = accelerator_kernel_time(device, cost, precision, use_fma=True)
+        without, with_ = cost.flops / t0 / 1e9, cost.flops / t1 / 1e9
+        rows.append(
+            [
+                precision, patterns,
+                without, paper[0],
+                with_, paper[1],
+                (with_ / without - 1.0) * 100.0,
+                (paper[1] / paper[0] - 1.0) * 100.0,
+            ]
+        )
+    return ExperimentResult(
+        "Table IV: OpenCL-GPU FMA optimization (AMD Radeon R9 Nano, nucleotide)",
+        headers,
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V — OpenCL-x86 work-group size
+# ---------------------------------------------------------------------------
+
+#: Published: work-group size -> x86-variant GFLOPS (plus the GPU-variant
+#: row at work-group 64).
+TABLE5_PAPER: Dict[int, float] = {
+    64: 79.65, 128: 85.51, 256: 98.36, 512: 98.09, 1024: 96.51,
+}
+TABLE5_PAPER_GPU_VARIANT: float = 15.75
+
+
+def table5_workgroup(
+    system: CPUSystemModel = XEON_E5_2680V4_SYSTEM,
+    patterns: int = 10_000,
+    tips: int = 16,
+) -> ExperimentResult:
+    """Regenerate Table V: work-group sweep on the dual Xeon."""
+    headers = ["solution", "work-group", "GFLOPS", "(paper)",
+               "speedup vs GPU-variant", "(paper)"]
+    w = CPUWorkload(tips, patterns)
+    gpu_variant = w.total_flops / system.opencl_x86_time(
+        w, workgroup_patterns=64, kernel_variant="gpu"
+    ) / 1e9
+    rows = [
+        ["OpenCL-GPU", 64, gpu_variant, TABLE5_PAPER_GPU_VARIANT, 1.0, 1.0]
+    ]
+    for wg, paper in sorted(TABLE5_PAPER.items()):
+        val = w.total_flops / system.opencl_x86_time(
+            w, workgroup_patterns=wg
+        ) / 1e9
+        rows.append(
+            ["OpenCL-x86", wg, val, paper,
+             val / gpu_variant, paper / TABLE5_PAPER_GPU_VARIANT]
+        )
+    return ExperimentResult(
+        "Table V: OpenCL-x86 work-group optimization (dual Xeon E5-2680v4)",
+        headers,
+        rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — throughput vs unique site patterns
+# ---------------------------------------------------------------------------
+
+FIG4_NUCLEOTIDE_PATTERNS = [
+    100, 215, 464, 1000, 2154, 4642, 10_000, 20_092, 46_416,
+    100_000, 215_443, 475_081, 1_000_000,
+]
+FIG4_CODON_PATTERNS = [100, 215, 464, 1000, 2154, 4642, 10_000, 28_419, 50_000]
+
+#: Text-anchored published values (exact quotes; figure curves are only
+#: approximate).  (series, states, patterns) -> GFLOPS.
+FIG4_PAPER_ANCHORS: Dict[Tuple[str, int, int], float] = {
+    ("OpenCL-GPU: AMD Radeon R9 Nano", 4, 475_081): 444.92,
+    ("OpenCL-GPU: AMD Radeon R9 Nano", 61, 28_419): 1324.19,
+    ("C++ threads: Intel Xeon E5-2680v4 x2", 4, 20_092): 328.78,
+}
+
+
+def _gpu_series_value(
+    device: DeviceSpec,
+    patterns: int,
+    states: int,
+    framework: str,
+    categories: int = 4,
+    precision: str = "single",
+) -> float:
+    itemsize = 4 if precision == "single" else 8
+    cost = partials_kernel_cost(patterns, states, categories, itemsize)
+    launch = device.launch_overhead_s
+    if framework == "opencl":
+        launch += OPENCL_ENQUEUE_OVERHEAD_S
+    t = accelerator_kernel_time(
+        device, cost, precision,
+        use_fma=device.vendor == "AMD",
+        launch_overhead_s=launch,
+    )
+    return cost.flops / t / 1e9
+
+
+def fig4_series(
+    states: int = 4,
+    patterns: Optional[Sequence[int]] = None,
+    categories: int = 4,
+) -> ExperimentResult:
+    """Regenerate the Fig. 4 throughput curves (SP, one model class)."""
+    if patterns is None:
+        patterns = (
+            FIG4_NUCLEOTIDE_PATTERNS if states == 4 else FIG4_CODON_PATTERNS
+        )
+    baseline = FIG4_SERIAL_BASELINE_GFLOPS.get(states, 7.0)
+    series = {
+        "CUDA: NVIDIA Quadro P5000": lambda p: _gpu_series_value(
+            QUADRO_P5000, p, states, "cuda", categories),
+        "OpenCL-GPU: NVIDIA Quadro P5000": lambda p: _gpu_series_value(
+            QUADRO_P5000, p, states, "opencl", categories),
+        "OpenCL-GPU: AMD FirePro S9170": lambda p: _gpu_series_value(
+            FIREPRO_S9170, p, states, "opencl", categories),
+        "OpenCL-GPU: AMD Radeon R9 Nano": lambda p: _gpu_series_value(
+            RADEON_R9_NANO, p, states, "opencl", categories),
+        "OpenCL-x86: Intel Xeon E5-2680v4 x2": lambda p: (
+            XEON_E5_2680V4_SYSTEM.throughput(
+                "opencl-x86",
+                CPUWorkload(16, p, state_count=states,
+                            category_count=categories))),
+        "C++ threads: Intel Xeon E5-2680v4 x2": lambda p: (
+            XEON_E5_2680V4_SYSTEM.throughput(
+                "thread-pool",
+                CPUWorkload(16, p, state_count=states,
+                            category_count=categories))),
+        "C++ threads: Intel Xeon Phi 7210": lambda p: (
+            XEON_PHI_7210_SYSTEM.throughput(
+                "thread-pool",
+                CPUWorkload(16, p, state_count=states,
+                            category_count=categories))),
+        "C++ serial: Intel Xeon E5-2680": lambda p: baseline,
+    }
+    headers = ["patterns"] + list(series)
+    rows = []
+    for p in patterns:
+        rows.append([p] + [series[name](p) for name in series])
+    model_name = {4: "nucleotide", 20: "amino-acid", 61: "codon"}[states]
+    return ExperimentResult(
+        f"Figure 4 ({model_name}): partial-likelihoods throughput, "
+        f"SP GFLOPS (speedup baseline {baseline} GFLOPS)",
+        headers,
+        rows,
+        notes=f"text anchors: {FIG4_PAPER_ANCHORS}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — multicore scaling
+# ---------------------------------------------------------------------------
+
+FIG5_THREAD_COUNTS = [1, 2, 4, 8, 12, 16, 20, 24, 27, 32, 38, 44, 50, 56]
+
+
+def fig5_scaling(
+    patterns: int = 10_000, tips: int = 16
+) -> ExperimentResult:
+    """Regenerate Fig. 5: throughput vs CPU thread count (nucleotide)."""
+    w = CPUWorkload(tips, patterns)
+    headers = ["threads", "C++ threads (taskset)", "OpenCL-x86 (fission)"]
+    rows = []
+    for n in FIG5_THREAD_COUNTS:
+        pool = XEON_E5_2680V4_SYSTEM.throughput(
+            "thread-pool", w, n_threads=n
+        )
+        x86 = XEON_E5_2680V4_SYSTEM.throughput(
+            "opencl-x86", w, n_threads=n
+        )
+        rows.append([n, pool, x86])
+    return ExperimentResult(
+        "Figure 5: multicore scaling, nucleotide 10k patterns (GFLOPS)",
+        headers,
+        rows,
+        notes="paper: both implementations saturate around 27 threads",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — MrBayes application-level speedups
+# ---------------------------------------------------------------------------
+
+#: MrBayes' internal per-chain likelihood rate (GFLOPS) in double
+#: precision, and its single/double speed ratio, per model class.
+#: Calibrated to the Fig. 6 SSE bars (1.7x nucleotide, 3.4x codon) and
+#: the text anchors (7.6x / 13.8x GPU speedups over fastest-SP MrBayes;
+#: abstract's 39-fold OpenCL-x86 codon speedup).
+MRBAYES_DP_GFLOPS = {4: 1.645, 61: 1.75}
+MRBAYES_SP_RATIO = {4: 1.7, 61: 3.4}
+#: Non-likelihood fraction of baseline runtime (proposals, I/O, MPI),
+#: per model class: the nucleotide dataset's per-generation likelihood
+#: work is far smaller relative to MrBayes' bookkeeping than the codon
+#: dataset's, which is what compresses the nucleotide bars in Fig. 6.
+MRBAYES_OVERHEAD_FRACTION = {4: 0.058, 61: 0.012}
+#: Fig. 6 datasets: (taxa, unique patterns, categories).
+FIG6_DATASETS = {4: (16, 306_780, 4), 61: (15, 6_080, 1)}
+
+#: Approximate published bars (read off the log-scale figure; the GPU-SP
+#: bars follow exactly from the text's 7.6x/13.8x anchors).
+FIG6_PAPER_APPROX: Dict[Tuple[str, int, str], float] = {
+    ("OpenCL-GPU: AMD FirePro S9170", 4, "single"): 13.0,
+    ("OpenCL-GPU: AMD FirePro S9170", 4, "double"): 8.0,
+    ("OpenCL-x86: Intel Xeon E5-2680v4 x2", 4, "single"): 7.9,
+    ("OpenCL-x86: Intel Xeon E5-2680v4 x2", 4, "double"): 5.3,
+    ("C++ threads: Intel Xeon E5-2680v4 x2", 4, "single"): 8.0,
+    ("C++ threads: Intel Xeon E5-2680v4 x2", 4, "double"): 5.5,
+    ("C++ threads: Intel Xeon Phi 7210", 4, "single"): 4.8,
+    ("C++ threads: Intel Xeon Phi 7210", 4, "double"): 2.4,
+    ("MrBayes-SSE", 4, "single"): 1.7,
+    ("OpenCL-GPU: AMD FirePro S9170", 61, "single"): 47.0,
+    ("OpenCL-GPU: AMD FirePro S9170", 61, "double"): 16.0,
+    ("OpenCL-x86: Intel Xeon E5-2680v4 x2", 61, "single"): 39.0,
+    ("OpenCL-x86: Intel Xeon E5-2680v4 x2", 61, "double"): 11.0,
+    ("C++ threads: Intel Xeon E5-2680v4 x2", 61, "single"): 27.0,
+    ("C++ threads: Intel Xeon E5-2680v4 x2", 61, "double"): 5.5,
+    ("C++ threads: Intel Xeon Phi 7210", 61, "single"): 3.2,
+    ("C++ threads: Intel Xeon Phi 7210", 61, "double"): 1.9,
+    ("MrBayes-SSE", 61, "single"): 3.4,
+}
+
+FIG6_N_CHAINS = 4
+
+
+def _fig6_backend_rate(series: str, states: int, precision: str) -> float:
+    """Aggregate likelihood GFLOPS of one backend on one dataset."""
+    taxa, patterns, categories = FIG6_DATASETS[states]
+    if series == "MrBayes-SSE":
+        rate = MRBAYES_DP_GFLOPS[states]
+        if precision == "single":
+            rate *= MRBAYES_SP_RATIO[states]
+        # MrBayes-SSE runs per chain; report per-chain rate times chains
+        # so the shared formula below (which divides by chains) applies.
+        return rate * FIG6_N_CHAINS
+    workload = CPUWorkload(
+        taxa, patterns, state_count=states, category_count=categories,
+        precision=precision,
+    )
+    if series.startswith("OpenCL-GPU"):
+        itemsize = 4 if precision == "single" else 8
+        cost = partials_kernel_cost(patterns, states, categories, itemsize)
+        t = accelerator_kernel_time(
+            FIREPRO_S9170, cost, precision, use_fma=True,
+            launch_overhead_s=FIREPRO_S9170.launch_overhead_s
+            + OPENCL_ENQUEUE_OVERHEAD_S,
+        )
+        return cost.flops / t / 1e9
+    if series.startswith("OpenCL-x86"):
+        return XEON_E5_2680V4_SYSTEM.throughput("opencl-x86", workload)
+    if "Phi" in series:
+        return XEON_PHI_7210_SYSTEM.throughput("thread-pool", workload)
+    return XEON_E5_2680V4_SYSTEM.throughput("thread-pool", workload)
+
+
+def fig6_speedup(series: str, states: int, precision: str) -> float:
+    """Modelled total-runtime speedup vs MrBayes-MPI in double precision.
+
+    In units of the baseline's per-chain likelihood time:
+    ``T_base = 1 + f`` and ``T_x = chains * r_mb / r_x + f`` (the four
+    chains share the accelerated resource, whereas MrBayes-MPI gives each
+    chain its own core), so ``speedup = (1 + f) / (chains * r_mb/r_x + f)``.
+    """
+    f = MRBAYES_OVERHEAD_FRACTION[states]
+    r_mb = MRBAYES_DP_GFLOPS[states]
+    r_x = _fig6_backend_rate(series, states, precision)
+    return (1.0 + f) / (FIG6_N_CHAINS * r_mb / r_x + f)
+
+
+def fig6_mrbayes() -> ExperimentResult:
+    """Regenerate Fig. 6: MrBayes speedups for both datasets/precisions."""
+    series = [
+        "OpenCL-GPU: AMD FirePro S9170",
+        "OpenCL-x86: Intel Xeon E5-2680v4 x2",
+        "C++ threads: Intel Xeon E5-2680v4 x2",
+        "C++ threads: Intel Xeon Phi 7210",
+        "MrBayes-SSE",
+    ]
+    headers = ["implementation", "model", "precision", "speedup", "(paper~)"]
+    rows = []
+    for states, label in ((4, "nucleotide"), (61, "codon")):
+        for precision in ("double", "single"):
+            for name in series:
+                if name == "MrBayes-SSE" and precision == "double":
+                    continue  # the baseline itself
+                value = fig6_speedup(name, states, precision)
+                paper = FIG6_PAPER_APPROX.get((name, states, precision))
+                rows.append(
+                    [name, label, precision, value,
+                     paper if paper is not None else float("nan")]
+                )
+    return ExperimentResult(
+        "Figure 6: MrBayes 3.2.6 speedup vs MrBayes-MPI (double precision)",
+        headers,
+        rows,
+        notes=(
+            "paper bars read off a log-scale figure except the text-anchored "
+            "GPU values (7.6x and 13.8x over fastest-SP MrBayes) and the "
+            "abstract's 39-fold OpenCL-x86 codon speedup"
+        ),
+    )
+
+
+ALL_EXPERIMENTS = {
+    "table3": table3_threading,
+    "table4": table4_fma,
+    "table5": table5_workgroup,
+    "fig4-nucleotide": lambda: fig4_series(4),
+    "fig4-codon": lambda: fig4_series(61),
+    "fig5": fig5_scaling,
+    "fig6": fig6_mrbayes,
+}

@@ -1,0 +1,55 @@
+"""Effective-FLOP throughput accounting (paper section V-A).
+
+"For benchmarking we generate a measure of throughput in terms of the
+effective number of floating point operations per second for computation
+of the partial-likelihoods function ... throughput allows us to more
+easily compare performance across different problem sizes and floating
+point precision formats."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compute import partials_flops
+
+
+@dataclass(frozen=True)
+class PartialsWorkload:
+    """Dimensions of a partial-likelihoods benchmark workload."""
+
+    tip_count: int
+    pattern_count: int
+    state_count: int
+    category_count: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tip_count < 2:
+            raise ValueError(f"need at least 2 tips, got {self.tip_count}")
+        if min(self.pattern_count, self.state_count, self.category_count) < 1:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def n_operations(self) -> int:
+        """Partials operations per full traversal (internal nodes)."""
+        return self.tip_count - 1
+
+    @property
+    def flops_per_operation(self) -> float:
+        return float(
+            self.pattern_count
+            * self.category_count
+            * partials_flops(self.state_count)
+        )
+
+    @property
+    def total_flops(self) -> float:
+        """Effective FLOPs of one full post-order evaluation."""
+        return self.n_operations * self.flops_per_operation
+
+
+def gflops(total_flops: float, seconds: float) -> float:
+    """Throughput in GFLOPS; guards against zero/negative timings."""
+    if seconds <= 0:
+        raise ValueError(f"elapsed time must be positive, got {seconds}")
+    return total_flops / seconds / 1e9

@@ -1,0 +1,151 @@
+"""Command-line tools: resource survey and experiment regeneration.
+
+``pybeagle-info`` mirrors BEAGLE's resource-listing utility: it
+enumerates the simulated hardware catalog with capability flags, shows
+which implementation the manager would pick for sample workloads, and can
+dump a generated kernel program.
+
+``pybeagle-experiments`` regenerates every paper table/figure through
+:mod:`repro.bench.harness` (the same code the benchmark suite runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.flags import flag_names
+from repro.core.manager import default_manager
+from repro.core.types import InstanceConfig
+from repro.util.tables import format_table
+
+
+def info_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-info",
+        description="Survey compute resources and implementation selection",
+    )
+    parser.add_argument(
+        "--kernels", metavar="FRAMEWORK",
+        choices=("cuda", "opencl"),
+        help="dump the generated kernel program for a framework",
+    )
+    parser.add_argument("--states", type=int, default=4)
+    parser.add_argument(
+        "--precision", default="single", choices=("single", "double")
+    )
+    args = parser.parse_args(argv)
+
+    if args.kernels:
+        from repro.accel.kernelgen import (
+            CUDA_MACROS,
+            OPENCL_MACROS,
+            KernelConfig,
+            generate_kernel_source,
+        )
+
+        macros = CUDA_MACROS if args.kernels == "cuda" else OPENCL_MACROS
+        config = KernelConfig(
+            state_count=args.states, precision=args.precision,
+            variant="gpu" if args.kernels == "cuda" else "gpu",
+        )
+        print(generate_kernel_source(config, macros))
+        return 0
+
+    manager = default_manager()
+    rows = []
+    for res in manager.resources():
+        rows.append([res.resource_id, res.name, res.description,
+                     flag_names(res.support_flags)])
+    print(format_table(
+        ["id", "name", "type", "flags"], rows, title="Compute resources"
+    ))
+    print()
+
+    # What would the manager pick for representative workloads?
+    from repro.core.flags import Flag
+
+    sample_rows = []
+    for label, states, patterns in (
+        ("nucleotide / small", 4, 500),
+        ("nucleotide / large", 4, 100_000),
+        ("codon", 61, 5_000),
+    ):
+        config = InstanceConfig(
+            tip_count=16, partials_buffer_count=31, compact_buffer_count=0,
+            state_count=states, pattern_count=patterns,
+            eigen_buffer_count=1, matrix_buffer_count=31,
+        )
+        impl, details = manager.create_implementation(
+            config, preference_flags=Flag.PROCESSOR_GPU
+        )
+        sample_rows.append(
+            [label, details.implementation_name, details.resource_name]
+        )
+        impl.finalize()
+    print(format_table(
+        ["workload", "implementation", "resource"], sample_rows,
+        title="Default selection (GPU preferred)",
+    ))
+    print()
+
+    from repro.partition import rank_backends
+
+    ranked = rank_backends(16, 100_000)
+    print(format_table(
+        ["backend", "predicted GFLOPS"],
+        [[c.name, c.predicted_gflops] for c in ranked],
+        title="Performance-model ranking (nucleotide, 100k patterns, SP)",
+    ))
+    return 0
+
+
+def experiments_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "which", nargs="*", default=[],
+        help="experiment names (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true")
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render figure experiments as ASCII charts",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import ALL_EXPERIMENTS
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.which or list(ALL_EXPERIMENTS)
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        result = ALL_EXPERIMENTS[name]()
+        print(result.table())
+        if result.notes:
+            print(f"  note: {result.notes}")
+        if args.plot and name.startswith("fig"):
+            from repro.util.asciiplot import plot_experiment
+
+            linear = name == "fig5"
+            if name == "fig6":
+                print()
+            else:
+                print()
+                print(plot_experiment(
+                    result, log_x=not linear, log_y=not linear,
+                ))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(info_main())

@@ -1,0 +1,30 @@
+"""BEAGLE core: flags, operations, instances, and the implementation manager."""
+
+from repro.core.flags import OP_NONE, Flag, ReturnCode, flag_names
+from repro.core.highlevel import TreeLikelihood
+from repro.core.upper import UpperPartials
+from repro.core.instance import BeagleInstance, create_instance
+from repro.core.manager import ResourceManager, default_manager
+from repro.core.types import (
+    InstanceConfig,
+    InstanceDetails,
+    Operation,
+    ResourceDescription,
+)
+
+__all__ = [
+    "Flag",
+    "ReturnCode",
+    "OP_NONE",
+    "flag_names",
+    "Operation",
+    "InstanceConfig",
+    "InstanceDetails",
+    "ResourceDescription",
+    "ResourceManager",
+    "default_manager",
+    "BeagleInstance",
+    "create_instance",
+    "TreeLikelihood",
+    "UpperPartials",
+]

@@ -1,0 +1,340 @@
+"""C-style functional API (``beagle_*``).
+
+A faithful transliteration of the BEAGLE C API for clients porting from
+the original library: instances are integer handles, calls return
+``ReturnCode`` integers instead of raising, and the argument lists mirror
+``beagle.h``.  Each function delegates to a :class:`BeagleInstance` held
+in a process-wide handle table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.flags import OP_NONE, Flag, ReturnCode
+from repro.core.instance import BeagleInstance, create_instance
+from repro.core.manager import default_manager
+from repro.core.types import InstanceDetails, Operation, ResourceDescription
+from repro.util.errors import BeagleError
+
+_instances: Dict[int, BeagleInstance] = {}
+_next_handle = 0
+
+
+def _wrap(fn) -> int:
+    """Run ``fn`` and translate exceptions to BEAGLE error codes."""
+    try:
+        fn()
+    except BeagleError as exc:
+        return int(exc.code)
+    except (ValueError, IndexError, KeyError):
+        return int(ReturnCode.ERROR_OUT_OF_RANGE)
+    except Exception:
+        return int(ReturnCode.ERROR_UNIDENTIFIED_EXCEPTION)
+    return int(ReturnCode.SUCCESS)
+
+
+def _get(instance: int) -> BeagleInstance:
+    try:
+        return _instances[instance]
+    except KeyError:
+        raise BeagleError(f"no instance with handle {instance}") from None
+
+
+def beagle_get_resource_list() -> List[ResourceDescription]:
+    """``beagleGetResourceList``."""
+    return default_manager().resources()
+
+
+def beagle_create_instance(
+    tip_count: int,
+    partials_buffer_count: int,
+    compact_buffer_count: int,
+    state_count: int,
+    pattern_count: int,
+    eigen_buffer_count: int,
+    matrix_buffer_count: int,
+    category_count: int = 1,
+    scale_buffer_count: int = 0,
+    resource_list: Optional[Sequence[int]] = None,
+    preference_flags: Flag = Flag(0),
+    requirement_flags: Flag = Flag(0),
+) -> Tuple[int, Optional[InstanceDetails]]:
+    """``beagleCreateInstance``: returns ``(handle, details)``.
+
+    A negative handle is an error code, as in the C API.
+    """
+    global _next_handle
+    precision = (
+        "single"
+        if (requirement_flags & Flag.PRECISION_SINGLE)
+        and not (requirement_flags & Flag.PRECISION_DOUBLE)
+        else "double"
+    )
+    try:
+        inst = create_instance(
+            tip_count,
+            partials_buffer_count,
+            compact_buffer_count,
+            state_count,
+            pattern_count,
+            eigen_buffer_count,
+            matrix_buffer_count,
+            category_count,
+            scale_buffer_count,
+            resource_ids=resource_list,
+            preference_flags=preference_flags,
+            requirement_flags=requirement_flags & ~(
+                Flag.PRECISION_SINGLE | Flag.PRECISION_DOUBLE
+            ),
+            precision=precision,
+        )
+    except BeagleError as exc:
+        return int(exc.code), None
+    except (ValueError, IndexError):
+        return int(ReturnCode.ERROR_OUT_OF_RANGE), None
+    handle = _next_handle
+    _next_handle += 1
+    _instances[handle] = inst
+    return handle, inst.details
+
+
+def beagle_finalize_instance(instance: int) -> int:
+    """``beagleFinalizeInstance``."""
+
+    def go():
+        _get(instance).finalize()
+        del _instances[instance]
+
+    return _wrap(go)
+
+
+def beagle_set_tip_states(instance: int, tip_index: int, states) -> int:
+    return _wrap(lambda: _get(instance).set_tip_states(
+        tip_index, np.asarray(states, dtype=np.int32)))
+
+
+def beagle_set_tip_partials(instance: int, tip_index: int, partials) -> int:
+    return _wrap(lambda: _get(instance).set_tip_partials(
+        tip_index, np.asarray(partials)))
+
+
+def beagle_set_partials(instance: int, buffer_index: int, partials) -> int:
+    return _wrap(lambda: _get(instance).set_partials(
+        buffer_index, np.asarray(partials)))
+
+
+def beagle_get_partials(instance: int, buffer_index: int, out: np.ndarray) -> int:
+    def go():
+        out[...] = _get(instance).get_partials(buffer_index)
+
+    return _wrap(go)
+
+
+def beagle_set_eigen_decomposition(
+    instance: int,
+    eigen_index: int,
+    eigenvectors,
+    inverse_eigenvectors,
+    eigenvalues,
+) -> int:
+    return _wrap(lambda: _get(instance).set_eigen_decomposition(
+        eigen_index,
+        np.asarray(eigenvectors),
+        np.asarray(inverse_eigenvectors),
+        np.asarray(eigenvalues),
+    ))
+
+
+def beagle_set_category_rates(instance: int, rates) -> int:
+    return _wrap(lambda: _get(instance).set_category_rates(rates))
+
+
+def beagle_set_category_weights(instance: int, index: int, weights) -> int:
+    return _wrap(lambda: _get(instance).set_category_weights(index, weights))
+
+
+def beagle_set_state_frequencies(instance: int, index: int, frequencies) -> int:
+    return _wrap(lambda: _get(instance).set_state_frequencies(
+        index, frequencies))
+
+
+def beagle_set_pattern_weights(instance: int, weights) -> int:
+    return _wrap(lambda: _get(instance).set_pattern_weights(weights))
+
+
+def beagle_set_transition_matrix(instance: int, index: int, matrix) -> int:
+    return _wrap(lambda: _get(instance).set_transition_matrix(
+        index, np.asarray(matrix)))
+
+
+def beagle_update_transition_matrices(
+    instance: int,
+    eigen_index: int,
+    probability_indices: Sequence[int],
+    edge_lengths: Sequence[float],
+    first_derivative_indices: Optional[Sequence[int]] = None,
+    second_derivative_indices: Optional[Sequence[int]] = None,
+) -> int:
+    return _wrap(lambda: _get(instance).update_transition_matrices(
+        eigen_index, probability_indices, edge_lengths,
+        first_derivative_indices, second_derivative_indices))
+
+
+def beagle_get_transition_matrix(instance: int, index: int, out: np.ndarray) -> int:
+    def go():
+        out[...] = _get(instance).get_transition_matrix(index)
+
+    return _wrap(go)
+
+
+def beagle_get_scale_factors(instance: int, index: int, out: np.ndarray) -> int:
+    """Log-domain scale factors of one buffer (``SCALERS_LOG``)."""
+
+    def go():
+        out[...] = _get(instance).impl.get_scale_factors(index)
+
+    return _wrap(go)
+
+
+def beagle_calculate_edge_derivatives(
+    instance: int,
+    parent_buffer_indices: Sequence[int],
+    child_buffer_indices: Sequence[int],
+    probability_indices: Sequence[int],
+    first_derivative_indices: Sequence[int],
+    second_derivative_indices: Sequence[int],
+    category_weights_indices: Sequence[int],
+    state_frequencies_indices: Sequence[int],
+    cumulative_scale_indices: Sequence[int],
+    out_sum_log_likelihood: np.ndarray,
+    out_sum_first_derivative: np.ndarray,
+    out_sum_second_derivative: np.ndarray,
+) -> int:
+    """``beagleCalculateEdgeLogLikelihoods`` with derivatives (one edge)."""
+
+    def go():
+        if len(parent_buffer_indices) != 1:
+            raise ValueError("exactly one edge evaluation per call")
+        logl, d1, d2 = _get(instance).calculate_edge_derivatives(
+            parent_buffer_indices[0],
+            child_buffer_indices[0],
+            probability_indices[0],
+            first_derivative_indices[0],
+            second_derivative_indices[0],
+            category_weights_indices[0],
+            state_frequencies_indices[0],
+            cumulative_scale_indices[0],
+        )
+        out_sum_log_likelihood[0] = logl
+        out_sum_first_derivative[0] = d1
+        out_sum_second_derivative[0] = d2
+
+    return _wrap(go)
+
+
+def beagle_update_partials(
+    instance: int, operations: Sequence[Sequence[int]]
+) -> int:
+    """``beagleUpdatePartials``: operations as 7-tuples of buffer indices.
+
+    Tuple layout matches ``BeagleOperation``: (destination, writeScale,
+    readScale, child1, child1Matrix, child2, child2Matrix).
+    """
+
+    def go():
+        ops = []
+        for row in operations:
+            if isinstance(row, Operation):
+                ops.append(row)
+                continue
+            if len(row) != 7:
+                raise ValueError(f"operation tuple needs 7 entries, got {len(row)}")
+            dest, ws, rs, c1, m1, c2, m2 = row
+            ops.append(
+                Operation(
+                    destination=dest,
+                    child1=c1,
+                    child1_matrix=m1,
+                    child2=c2,
+                    child2_matrix=m2,
+                    write_scale=ws,
+                    read_scale=rs,
+                )
+            )
+        _get(instance).update_partials(ops)
+
+    return _wrap(go)
+
+
+def beagle_accumulate_scale_factors(
+    instance: int, scale_indices: Sequence[int], cumulative_scale_index: int
+) -> int:
+    return _wrap(lambda: _get(instance).accumulate_scale_factors(
+        scale_indices, cumulative_scale_index))
+
+
+def beagle_reset_scale_factors(instance: int, cumulative_scale_index: int) -> int:
+    return _wrap(lambda: _get(instance).reset_scale_factors(
+        cumulative_scale_index))
+
+
+def beagle_calculate_root_log_likelihoods(
+    instance: int,
+    buffer_indices: Sequence[int],
+    category_weights_indices: Sequence[int],
+    state_frequencies_indices: Sequence[int],
+    cumulative_scale_indices: Sequence[int],
+    out_sum_log_likelihood: np.ndarray,
+) -> int:
+    """``beagleCalculateRootLogLikelihoods`` (single root supported)."""
+
+    def go():
+        if not (
+            len(buffer_indices) == len(category_weights_indices)
+            == len(state_frequencies_indices) == len(cumulative_scale_indices)
+            == 1
+        ):
+            raise ValueError("exactly one root evaluation per call")
+        out_sum_log_likelihood[0] = _get(instance).calculate_root_log_likelihoods(
+            buffer_indices[0],
+            category_weights_indices[0],
+            state_frequencies_indices[0],
+            cumulative_scale_indices[0],
+        )
+
+    return _wrap(go)
+
+
+def beagle_calculate_edge_log_likelihoods(
+    instance: int,
+    parent_buffer_indices: Sequence[int],
+    child_buffer_indices: Sequence[int],
+    probability_indices: Sequence[int],
+    category_weights_indices: Sequence[int],
+    state_frequencies_indices: Sequence[int],
+    cumulative_scale_indices: Sequence[int],
+    out_sum_log_likelihood: np.ndarray,
+) -> int:
+    def go():
+        if len(parent_buffer_indices) != 1:
+            raise ValueError("exactly one edge evaluation per call")
+        out_sum_log_likelihood[0] = _get(instance).calculate_edge_log_likelihoods(
+            parent_buffer_indices[0],
+            child_buffer_indices[0],
+            probability_indices[0],
+            category_weights_indices[0],
+            state_frequencies_indices[0],
+            cumulative_scale_indices[0],
+        )
+
+    return _wrap(go)
+
+
+def beagle_get_site_log_likelihoods(instance: int, out: np.ndarray) -> int:
+    def go():
+        out[...] = _get(instance).get_site_log_likelihoods()
+
+    return _wrap(go)

@@ -1,0 +1,83 @@
+"""BEAGLE capability/preference flags and return codes.
+
+These mirror the ``BEAGLE_FLAG_*`` bitmask constants of the C API
+(beagle.h).  Clients pass *preference* and *requirement* flag sets to
+instance creation; the implementation manager (:mod:`repro.core.manager`)
+matches them against what each resource/implementation pair supports —
+exactly the selection mechanism the paper's plugin architecture feeds.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Flag(enum.IntFlag):
+    """Bitmask capability and preference flags (``BEAGLE_FLAG_*``)."""
+
+    # Precision
+    PRECISION_SINGLE = 1 << 0
+    PRECISION_DOUBLE = 1 << 1
+    # Computation
+    COMPUTATION_SYNCH = 1 << 2
+    COMPUTATION_ASYNCH = 1 << 3
+    # Eigendecomposition types
+    EIGEN_REAL = 1 << 4
+    EIGEN_COMPLEX = 1 << 5
+    # Scaling
+    SCALING_MANUAL = 1 << 6
+    SCALING_AUTO = 1 << 7
+    SCALING_ALWAYS = 1 << 8
+    SCALING_DYNAMIC = 1 << 9
+    # Scaler representation
+    SCALERS_RAW = 1 << 10
+    SCALERS_LOG = 1 << 11
+    # Vectorisation
+    VECTOR_NONE = 1 << 12
+    VECTOR_SSE = 1 << 13
+    VECTOR_AVX = 1 << 14
+    # Threading
+    THREADING_NONE = 1 << 15
+    THREADING_CPP = 1 << 16      # the paper's C++-threads model
+    THREADING_OPENMP = 1 << 17
+    # Processor types
+    PROCESSOR_CPU = 1 << 18
+    PROCESSOR_GPU = 1 << 19
+    PROCESSOR_FPGA = 1 << 20
+    PROCESSOR_CELL = 1 << 21
+    PROCESSOR_PHI = 1 << 22
+    PROCESSOR_OTHER = 1 << 23
+    # Frameworks
+    FRAMEWORK_CUDA = 1 << 24
+    FRAMEWORK_OPENCL = 1 << 25
+    FRAMEWORK_CPU = 1 << 26
+
+
+class ReturnCode(enum.IntEnum):
+    """C-API return codes (``BEAGLE_SUCCESS`` / ``BEAGLE_ERROR_*``)."""
+
+    SUCCESS = 0
+    ERROR_GENERAL = -1
+    ERROR_OUT_OF_MEMORY = -2
+    ERROR_UNIDENTIFIED_EXCEPTION = -3
+    ERROR_UNINITIALIZED_INSTANCE = -4
+    ERROR_OUT_OF_RANGE = -5
+    ERROR_NO_RESOURCE = -6
+    ERROR_NO_IMPLEMENTATION = -7
+    ERROR_FLOATING_POINT = -8
+
+
+#: Sentinel for "no scale buffer" in operations and likelihood calls
+#: (``BEAGLE_OP_NONE`` in the C API).
+OP_NONE: int = -1
+
+
+def flag_names(flags: Flag) -> str:
+    """Readable ``A|B|C`` rendering of a flag combination."""
+    if not flags:
+        return "NONE"
+    return "|".join(
+        member.name
+        for member in Flag
+        if member & flags and member.name is not None
+    )

@@ -1,0 +1,296 @@
+"""High-level convenience: tree + data + model -> log-likelihood.
+
+BEAGLE itself has no tree type; this helper is the canonical *client*
+gluing the tree substrate to an instance — the pattern every example and
+the MCMC application follow.  It owns the buffer-index conventions
+(partials buffer *i* = node *i*, matrix *i* = branch above node *i*) and
+supports incremental re-evaluation after branch edits, which is what
+makes MCMC proposals cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.flags import OP_NONE, Flag
+from repro.core.instance import BeagleInstance
+from repro.core.types import InstanceConfig
+from repro.model.ratematrix import SubstitutionModel
+from repro.model.sitemodel import SiteModel
+from repro.seq.patterns import PatternSet
+from repro.seq.simulate import SyntheticPatterns
+from repro.tree.traversal import plan_partial_update, plan_traversal
+from repro.tree.tree import Tree
+
+
+class TreeLikelihood:
+    """Evaluate (and re-evaluate) one alignment's likelihood on one tree.
+
+    Parameters
+    ----------
+    tree:
+        A rooted binary tree whose tip names match the data's names (for
+        a :class:`PatternSet`) or whose tip indices match the data's rows
+        (for :class:`SyntheticPatterns`).
+    data:
+        Compressed site patterns.
+    model:
+        Substitution model (supplies eigensystem and frequencies).
+    site_model:
+        Rate-heterogeneity categories; default is a single rate.
+    use_tip_states:
+        Store tips compactly as integer state codes (faster kernels) or
+        as indicator partials (preserves partial ambiguity).
+    use_scaling:
+        Enable per-node rescaling — required for large trees where
+        partials underflow.  ``True``/``"always"`` rescales every
+        pattern at every node; ``"dynamic"`` rescales only patterns whose
+        maximum partial has drifted below a safety threshold
+        (``BEAGLE_FLAG_SCALING_DYNAMIC``), trading a per-pattern check
+        for far fewer divisions.
+    enable_upper_partials:
+        Allocate the extra buffers needed by
+        :class:`repro.core.upper.UpperPartials` (edge likelihoods and
+        Newton derivatives on every branch).  Costs ~3x the partials
+        memory.
+    instance_kwargs:
+        Passed through to instance creation (``preference_flags``,
+        ``resource_ids``, ``precision``, ...).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        data: Union[PatternSet, SyntheticPatterns],
+        model: SubstitutionModel,
+        site_model: Optional[SiteModel] = None,
+        use_tip_states: bool = True,
+        use_scaling=False,
+        enable_upper_partials: bool = False,
+        **instance_kwargs,
+    ) -> None:
+        site_model = site_model or SiteModel.uniform()
+        self.tree = tree
+        self.model = model
+        self.site_model = site_model
+        if use_scaling not in (False, True, "always", "dynamic"):
+            raise ValueError(
+                f"use_scaling must be False, True, 'always' or 'dynamic'; "
+                f"got {use_scaling!r}"
+            )
+        self.use_scaling = bool(use_scaling)
+        if use_scaling == "dynamic":
+            instance_kwargs.setdefault("scaling_mode", "dynamic")
+
+        if isinstance(data, PatternSet):
+            n_patterns = data.n_patterns
+            weights = data.weights
+            state_count = data.alignment.n_states
+            if state_count != model.n_states:
+                raise ValueError(
+                    f"data has {state_count} states but model "
+                    f"{model.name} has {model.n_states}"
+                )
+        else:
+            n_patterns = data.n_patterns
+            weights = data.weights
+            state_count = data.state_count
+            if state_count != model.n_states:
+                raise ValueError(
+                    f"data has {state_count} states but model "
+                    f"{model.name} has {model.n_states}"
+                )
+
+        n_tips = tree.n_tips
+        n_nodes = tree.n_nodes
+        n_internal = n_nodes - n_tips
+        self._cumulative_scale = n_internal if use_scaling else OP_NONE
+        # Two spare matrix slots hold first/second derivative matrices
+        # for Newton-style branch optimisation (see root_edge_derivatives);
+        # upper-partials mode adds 2n+1 partials buffers and an identity
+        # matrix slot (see repro.core.upper).
+        extra_partials = (2 * n_nodes + 1) if enable_upper_partials else 0
+        extra_matrices = 3 if enable_upper_partials else 2
+        config = InstanceConfig(
+            tip_count=n_tips,
+            partials_buffer_count=(
+                n_nodes - (n_tips if use_tip_states else 0) + extra_partials
+            ),
+            compact_buffer_count=n_tips if use_tip_states else 0,
+            state_count=state_count,
+            pattern_count=n_patterns,
+            eigen_buffer_count=1,
+            matrix_buffer_count=n_nodes + extra_matrices,
+            category_count=site_model.n_categories,
+            scale_buffer_count=(n_internal + 1) if use_scaling else 0,
+        )
+        self.derivative_matrix_indices = (n_nodes, n_nodes + 1)
+        self.enable_upper_partials = enable_upper_partials
+        self.instance = BeagleInstance(config, **instance_kwargs)
+        self._upper = None
+
+        # Load tip data, pairing by name for real alignments and by row
+        # index for synthetic benchmark data.
+        tips = sorted(tree.root.tips(), key=lambda n: n.index)
+        if isinstance(data, PatternSet):
+            aln = data.alignment
+            for tip in tips:
+                name = tip.name or f"taxon{tip.index}"
+                row = aln.names.index(name)
+                if use_tip_states:
+                    self.instance.set_tip_states(
+                        tip.index,
+                        aln.state_space.encode_states(aln.rows[row]),
+                    )
+                else:
+                    self.instance.set_tip_partials(
+                        tip.index,
+                        aln.state_space.encode_partials(aln.rows[row]),
+                    )
+        else:
+            for tip in tips:
+                if use_tip_states:
+                    self.instance.set_tip_states(
+                        tip.index, data.tip_states[tip.index]
+                    )
+                else:
+                    dense = np.zeros((n_patterns, state_count))
+                    rows = np.arange(n_patterns)
+                    codes = data.tip_states[tip.index]
+                    known = codes < state_count
+                    dense[rows[known], codes[known]] = 1.0
+                    dense[~known] = 1.0
+                    self.instance.set_tip_partials(tip.index, dense)
+
+        self.instance.set_pattern_weights(weights)
+        self.instance.set_category_rates(site_model.rates)
+        self.instance.set_category_weights(0, site_model.weights)
+        self.instance.set_substitution_model(0, model)
+        self._matrices_current = False
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _refresh_matrices(self) -> None:
+        plan = plan_traversal(self.tree)
+        self.instance.update_transition_matrices(
+            0, list(plan.branch_node_indices), plan.branch_lengths
+        )
+        self._matrices_current = True
+
+    def log_likelihood(self) -> float:
+        """Full post-order re-evaluation of the tree."""
+        plan = plan_traversal(self.tree, use_scaling=self.use_scaling)
+        self.instance.update_transition_matrices(
+            0, list(plan.branch_node_indices), plan.branch_lengths
+        )
+        self._matrices_current = True
+        self.instance.update_partials(plan.operations)
+        if self.use_scaling:
+            self.instance.reset_scale_factors(self._cumulative_scale)
+            self.instance.accumulate_scale_factors(
+                list(range(self._cumulative_scale)), self._cumulative_scale
+            )
+        return self.instance.calculate_root_log_likelihoods(
+            plan.root_index, 0, 0, self._cumulative_scale
+        )
+
+    def update_branch_lengths(self, node_indices: Sequence[int]) -> float:
+        """Incremental re-evaluation after editing some branch lengths.
+
+        Only the matrices of the edited branches and the partials of
+        their ancestors are recomputed.  With scaling enabled the
+        cumulative buffer must cover every node, so the full accumulation
+        is redone (factors of untouched nodes are unchanged).
+        """
+        if not self._matrices_current:
+            return self.log_likelihood()
+        plan = plan_partial_update(
+            self.tree, node_indices, use_scaling=self.use_scaling
+        )
+        if plan.branch_node_indices.size:
+            self.instance.update_transition_matrices(
+                0, list(plan.branch_node_indices), plan.branch_lengths
+            )
+        if plan.operations:
+            self.instance.update_partials(plan.operations)
+        if self.use_scaling:
+            self.instance.reset_scale_factors(self._cumulative_scale)
+            self.instance.accumulate_scale_factors(
+                list(range(self._cumulative_scale)), self._cumulative_scale
+            )
+        return self.instance.calculate_root_log_likelihoods(
+            plan.root_index, 0, 0, self._cumulative_scale
+        )
+
+    def invalidate(self) -> None:
+        """Mark cached matrices stale (call after topology edits)."""
+        self._matrices_current = False
+
+    def site_log_likelihoods(self) -> np.ndarray:
+        return self.instance.get_site_log_likelihoods()
+
+    @property
+    def upper(self):
+        """The :class:`repro.core.upper.UpperPartials` manager.
+
+        Requires ``enable_upper_partials=True`` at construction; created
+        lazily on first access.
+        """
+        if self._upper is None:
+            if not self.enable_upper_partials:
+                raise RuntimeError(
+                    "create the TreeLikelihood with "
+                    "enable_upper_partials=True to use upper partials"
+                )
+            from repro.core.upper import UpperPartials
+
+            self._upper = UpperPartials(self)
+        return self._upper
+
+    def root_edge_derivatives(self, total_length: Optional[float] = None):
+        """Likelihood and derivatives along the root edge.
+
+        For a reversible model the two branches below the root act as one
+        edge of summed length (the pulley principle); this evaluates
+        ``(logL, d logL/dt, d^2 logL/dt^2)`` at ``total_length`` (default:
+        the current summed length) using the instance's derivative-matrix
+        path.  Both root children must be internal nodes (tips have no
+        partials buffer when stored compactly).
+        """
+        left, right = self.tree.root.children
+        if left.is_tip or right.is_tip:
+            raise ValueError(
+                "root-edge derivatives need internal nodes on both sides "
+                "of the root"
+            )
+        if total_length is None:
+            total_length = left.branch_length + right.branch_length
+        if total_length < 0:
+            raise ValueError("edge length must be non-negative")
+        d1_idx, d2_idx = self.derivative_matrix_indices
+        scratch = left.index  # reuse left's matrix slot for P(t_total)
+        self.instance.update_transition_matrices(
+            0, [scratch], [total_length],
+            first_derivative_indices=[d1_idx],
+            second_derivative_indices=[d2_idx],
+        )
+        result = self.instance.calculate_edge_derivatives(
+            right.index, left.index, scratch, d1_idx, d2_idx,
+            cumulative_scale_index=self._cumulative_scale,
+        )
+        # Restore left's true matrix for subsequent evaluations.
+        self.instance.update_transition_matrices(
+            0, [left.index], [left.branch_length]
+        )
+        return result
+
+    def finalize(self) -> None:
+        self.instance.finalize()
+
+    def __enter__(self) -> "TreeLikelihood":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()

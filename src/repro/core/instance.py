@@ -1,0 +1,258 @@
+"""The BEAGLE instance: the library's primary client-facing object.
+
+A :class:`BeagleInstance` owns one implementation on one resource and
+exposes the full BEAGLE operation surface with Python conventions
+(exceptions instead of return codes, NumPy arrays instead of raw
+pointers).  The C-style functional facade lives in :mod:`repro.core.api`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.flags import OP_NONE, Flag
+from repro.core.manager import ResourceManager, default_manager
+from repro.core.types import InstanceConfig, InstanceDetails, Operation
+from repro.impl.base import BaseImplementation
+from repro.model.ratematrix import EigenSystem, SubstitutionModel
+from repro.util.errors import UninitializedInstanceError
+
+
+class BeagleInstance:
+    """One likelihood-computation instance bound to a resource.
+
+    Create directly (dimensions as keyword arguments) or via
+    :func:`create_instance`, which mirrors ``beagleCreateInstance``.
+    Instances are context managers; exiting finalizes the implementation.
+    """
+
+    def __init__(
+        self,
+        config: InstanceConfig,
+        precision: str = "double",
+        preference_flags: Flag = Flag(0),
+        requirement_flags: Flag = Flag(0),
+        resource_ids: Optional[Sequence[int]] = None,
+        manager: Optional[ResourceManager] = None,
+        **factory_kwargs,
+    ) -> None:
+        manager = manager or default_manager()
+        self.config = config
+        impl, details = manager.create_implementation(
+            config,
+            precision,
+            preference_flags,
+            requirement_flags,
+            resource_ids,
+            **factory_kwargs,
+        )
+        self._impl: Optional[BaseImplementation] = impl
+        self.details: InstanceDetails = details
+
+    @property
+    def impl(self) -> BaseImplementation:
+        if self._impl is None:
+            raise UninitializedInstanceError("instance was finalized")
+        return self._impl
+
+    # -- data entry (thin delegation, see BaseImplementation for semantics) --
+
+    def set_tip_states(self, tip_index: int, states: np.ndarray) -> None:
+        self.impl.set_tip_states(tip_index, states)
+
+    def set_tip_partials(self, tip_index: int, partials: np.ndarray) -> None:
+        self.impl.set_tip_partials(tip_index, partials)
+
+    def set_partials(self, index: int, partials: np.ndarray) -> None:
+        self.impl.set_partials(index, partials)
+
+    def get_partials(self, index: int) -> np.ndarray:
+        return self.impl.get_partials(index)
+
+    def set_eigen_decomposition(
+        self,
+        eigen_index: int,
+        eigenvectors: np.ndarray,
+        inverse_eigenvectors: np.ndarray,
+        eigenvalues: np.ndarray,
+    ) -> None:
+        self.impl.set_eigen_decomposition(
+            eigen_index, eigenvectors, inverse_eigenvectors, eigenvalues
+        )
+
+    def set_substitution_model(
+        self, eigen_index: int, model: SubstitutionModel,
+        frequencies_index: int = 0,
+    ) -> None:
+        """Convenience: install a model's eigensystem and frequencies."""
+        eigen: EigenSystem = model.eigen
+        self.set_eigen_decomposition(
+            eigen_index,
+            eigen.eigenvectors,
+            eigen.inverse_eigenvectors,
+            eigen.eigenvalues,
+        )
+        self.set_state_frequencies(frequencies_index, model.frequencies)
+
+    def set_category_rates(self, rates: Sequence[float]) -> None:
+        self.impl.set_category_rates(rates)
+
+    def set_category_weights(self, index: int, weights: Sequence[float]) -> None:
+        self.impl.set_category_weights(index, weights)
+
+    def set_state_frequencies(
+        self, index: int, frequencies: Sequence[float]
+    ) -> None:
+        self.impl.set_state_frequencies(index, frequencies)
+
+    def set_pattern_weights(self, weights: Sequence[float]) -> None:
+        self.impl.set_pattern_weights(weights)
+
+    def set_transition_matrix(self, index: int, matrix: np.ndarray) -> None:
+        self.impl.set_transition_matrix(index, matrix)
+
+    def get_transition_matrix(self, index: int) -> np.ndarray:
+        return self.impl.get_transition_matrix(index)
+
+    # -- compute ----------------------------------------------------------
+
+    def update_transition_matrices(
+        self,
+        eigen_index: int,
+        matrix_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+        first_derivative_indices: Optional[Sequence[int]] = None,
+        second_derivative_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.impl.update_transition_matrices(
+            eigen_index, matrix_indices, branch_lengths,
+            first_derivative_indices, second_derivative_indices,
+        )
+
+    def calculate_edge_derivatives(
+        self,
+        parent_index: int,
+        child_index: int,
+        matrix_index: int,
+        first_derivative_index: int,
+        second_derivative_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ):
+        """``(logL, d logL/dt, d^2 logL/dt^2)`` across one branch."""
+        return self.impl.calculate_edge_derivatives(
+            parent_index, child_index, matrix_index,
+            first_derivative_index, second_derivative_index,
+            category_weights_index, state_frequencies_index,
+            cumulative_scale_index,
+        )
+
+    def update_partials(self, operations: Sequence[Operation]) -> None:
+        self.impl.update_partials(operations)
+
+    def accumulate_scale_factors(
+        self, scale_indices: Sequence[int], cumulative_index: int
+    ) -> None:
+        self.impl.accumulate_scale_factors(scale_indices, cumulative_index)
+
+    def reset_scale_factors(self, index: int) -> None:
+        self.impl.reset_scale_factors(index)
+
+    def calculate_root_log_likelihoods(
+        self,
+        buffer_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> float:
+        return self.impl.calculate_root_log_likelihoods(
+            buffer_index,
+            category_weights_index,
+            state_frequencies_index,
+            cumulative_scale_index,
+        )
+
+    def calculate_edge_log_likelihoods(
+        self,
+        parent_index: int,
+        child_index: int,
+        matrix_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> float:
+        return self.impl.calculate_edge_log_likelihoods(
+            parent_index,
+            child_index,
+            matrix_index,
+            category_weights_index,
+            state_frequencies_index,
+            cumulative_scale_index,
+        )
+
+    def get_site_log_likelihoods(self) -> np.ndarray:
+        return self.impl.get_site_log_likelihoods()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Release the implementation (``beagleFinalizeInstance``)."""
+        if self._impl is not None:
+            self._impl.finalize()
+            self._impl = None
+
+    def __enter__(self) -> "BeagleInstance":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        d = self.details
+        return (
+            f"<BeagleInstance {d.implementation_name} on "
+            f"{d.resource_name}>"
+        )
+
+
+def create_instance(
+    tip_count: int,
+    partials_buffer_count: int,
+    compact_buffer_count: int,
+    state_count: int,
+    pattern_count: int,
+    eigen_buffer_count: int,
+    matrix_buffer_count: int,
+    category_count: int = 1,
+    scale_buffer_count: int = 0,
+    resource_ids: Optional[Sequence[int]] = None,
+    preference_flags: Flag = Flag(0),
+    requirement_flags: Flag = Flag(0),
+    precision: str = "double",
+    manager: Optional[ResourceManager] = None,
+    **factory_kwargs,
+) -> BeagleInstance:
+    """Create an instance with ``beagleCreateInstance``'s argument list."""
+    config = InstanceConfig(
+        tip_count=tip_count,
+        partials_buffer_count=partials_buffer_count,
+        compact_buffer_count=compact_buffer_count,
+        state_count=state_count,
+        pattern_count=pattern_count,
+        eigen_buffer_count=eigen_buffer_count,
+        matrix_buffer_count=matrix_buffer_count,
+        category_count=category_count,
+        scale_buffer_count=scale_buffer_count,
+    )
+    return BeagleInstance(
+        config,
+        precision=precision,
+        preference_flags=preference_flags,
+        requirement_flags=requirement_flags,
+        resource_ids=resource_ids,
+        manager=manager,
+        **factory_kwargs,
+    )

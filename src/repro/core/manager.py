@@ -1,0 +1,192 @@
+"""Implementation manager: resource discovery and instance selection.
+
+The layer between the API and the implementations (paper Fig. 1): it
+"loads the available implementations, makes them available to the client
+program, and passes API commands to the selected implementation".  A
+client asks for an instance with *preference* and *requirement* flag
+sets; the manager walks resources and registered plugins and picks the
+highest-priority satisfying pair — the same contract as
+``beagleCreateInstance``'s resource list + flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.accel.device import DEVICE_CATALOG, DeviceSpec, ProcessorType
+from repro.core.flags import Flag
+from repro.core.types import InstanceConfig, InstanceDetails, ResourceDescription
+from repro.impl.base import BaseImplementation
+from repro.impl.registry import ImplementationPlugin, registered_plugins
+from repro.util.errors import NoImplementationError, NoResourceError
+
+_PROCESSOR_FLAG = {
+    ProcessorType.CPU: Flag.PROCESSOR_CPU,
+    ProcessorType.GPU: Flag.PROCESSOR_GPU,
+    ProcessorType.PHI: Flag.PROCESSOR_PHI,
+}
+
+
+@dataclass
+class Resource:
+    """A host or device compute resource visible to the manager."""
+
+    resource_id: int
+    description: ResourceDescription
+    device: Optional[DeviceSpec]  # None = host CPU
+
+
+class ResourceManager:
+    """Discovers resources and builds implementations on them."""
+
+    def __init__(self, devices: Optional[Sequence[DeviceSpec]] = None) -> None:
+        self._resources: List[Resource] = []
+        host = ResourceDescription(
+            resource_id=0,
+            name="CPU (host)",
+            description="host processor",
+            support_flags=(
+                Flag.PROCESSOR_CPU | Flag.FRAMEWORK_CPU
+                | Flag.PRECISION_SINGLE | Flag.PRECISION_DOUBLE
+                | Flag.VECTOR_SSE | Flag.VECTOR_NONE
+                | Flag.THREADING_CPP | Flag.THREADING_NONE
+            ),
+        )
+        self._resources.append(Resource(0, host, None))
+        if devices is None:
+            devices = list(DEVICE_CATALOG.values())
+        for device in devices:
+            rid = len(self._resources)
+            flags = (
+                _PROCESSOR_FLAG[device.processor]
+                | Flag.PRECISION_SINGLE
+                | Flag.PRECISION_DOUBLE
+            )
+            if device.vendor == "NVIDIA":
+                flags |= Flag.FRAMEWORK_CUDA | Flag.FRAMEWORK_OPENCL
+            else:
+                flags |= Flag.FRAMEWORK_OPENCL
+            self._resources.append(
+                Resource(
+                    rid,
+                    ResourceDescription(
+                        resource_id=rid,
+                        name=device.name,
+                        description=f"{device.vendor} {device.processor.value}",
+                        support_flags=flags,
+                    ),
+                    device,
+                )
+            )
+
+    def resources(self) -> List[ResourceDescription]:
+        """Enumerate resources (``beagleGetResourceList``)."""
+        return [r.description for r in self._resources]
+
+    def resource(self, resource_id: int) -> Resource:
+        if not 0 <= resource_id < len(self._resources):
+            raise NoResourceError(f"no resource with id {resource_id}")
+        return self._resources[resource_id]
+
+    # -- selection -----------------------------------------------------------
+
+    #: Flags describing *where* code runs; the rest describe *how* an
+    #: implementation computes.  A hardware requirement must be satisfied
+    #: by both the plugin (it can drive that hardware) and the resource
+    #: (it is that hardware); an implementation requirement is satisfied
+    #: by the plugin alone.
+    _HARDWARE_BITS = (
+        Flag.PROCESSOR_CPU | Flag.PROCESSOR_GPU | Flag.PROCESSOR_FPGA
+        | Flag.PROCESSOR_CELL | Flag.PROCESSOR_PHI | Flag.PROCESSOR_OTHER
+        | Flag.FRAMEWORK_CUDA | Flag.FRAMEWORK_OPENCL | Flag.FRAMEWORK_CPU
+    )
+
+    def _candidate_pairs(
+        self,
+        requirement_flags: Flag,
+        preference_flags: Flag,
+        resource_ids: Optional[Sequence[int]],
+    ) -> List[Tuple[int, Resource, ImplementationPlugin]]:
+        resources = (
+            [self.resource(i) for i in resource_ids]
+            if resource_ids
+            else self._resources
+        )
+        hw_req = requirement_flags & self._HARDWARE_BITS
+        impl_req = requirement_flags & ~self._HARDWARE_BITS
+        scored = []
+        for res in resources:
+            res_flags = res.description.support_flags
+            if hw_req & ~res_flags:
+                continue
+            for plugin in registered_plugins():
+                if not plugin.serves_device(res.device):
+                    continue
+                if impl_req & ~plugin.flags:
+                    continue
+                if hw_req & ~plugin.flags:
+                    continue
+                combined = plugin.flags & (
+                    res_flags | ~self._HARDWARE_BITS
+                )
+                score = (
+                    bin(int(preference_flags & combined)).count("1") * 100
+                    + plugin.priority
+                )
+                scored.append((score, res, plugin))
+        scored.sort(key=lambda t: -t[0])
+        return scored
+
+    def create_implementation(
+        self,
+        config: InstanceConfig,
+        precision: str = "double",
+        preference_flags: Flag = Flag(0),
+        requirement_flags: Flag = Flag(0),
+        resource_ids: Optional[Sequence[int]] = None,
+        **factory_kwargs,
+    ) -> Tuple[BaseImplementation, InstanceDetails]:
+        """Select and build the best implementation for the request."""
+        if precision == "single":
+            requirement_flags |= Flag.PRECISION_SINGLE
+        elif precision == "double":
+            requirement_flags |= Flag.PRECISION_DOUBLE
+        candidates = self._candidate_pairs(
+            requirement_flags, preference_flags, resource_ids
+        )
+        if not candidates:
+            raise NoImplementationError(
+                f"no implementation satisfies requirements "
+                f"{requirement_flags!r} on the requested resources"
+            )
+        errors = []
+        for _, res, plugin in candidates:
+            try:
+                impl = plugin.factory(
+                    config, precision, device=res.device, **factory_kwargs
+                )
+            except Exception as exc:  # try the next candidate
+                errors.append(f"{plugin.name} on {res.description.name}: {exc}")
+                continue
+            details = InstanceDetails(
+                resource_id=res.resource_id,
+                resource_name=res.description.name,
+                implementation_name=impl.name,
+                flags=impl.flags,
+            )
+            return impl, details
+        raise NoImplementationError(
+            "all candidate implementations failed: " + "; ".join(errors)
+        )
+
+
+_default_manager: Optional[ResourceManager] = None
+
+
+def default_manager() -> ResourceManager:
+    """The process-wide manager over the full simulated device catalog."""
+    global _default_manager
+    if _default_manager is None:
+        _default_manager = ResourceManager()
+    return _default_manager

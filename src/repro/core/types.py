@@ -1,0 +1,126 @@
+"""Core value types shared across the BEAGLE API surface.
+
+:class:`Operation` is the central type: BEAGLE has no tree structure, so a
+client expresses the likelihood recursion as a flat list of these buffer
+triples, one per internal node, in a dependency-respecting order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.flags import OP_NONE, Flag
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One partials update: ``destination <- f(child1, child2)``.
+
+    Mirrors ``BeagleOperation`` from the C API.
+
+    Parameters
+    ----------
+    destination:
+        Index of the partials buffer to write.
+    child1, child2:
+        Indices of the two child partials buffers (may name tip buffers,
+        which hold either states or partials).
+    child1_matrix, child2_matrix:
+        Indices of the transition-probability matrices for the branches
+        above each child.
+    write_scale, read_scale:
+        Scale-buffer indices (``OP_NONE`` disables rescaling for the
+        operation).  ``write_scale`` stores factors computed during this
+        operation; ``read_scale`` accumulates previously written factors.
+    """
+
+    destination: int
+    child1: int
+    child1_matrix: int
+    child2: int
+    child2_matrix: int
+    write_scale: int = OP_NONE
+    read_scale: int = OP_NONE
+
+    def __post_init__(self) -> None:
+        for label in ("destination", "child1", "child2",
+                      "child1_matrix", "child2_matrix"):
+            if getattr(self, label) < 0:
+                raise ValueError(f"{label} index must be non-negative")
+        if self.destination in (self.child1, self.child2):
+            raise ValueError(
+                f"operation writes buffer {self.destination} while reading it"
+            )
+
+
+@dataclass(frozen=True)
+class ResourceDescription:
+    """A compute resource visible to the implementation manager.
+
+    Mirrors ``BeagleResource``: name, description, and the flag sets
+    describing what the resource supports and what it prefers.
+    """
+
+    resource_id: int
+    name: str
+    description: str
+    support_flags: Flag
+    required_flags: Flag = Flag(0)
+
+
+@dataclass(frozen=True)
+class InstanceDetails:
+    """What instance creation actually selected (``BeagleInstanceDetails``)."""
+
+    resource_id: int
+    resource_name: str
+    implementation_name: str
+    flags: Flag
+
+
+@dataclass
+class InstanceConfig:
+    """Dimensions of a BEAGLE instance, fixed at creation time.
+
+    Mirrors the argument list of ``beagleCreateInstance``.
+    """
+
+    tip_count: int
+    partials_buffer_count: int
+    compact_buffer_count: int
+    state_count: int
+    pattern_count: int
+    eigen_buffer_count: int
+    matrix_buffer_count: int
+    category_count: int = 1
+    scale_buffer_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tip_count < 2:
+            raise ValueError(f"need at least 2 tips, got {self.tip_count}")
+        if self.state_count < 2:
+            raise ValueError(f"need at least 2 states, got {self.state_count}")
+        if self.pattern_count < 1:
+            raise ValueError(f"need at least 1 pattern, got {self.pattern_count}")
+        if self.category_count < 1:
+            raise ValueError(f"need at least 1 category, got {self.category_count}")
+        if self.compact_buffer_count > self.tip_count:
+            raise ValueError(
+                f"compact (tip-state) buffers ({self.compact_buffer_count}) "
+                f"cannot exceed tip count ({self.tip_count})"
+            )
+        if self.partials_buffer_count < self.tip_count - self.compact_buffer_count:
+            raise ValueError(
+                "not enough partials buffers for non-compact tips"
+            )
+        for name in ("eigen_buffer_count", "matrix_buffer_count"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        if self.scale_buffer_count < 0:
+            raise ValueError("scale_buffer_count must be non-negative")
+
+    @property
+    def total_buffer_count(self) -> int:
+        """Total addressable partials slots (tips + internals)."""
+        return self.partials_buffer_count + self.compact_buffer_count

@@ -1,0 +1,570 @@
+"""Implementation base: buffer storage and operation semantics.
+
+Concrete implementations (CPU serial, CPU vectorised, the three threaded
+designs, and the simulated-framework accelerator models) subclass
+:class:`BaseImplementation` and override the compute hooks.  The base
+class owns all *semantics* — buffer indexing, validation, scaling
+bookkeeping — so that backends differ only in execution strategy, exactly
+mirroring how BEAGLE's ``implementation base-code`` layer sits under the
+hardware-specific leaves (paper Figs. 1 and 3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import compute
+from repro.core.flags import OP_NONE, Flag
+from repro.core.types import InstanceConfig, Operation
+from repro.util.errors import (
+    BeagleError,
+    InvalidIndexError,
+    UnsupportedOperationError,
+)
+
+
+class BaseImplementation(abc.ABC):
+    """Shared state and semantics for every BEAGLE implementation.
+
+    Parameters
+    ----------
+    config:
+        Instance dimensions (buffer counts, state count, etc.).
+    precision:
+        ``"single"`` or ``"double"``; chooses the partials/matrix dtype.
+    """
+
+    #: Human-readable implementation name (shown in ``InstanceDetails``).
+    name: str = "base"
+    #: Capability flags this implementation provides.
+    flags: Flag = Flag(0)
+
+    #: Dynamic-scaling trigger: patterns whose maximum partial falls below
+    #: this are rescaled; the rest keep factor one.  Set per precision to
+    #: sit far above the underflow boundary.
+    DYNAMIC_SCALING_THRESHOLDS = {"single": 1e-10, "double": 1e-200}
+
+    def __init__(
+        self,
+        config: InstanceConfig,
+        precision: str = "double",
+        scaling_mode: str = "always",
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ValueError(f"precision must be single|double, got {precision!r}")
+        if scaling_mode not in ("always", "dynamic"):
+            raise ValueError(
+                f"scaling_mode must be always|dynamic, got {scaling_mode!r}"
+            )
+        self.config = config
+        self.precision = precision
+        self.scaling_mode = scaling_mode
+        self.dtype = np.float32 if precision == "single" else np.float64
+
+        c = config
+        # Compact (tip-state) and full partials buffers share one index
+        # space of size total_buffer_count, as in the C library; slots
+        # shadowed by compact buffers stay zero until/unless a client
+        # replaces the compact representation with partials.
+        self._partials = np.zeros(
+            (c.total_buffer_count, c.category_count, c.pattern_count, c.state_count),
+            dtype=self.dtype,
+        )
+        #: Compact tip buffers: index -> int32 state codes (gap = s).
+        self._tip_states: Dict[int, np.ndarray] = {}
+        self._matrices = np.zeros(
+            (c.matrix_buffer_count, c.category_count, c.state_count, c.state_count),
+            dtype=self.dtype,
+        )
+        self._eigen: List[Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+            None
+        ] * c.eigen_buffer_count
+        self._category_rates = np.ones(c.category_count)
+        self._category_weights: Dict[int, np.ndarray] = {
+            0: np.full(c.category_count, 1.0 / c.category_count)
+        }
+        self._state_frequencies: Dict[int, np.ndarray] = {
+            0: np.full(c.state_count, 1.0 / c.state_count)
+        }
+        self._pattern_weights = np.ones(c.pattern_count)
+        self._scale_factors = np.zeros((max(c.scale_buffer_count, 0), c.pattern_count))
+        self._site_log_likelihoods: Optional[np.ndarray] = None
+
+    # -- index validation ---------------------------------------------------
+
+    def _check_buffer(self, index: int) -> None:
+        if not 0 <= index < self.config.total_buffer_count:
+            raise InvalidIndexError(
+                f"partials buffer {index} out of range "
+                f"[0, {self.config.total_buffer_count})"
+            )
+
+    def _check_matrix(self, index: int) -> None:
+        if not 0 <= index < self.config.matrix_buffer_count:
+            raise InvalidIndexError(
+                f"matrix buffer {index} out of range "
+                f"[0, {self.config.matrix_buffer_count})"
+            )
+
+    def _check_scale(self, index: int) -> None:
+        if not 0 <= index < self.config.scale_buffer_count:
+            raise InvalidIndexError(
+                f"scale buffer {index} out of range "
+                f"[0, {self.config.scale_buffer_count})"
+            )
+
+    def _check_eigen(self, index: int) -> None:
+        if not 0 <= index < self.config.eigen_buffer_count:
+            raise InvalidIndexError(
+                f"eigen buffer {index} out of range "
+                f"[0, {self.config.eigen_buffer_count})"
+            )
+
+    # -- data entry ----------------------------------------------------------
+
+    def set_tip_states(self, tip_index: int, states: np.ndarray) -> None:
+        """Store compact integer state codes for a tip buffer."""
+        if not 0 <= tip_index < self.config.tip_count:
+            raise InvalidIndexError(f"tip index {tip_index} out of range")
+        states = np.ascontiguousarray(states, dtype=np.int32)
+        if states.shape != (self.config.pattern_count,):
+            raise ValueError(
+                f"tip states shape {states.shape} != "
+                f"({self.config.pattern_count},)"
+            )
+        if states.min() < 0 or states.max() > self.config.state_count:
+            raise ValueError(
+                f"state codes must lie in [0, {self.config.state_count}] "
+                f"(gap = {self.config.state_count})"
+            )
+        self._tip_states[tip_index] = states
+
+    def set_tip_partials(self, tip_index: int, partials: np.ndarray) -> None:
+        """Store per-state partials for a tip (supports partial ambiguity).
+
+        Accepts ``(patterns, states)`` and broadcasts across categories.
+        """
+        if not 0 <= tip_index < self.config.tip_count:
+            raise InvalidIndexError(f"tip index {tip_index} out of range")
+        partials = np.asarray(partials, dtype=self.dtype)
+        c = self.config
+        if partials.shape == (c.pattern_count, c.state_count):
+            partials = np.broadcast_to(
+                partials, (c.category_count,) + partials.shape
+            )
+        if partials.shape != (c.category_count, c.pattern_count, c.state_count):
+            raise ValueError(f"tip partials shape {partials.shape} invalid")
+        self._tip_states.pop(tip_index, None)
+        self._partials[tip_index] = partials
+
+    def set_partials(self, index: int, partials: np.ndarray) -> None:
+        """Directly set any partials buffer (mainly used by tests)."""
+        self._check_buffer(index)
+        partials = np.asarray(partials, dtype=self.dtype)
+        c = self.config
+        if partials.shape != (c.category_count, c.pattern_count, c.state_count):
+            raise ValueError(f"partials shape {partials.shape} invalid")
+        self._tip_states.pop(index, None)
+        self._partials[index] = partials
+
+    def get_partials(self, index: int) -> np.ndarray:
+        self._check_buffer(index)
+        if index in self._tip_states:
+            raise UnsupportedOperationError(
+                f"buffer {index} is a compact tip-state buffer"
+            )
+        return np.array(self._partials[index])
+
+    def set_eigen_decomposition(
+        self,
+        eigen_index: int,
+        eigenvectors: np.ndarray,
+        inverse_eigenvectors: np.ndarray,
+        eigenvalues: np.ndarray,
+    ) -> None:
+        self._check_eigen(eigen_index)
+        s = self.config.state_count
+        eigenvectors = np.asarray(eigenvectors)
+        inverse_eigenvectors = np.asarray(inverse_eigenvectors)
+        eigenvalues = np.asarray(eigenvalues)
+        if eigenvectors.shape != (s, s) or inverse_eigenvectors.shape != (s, s):
+            raise ValueError("eigenvector matrices must be (s, s)")
+        if eigenvalues.shape != (s,):
+            raise ValueError("eigenvalues must be length s")
+        if np.iscomplexobj(eigenvalues) and not (self.flags & Flag.EIGEN_COMPLEX):
+            raise UnsupportedOperationError(
+                f"{self.name} does not support complex eigensystems"
+            )
+        self._eigen[eigen_index] = (
+            eigenvectors,
+            inverse_eigenvectors,
+            eigenvalues,
+        )
+
+    def set_category_rates(self, rates: Sequence[float]) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.config.category_count,):
+            raise ValueError(
+                f"need {self.config.category_count} category rates, "
+                f"got shape {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("category rates must be non-negative")
+        self._category_rates = rates
+
+    def set_category_weights(self, index: int, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.config.category_count,):
+            raise ValueError(
+                f"need {self.config.category_count} category weights"
+            )
+        if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0):
+            raise ValueError("category weights must be a distribution")
+        self._category_weights[index] = weights
+
+    def set_state_frequencies(self, index: int, frequencies: Sequence[float]) -> None:
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.shape != (self.config.state_count,):
+            raise ValueError(f"need {self.config.state_count} frequencies")
+        if np.any(frequencies < 0) or not np.isclose(frequencies.sum(), 1.0):
+            raise ValueError("frequencies must be a distribution")
+        self._state_frequencies[index] = frequencies
+
+    def set_pattern_weights(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.config.pattern_count,):
+            raise ValueError(f"need {self.config.pattern_count} pattern weights")
+        if np.any(weights < 0):
+            raise ValueError("pattern weights must be non-negative")
+        self._pattern_weights = weights
+
+    def set_transition_matrix(self, index: int, matrix: np.ndarray) -> None:
+        """Directly install a transition matrix (bypassing the eigen path)."""
+        self._check_matrix(index)
+        matrix = np.asarray(matrix, dtype=self.dtype)
+        c = self.config
+        if matrix.shape == (c.state_count, c.state_count):
+            matrix = np.broadcast_to(
+                matrix, (c.category_count,) + matrix.shape
+            )
+        if matrix.shape != (c.category_count, c.state_count, c.state_count):
+            raise ValueError(f"matrix shape {matrix.shape} invalid")
+        self._matrices[index] = matrix
+
+    def get_transition_matrix(self, index: int) -> np.ndarray:
+        self._check_matrix(index)
+        return np.array(self._matrices[index])
+
+    # -- compute operations ---------------------------------------------------
+
+    def update_transition_matrices(
+        self,
+        eigen_index: int,
+        matrix_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+        first_derivative_indices: Optional[Sequence[int]] = None,
+        second_derivative_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Compute ``P(r_c * t)`` for each listed matrix buffer.
+
+        When derivative index lists are given (mirroring the C API's
+        ``firstDerivativeIndices``/``secondDerivativeIndices``), the
+        corresponding buffers receive ``dP/dt`` and ``d^2P/dt^2`` — i.e.
+        ``r Q P`` and ``r^2 Q^2 P`` per rate category — which
+        :meth:`calculate_edge_derivatives` consumes for Newton-style
+        branch-length optimisation.
+        """
+        self._check_eigen(eigen_index)
+        eigen = self._eigen[eigen_index]
+        if eigen is None:
+            raise BeagleError(f"eigen buffer {eigen_index} was never set")
+        matrix_indices = list(matrix_indices)
+        branch_lengths = np.asarray(branch_lengths, dtype=float)
+        if len(matrix_indices) != branch_lengths.size:
+            raise ValueError("matrix index and branch length counts differ")
+        if np.any(branch_lengths < 0):
+            raise ValueError("branch lengths must be non-negative")
+        for idx in matrix_indices:
+            self._check_matrix(idx)
+        for deriv in (first_derivative_indices, second_derivative_indices):
+            if deriv is not None:
+                if len(deriv) != len(matrix_indices):
+                    raise ValueError(
+                        "derivative index count must match matrix count"
+                    )
+                for idx in deriv:
+                    self._check_matrix(idx)
+        self._compute_matrices(eigen, matrix_indices, branch_lengths)
+        if first_derivative_indices or second_derivative_indices:
+            self._compute_derivative_matrices(
+                eigen,
+                matrix_indices,
+                branch_lengths,
+                first_derivative_indices,
+                second_derivative_indices,
+            )
+
+    def _compute_derivative_matrices(
+        self,
+        eigen,
+        matrix_indices,
+        branch_lengths,
+        first_derivative_indices,
+        second_derivative_indices,
+    ) -> None:
+        v, v_inv, lam = eigen
+        rates = self._category_rates
+        for pos, idx in enumerate(matrix_indices):
+            t = float(branch_lengths[pos])
+            for order, targets in (
+                (1, first_derivative_indices),
+                (2, second_derivative_indices),
+            ):
+                if targets is None:
+                    continue
+                out = np.empty_like(self._matrices[idx])
+                for c, r in enumerate(rates):
+                    scaled = lam * r
+                    diag = (scaled**order) * np.exp(scaled * t)
+                    d = (v * diag) @ v_inv
+                    out[c] = d.real if np.iscomplexobj(d) else d
+                self._matrices[targets[pos]] = out
+
+    def update_partials(self, operations: Sequence[Operation]) -> None:
+        """Evaluate a dependency-ordered list of partials operations."""
+        ops = list(operations)
+        for op in ops:
+            self._validate_operation(op)
+        self._execute_operations(ops)
+
+    def _validate_operation(self, op: Operation) -> None:
+        self._check_buffer(op.destination)
+        self._check_buffer(op.child1)
+        self._check_buffer(op.child2)
+        self._check_matrix(op.child1_matrix)
+        self._check_matrix(op.child2_matrix)
+        if op.destination in self._tip_states:
+            raise UnsupportedOperationError(
+                f"cannot write partials into compact tip buffer {op.destination}"
+            )
+        if op.write_scale != OP_NONE:
+            self._check_scale(op.write_scale)
+        if op.read_scale != OP_NONE:
+            self._check_scale(op.read_scale)
+
+    def accumulate_scale_factors(
+        self, scale_indices: Sequence[int], cumulative_index: int
+    ) -> None:
+        """Sum log scale factors of ``scale_indices`` into the cumulative buffer."""
+        self._check_scale(cumulative_index)
+        total = np.zeros(self.config.pattern_count)
+        for idx in scale_indices:
+            self._check_scale(idx)
+            if idx == cumulative_index:
+                raise ValueError(
+                    "cumulative buffer cannot be one of the accumulated buffers"
+                )
+            total += self._scale_factors[idx]
+        self._scale_factors[cumulative_index] += total
+
+    def reset_scale_factors(self, index: int) -> None:
+        self._check_scale(index)
+        self._scale_factors[index] = 0.0
+
+    def get_scale_factors(self, index: int) -> np.ndarray:
+        """Log-domain scale factors for one buffer (``SCALERS_LOG``)."""
+        self._check_scale(index)
+        return np.array(self._scale_factors[index])
+
+    def calculate_root_log_likelihoods(
+        self,
+        buffer_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> float:
+        self._check_buffer(buffer_index)
+        if buffer_index in self._tip_states:
+            raise UnsupportedOperationError("root buffer cannot be compact")
+        scale = None
+        if cumulative_scale_index != OP_NONE:
+            self._check_scale(cumulative_scale_index)
+            scale = self._scale_factors[cumulative_scale_index]
+        logl, per_pattern = self._compute_root(
+            self._partials[buffer_index],
+            self._category_weights[category_weights_index],
+            self._state_frequencies[state_frequencies_index],
+            scale,
+        )
+        self._site_log_likelihoods = per_pattern
+        return logl
+
+    def calculate_edge_log_likelihoods(
+        self,
+        parent_index: int,
+        child_index: int,
+        matrix_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> float:
+        self._check_buffer(parent_index)
+        self._check_buffer(child_index)
+        self._check_matrix(matrix_index)
+        scale = None
+        if cumulative_scale_index != OP_NONE:
+            self._check_scale(cumulative_scale_index)
+            scale = self._scale_factors[cumulative_scale_index]
+        parent = self._dense_partials(parent_index)
+        child = self._dense_partials(child_index)
+        logl, per_pattern = compute.edge_log_likelihood(
+            parent,
+            child,
+            self._matrices[matrix_index],
+            self._category_weights[category_weights_index],
+            self._state_frequencies[state_frequencies_index],
+            self._pattern_weights,
+            scale,
+        )
+        self._site_log_likelihoods = per_pattern
+        return logl
+
+    def calculate_edge_derivatives(
+        self,
+        parent_index: int,
+        child_index: int,
+        matrix_index: int,
+        first_derivative_index: int,
+        second_derivative_index: int,
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> Tuple[float, float, float]:
+        """Log-likelihood and branch-length derivatives across one edge.
+
+        Requires the derivative matrix buffers to have been filled by
+        :meth:`update_transition_matrices` with derivative indices.
+        Returns ``(logL, dlogL/dt, d^2 logL/dt^2)``; the scale term is a
+        branch-length-independent additive constant, so derivatives need
+        no scale correction.
+        """
+        self._check_buffer(parent_index)
+        self._check_buffer(child_index)
+        for idx in (matrix_index, first_derivative_index,
+                    second_derivative_index):
+            self._check_matrix(idx)
+        parent = self._dense_partials(parent_index)
+        child = self._dense_partials(child_index)
+        logl, d1, d2 = compute.edge_derivatives(
+            parent,
+            child,
+            self._matrices[matrix_index],
+            self._matrices[first_derivative_index],
+            self._matrices[second_derivative_index],
+            self._category_weights[category_weights_index],
+            self._state_frequencies[state_frequencies_index],
+            self._pattern_weights,
+        )
+        if cumulative_scale_index != OP_NONE:
+            self._check_scale(cumulative_scale_index)
+            logl += float(
+                np.dot(
+                    self._pattern_weights,
+                    self._scale_factors[cumulative_scale_index],
+                )
+            )
+        return logl, d1, d2
+
+    def get_site_log_likelihoods(self) -> np.ndarray:
+        if self._site_log_likelihoods is None:
+            raise BeagleError("no likelihood has been calculated yet")
+        return np.array(self._site_log_likelihoods)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _dense_partials(self, index: int) -> np.ndarray:
+        """View any buffer as dense partials (expanding compact tips)."""
+        if index not in self._tip_states:
+            return self._partials[index]
+        c = self.config
+        states = self._tip_states[index]
+        dense = np.zeros((c.pattern_count, c.state_count), dtype=self.dtype)
+        known = states < c.state_count
+        dense[np.arange(c.pattern_count)[known], states[known]] = 1.0
+        dense[~known, :] = 1.0
+        return np.broadcast_to(
+            dense, (c.category_count,) + dense.shape
+        )
+
+    @property
+    def _scaling_threshold(self) -> float:
+        if self.scaling_mode == "dynamic":
+            return self.DYNAMIC_SCALING_THRESHOLDS[self.precision]
+        return np.inf
+
+    def _apply_scaling(self, op: Operation, dest: np.ndarray) -> np.ndarray:
+        """Post-process one operation's output for the scaling workflow."""
+        if op.read_scale != OP_NONE:
+            dest = dest * np.exp(self._scale_factors[op.read_scale])[
+                np.newaxis, :, np.newaxis
+            ]
+        if op.write_scale != OP_NONE:
+            dest, log_factors = compute.rescale_partials(
+                dest, threshold=self._scaling_threshold
+            )
+            self._scale_factors[op.write_scale] = log_factors
+        return dest
+
+    # -- compute hooks (overridden per backend) --------------------------------
+
+    def _compute_matrices(
+        self,
+        eigen: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        matrix_indices: List[int],
+        branch_lengths: np.ndarray,
+    ) -> None:
+        v, v_inv, lam = eigen
+        mats = compute.matrices_from_eigen(
+            v, v_inv, lam, branch_lengths, self._category_rates, self.dtype
+        )
+        for pos, idx in enumerate(matrix_indices):
+            self._matrices[idx] = mats[pos]
+
+    def _execute_operations(self, operations: List[Operation]) -> None:
+        """Run validated operations in order.  Override for concurrency."""
+        for op in operations:
+            self._compute_operation(op)
+
+    @abc.abstractmethod
+    def _compute_operation(self, op: Operation) -> None:
+        """Compute one partials update into ``self._partials[op.destination]``."""
+
+    def _compute_root(
+        self,
+        root_partials: np.ndarray,
+        category_weights: np.ndarray,
+        state_frequencies: np.ndarray,
+        cumulative_scale_log: Optional[np.ndarray],
+    ) -> Tuple[float, np.ndarray]:
+        """Root integration hook (thread-pool backend parallelises this)."""
+        return compute.root_log_likelihood(
+            root_partials,
+            category_weights,
+            state_frequencies,
+            self._pattern_weights,
+            cumulative_scale_log,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Release resources.  Subclasses with threads/devices override."""
+
+    def __enter__(self) -> "BaseImplementation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()

@@ -1,0 +1,84 @@
+"""Vectorised CPU implementation — the SSE/AVX analogue.
+
+BEAGLE's SSE implementation parallelises "computation across character
+state values" with vector intrinsics (paper section IV-D).  The NumPy
+analogue evaluates whole operations as batched GEMMs
+(:func:`repro.core.compute.update_partials_pp`), vectorising across both
+the state and pattern axes through the BLAS vector units.  This is also
+the inner kernel the threaded implementations apply to their pattern
+slices, matching how the paper "combine[s] the added parallelism with the
+existing, low-level, SSE vectorization" (section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import compute
+from repro.core.flags import Flag
+from repro.core.types import Operation
+from repro.impl.base import BaseImplementation
+
+
+def compute_operation_slice(
+    impl: BaseImplementation, op: Operation, sl: slice
+) -> np.ndarray:
+    """Evaluate one operation restricted to a pattern slice.
+
+    Shared by the vectorised and threaded backends: thread workers call
+    this on disjoint slices and write the results into the destination
+    buffer without synchronisation (slices do not overlap).
+    """
+    m1 = impl._matrices[op.child1_matrix]
+    m2 = impl._matrices[op.child2_matrix]
+    s1 = impl._tip_states.get(op.child1)
+    s2 = impl._tip_states.get(op.child2)
+    if s1 is not None and s2 is not None:
+        return compute.update_partials_ss(
+            s1[sl],
+            compute.extend_matrices_for_gaps(m1),
+            s2[sl],
+            compute.extend_matrices_for_gaps(m2),
+        )
+    if s1 is not None:
+        return compute.update_partials_sp(
+            s1[sl],
+            compute.extend_matrices_for_gaps(m1),
+            impl._partials[op.child2][:, sl],
+            m2,
+        )
+    if s2 is not None:
+        return compute.update_partials_sp(
+            s2[sl],
+            compute.extend_matrices_for_gaps(m2),
+            impl._partials[op.child1][:, sl],
+            m1,
+        )
+    return compute.update_partials_pp(
+        impl._partials[op.child1][:, sl],
+        m1,
+        impl._partials[op.child2][:, sl],
+        m2,
+    )
+
+
+class CPUSSEImplementation(BaseImplementation):
+    """Whole-array vectorised evaluation (single thread)."""
+
+    name = "CPU-SSE"
+    flags = (
+        Flag.PRECISION_SINGLE
+        | Flag.PRECISION_DOUBLE
+        | Flag.COMPUTATION_SYNCH
+        | Flag.EIGEN_REAL
+        | Flag.SCALING_MANUAL
+        | Flag.SCALERS_LOG
+        | Flag.VECTOR_SSE
+        | Flag.THREADING_NONE
+        | Flag.PROCESSOR_CPU
+        | Flag.FRAMEWORK_CPU
+    )
+
+    def _compute_operation(self, op: Operation) -> None:
+        dest = compute_operation_slice(self, op, slice(None))
+        self._partials[op.destination] = self._apply_scaling(op, dest)

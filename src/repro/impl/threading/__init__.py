@@ -1,0 +1,19 @@
+"""The three CPU threading designs iterated in paper section VI."""
+
+from repro.impl.threading.common import (
+    MIN_PATTERNS_FOR_THREADING,
+    dependency_levels,
+    pattern_slices,
+)
+from repro.impl.threading.futures_impl import CPUFuturesImplementation
+from repro.impl.threading.thread_create import CPUThreadCreateImplementation
+from repro.impl.threading.thread_pool import CPUThreadPoolImplementation
+
+__all__ = [
+    "MIN_PATTERNS_FOR_THREADING",
+    "dependency_levels",
+    "pattern_slices",
+    "CPUFuturesImplementation",
+    "CPUThreadCreateImplementation",
+    "CPUThreadPoolImplementation",
+]

@@ -1,0 +1,70 @@
+"""The *futures* threading design (paper section VI-A).
+
+"Our initial approach involved modifying the default CPU implementation
+... such that for each partial-likelihoods operation to be computed, a C++
+standard library asynchronous future was created.  Thus, this approach
+only concurrently computed partial-likelihood operations that were
+independent in the tree topology being assessed, and did not take
+advantage of the independent nature of each sequence pattern."
+
+Accordingly this backend submits one task *per operation*, with barriers
+between dependency levels, and never splits the pattern axis.  Its
+available parallelism is bounded by the tree shape (at most ``n_tips/2``
+at the lowest level, collapsing to 1 at the root), which is why Table III
+shows it losing to the pattern-parallel designs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import List, Optional
+
+from repro.core.flags import Flag
+from repro.core.types import Operation
+from repro.impl.base import BaseImplementation
+from repro.impl.cpu_sse import compute_operation_slice
+from repro.impl.threading.common import default_thread_count, dependency_levels
+
+
+class CPUFuturesImplementation(BaseImplementation):
+    """One asynchronous task per topology-independent operation."""
+
+    name = "CPU-threaded-futures"
+    flags = (
+        Flag.PRECISION_SINGLE
+        | Flag.PRECISION_DOUBLE
+        | Flag.COMPUTATION_ASYNCH
+        | Flag.EIGEN_REAL
+        | Flag.SCALING_MANUAL
+        | Flag.SCALERS_LOG
+        | Flag.VECTOR_SSE
+        | Flag.THREADING_CPP
+        | Flag.PROCESSOR_CPU
+        | Flag.FRAMEWORK_CPU
+    )
+
+    def __init__(self, config, precision="double",
+                 thread_count: Optional[int] = None,
+                 scaling_mode: str = "always"):
+        super().__init__(config, precision, scaling_mode)
+        self.thread_count = thread_count or default_thread_count()
+
+    def _compute_operation(self, op: Operation) -> None:
+        dest = compute_operation_slice(self, op, slice(None))
+        self._partials[op.destination] = self._apply_scaling(op, dest)
+
+    def _execute_operations(self, operations: List[Operation]) -> None:
+        levels = dependency_levels(operations)
+        # Executor per call: the futures design creates its asynchronous
+        # work on demand rather than keeping a pool alive.
+        with ThreadPoolExecutor(max_workers=self.thread_count) as pool:
+            for level in levels:
+                if len(level) == 1:
+                    self._compute_operation(level[0])
+                    continue
+                futures = [
+                    pool.submit(self._compute_operation, op) for op in level
+                ]
+                done, _ = wait(futures)
+                for f in done:
+                    f.result()  # re-raise worker exceptions

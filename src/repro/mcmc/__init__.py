@@ -1,0 +1,85 @@
+"""Bayesian MCMC application substrate (the MrBayes role in Fig. 6)."""
+
+from repro.mcmc.chain import (
+    BeagleBackend,
+    MarkovChain,
+    NativeBackend,
+    PartitionedBackend,
+)
+from repro.mcmc.mc3 import (
+    MC3Result,
+    MetropolisCoupledMCMC,
+    Sample,
+    incremental_heats,
+    run_mc3_distributed,
+)
+from repro.mcmc.native import NativeLikelihood
+from repro.mcmc.priors import (
+    ExponentialPrior,
+    GammaPrior,
+    LogNormalPrior,
+    UniformPrior,
+    branch_lengths_log_prior,
+)
+from repro.mcmc.proposals import (
+    BranchLengthMultiplier,
+    NNIMove,
+    ParameterMultiplier,
+    PhyloState,
+    ProposalMix,
+    default_mix,
+)
+from repro.mcmc.summary import (
+    PosteriorSummary,
+    TraceStatistics,
+    effective_sample_size,
+    summarize,
+    summarize_trace,
+)
+from repro.mcmc.runner import (
+    BACKENDS,
+    AnalysisSpec,
+    MrBayesRun,
+    MrBayesRunner,
+    codon_analysis,
+    gy94_factory,
+    hky_gamma_factory,
+    nucleotide_analysis,
+)
+
+__all__ = [
+    "MarkovChain",
+    "BeagleBackend",
+    "NativeBackend",
+    "PartitionedBackend",
+    "NativeLikelihood",
+    "MetropolisCoupledMCMC",
+    "run_mc3_distributed",
+    "MC3Result",
+    "Sample",
+    "incremental_heats",
+    "ExponentialPrior",
+    "GammaPrior",
+    "LogNormalPrior",
+    "UniformPrior",
+    "branch_lengths_log_prior",
+    "PhyloState",
+    "ProposalMix",
+    "BranchLengthMultiplier",
+    "NNIMove",
+    "ParameterMultiplier",
+    "default_mix",
+    "MrBayesRunner",
+    "MrBayesRun",
+    "AnalysisSpec",
+    "nucleotide_analysis",
+    "codon_analysis",
+    "hky_gamma_factory",
+    "gy94_factory",
+    "BACKENDS",
+    "PosteriorSummary",
+    "TraceStatistics",
+    "effective_sample_size",
+    "summarize",
+    "summarize_trace",
+]

@@ -1,0 +1,231 @@
+"""Metropolis-coupled MCMC (MC^3) with optional simulated-MPI distribution.
+
+MrBayes runs "four Metropolis-coupled Markov chain Monte Carlo chains"
+(paper section VIII-C) heated incrementally; heated chains explore, the
+cold chain samples, and chains propose to swap heats.  With MPI, chains
+are distributed across ranks and swap bookkeeping happens collectively —
+the structure this module reproduces over :mod:`repro.mpi`.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mcmc.chain import MarkovChain
+from repro.mpi import SimulatedComm, run_mpi
+from repro.util.rng import SeedLike, spawn_rng
+
+
+def _newick_of(chain: MarkovChain) -> str:
+    from repro.tree.newick import write_newick
+
+    return write_newick(chain.state.tree)
+
+
+def incremental_heats(n_chains: int, delta_t: float = 0.1) -> List[float]:
+    """MrBayes' heating scheme: ``beta_i = 1 / (1 + delta_t * i)``."""
+    if n_chains < 1:
+        raise ValueError(f"need at least one chain, got {n_chains}")
+    if delta_t < 0:
+        raise ValueError(f"delta_t must be non-negative, got {delta_t}")
+    return [1.0 / (1.0 + delta_t * i) for i in range(n_chains)]
+
+
+@dataclass
+class Sample:
+    """One cold-chain sample."""
+
+    generation: int
+    log_likelihood: float
+    log_prior: float
+    tree_length: float
+    parameters: Dict[str, float]
+    #: Sampled topology+branch lengths (Newick), for consensus summaries.
+    tree_newick: str = ""
+
+
+@dataclass
+class MC3Result:
+    samples: List[Sample]
+    swap_proposed: int
+    swap_accepted: int
+    acceptance_rates: Dict[str, float]
+
+    @property
+    def swap_rate(self) -> float:
+        return self.swap_accepted / self.swap_proposed if self.swap_proposed else 0.0
+
+
+class MetropolisCoupledMCMC:
+    """Run ``n`` coupled chains, swapping heats at a fixed interval.
+
+    ``chain_factory(chain_index, heat)`` builds each chain (so every
+    chain owns its own likelihood instance — this is the paper's level of
+    concurrency that is "complimentary to that provided by the BEAGLE
+    library").
+    """
+
+    def __init__(
+        self,
+        chain_factory: Callable[[int, float], MarkovChain],
+        n_chains: int = 4,
+        delta_t: float = 0.1,
+        rng: SeedLike = None,
+    ) -> None:
+        self.rng = spawn_rng(rng)
+        self.heats = incremental_heats(n_chains, delta_t)
+        self.chains = [
+            chain_factory(i, heat) for i, heat in enumerate(self.heats)
+        ]
+        self.swap_proposed = 0
+        self.swap_accepted = 0
+
+    @property
+    def cold_chain(self) -> MarkovChain:
+        return max(self.chains, key=lambda c: c.heat)
+
+    def _try_swap(self) -> None:
+        if len(self.chains) < 2:
+            return
+        i = int(self.rng.integers(len(self.chains) - 1))
+        j = i + 1
+        ci, cj = self.chains[i], self.chains[j]
+        log_r = (ci.heat - cj.heat) * (cj.log_posterior - ci.log_posterior)
+        self.swap_proposed += 1
+        if math.log(self.rng.random()) < log_r:
+            ci.heat, cj.heat = cj.heat, ci.heat
+            self.swap_accepted += 1
+
+    def run(
+        self,
+        generations: int,
+        swap_interval: int = 10,
+        sample_interval: int = 10,
+    ) -> MC3Result:
+        if generations < 1:
+            raise ValueError("need at least one generation")
+        samples: List[Sample] = []
+        for gen in range(1, generations + 1):
+            for chain in self.chains:
+                chain.step()
+            if gen % swap_interval == 0:
+                self._try_swap()
+            if gen % sample_interval == 0:
+                cold = self.cold_chain
+                samples.append(
+                    Sample(
+                        generation=gen,
+                        log_likelihood=cold.log_likelihood,
+                        log_prior=cold.log_prior,
+                        tree_length=cold.state.tree.total_branch_length(),
+                        parameters=dict(cold.state.parameters),
+                        tree_newick=_newick_of(cold),
+                    )
+                )
+        cold = self.cold_chain
+        rates = {
+            name: cold.stats.rate(name) for name in cold.stats.proposed
+        }
+        return MC3Result(
+            samples=samples,
+            swap_proposed=self.swap_proposed,
+            swap_accepted=self.swap_accepted,
+            acceptance_rates=rates,
+        )
+
+    def finalize(self) -> None:
+        for chain in self.chains:
+            chain.finalize()
+
+
+def run_mc3_distributed(
+    chain_factory: Callable[[int, float], MarkovChain],
+    n_chains: int = 4,
+    n_ranks: int = 2,
+    generations: int = 100,
+    swap_interval: int = 10,
+    sample_interval: int = 10,
+    delta_t: float = 0.1,
+    seed: int = 0,
+) -> MC3Result:
+    """MC^3 with chains distributed round-robin over simulated MPI ranks.
+
+    Rank *r* owns chains ``r, r + n_ranks, ...``.  At each swap point the
+    ranks gather (posterior, heat) to rank 0, which draws the candidate
+    pair and the acceptance decision and broadcasts the updated heat
+    assignment — the collective structure of parallel MrBayes
+    (Altekar et al. 2004).
+    """
+    if n_chains < n_ranks:
+        raise ValueError("need at least one chain per rank")
+
+    def rank_main(comm: SimulatedComm):
+        rng = spawn_rng(seed)  # shared stream: identical draws on all ranks
+        heats = incremental_heats(n_chains, delta_t)
+        my_ids = list(range(comm.rank, n_chains, comm.size))
+        my_chains = {i: chain_factory(i, heats[i]) for i in my_ids}
+        samples: List[Sample] = []
+        swap_proposed = swap_accepted = 0
+
+        for gen in range(1, generations + 1):
+            for chain in my_chains.values():
+                chain.step()
+            if gen % swap_interval == 0:
+                posts = comm.gather(
+                    {i: c.log_posterior for i, c in my_chains.items()}, root=0
+                )
+                # Every rank draws the same pair/uniform from the shared rng.
+                i = int(rng.integers(n_chains - 1))
+                j = i + 1
+                u = rng.random()
+                if comm.rank == 0:
+                    merged: Dict[int, float] = {}
+                    for d in posts:
+                        merged.update(d)
+                    log_r = (heats[i] - heats[j]) * (merged[j] - merged[i])
+                    accept = math.log(u) < log_r
+                else:
+                    accept = None
+                accept = comm.bcast(accept, root=0)
+                swap_proposed += 1
+                if accept:
+                    swap_accepted += 1
+                    heats[i], heats[j] = heats[j], heats[i]
+                    for cid, chain in my_chains.items():
+                        chain.heat = heats[cid]
+            if gen % sample_interval == 0:
+                cold_id = int(np.argmax(heats))
+                record = None
+                if cold_id in my_chains:
+                    cold = my_chains[cold_id]
+                    record = Sample(
+                        generation=gen,
+                        log_likelihood=cold.log_likelihood,
+                        log_prior=cold.log_prior,
+                        tree_length=cold.state.tree.total_branch_length(),
+                        parameters=dict(cold.state.parameters),
+                        tree_newick=_newick_of(cold),
+                    )
+                gathered = comm.gather(record, root=0)
+                if comm.rank == 0:
+                    found = [s for s in gathered if s is not None]
+                    samples.append(found[0])
+
+        for chain in my_chains.values():
+            chain.finalize()
+        if comm.rank == 0:
+            cold_id = int(np.argmax(heats))
+            rates: Dict[str, float] = {}
+            for c in my_chains.values():
+                for name in c.stats.proposed:
+                    rates[name] = c.stats.rate(name)
+            return MC3Result(samples, swap_proposed, swap_accepted, rates)
+        return None
+
+    results = run_mpi(n_ranks, rank_main)
+    return results[0]

@@ -1,0 +1,240 @@
+"""MrBayes-style analysis runner with selectable likelihood backends.
+
+Binds a dataset + model choice + backend name into a ready-to-run MC^3
+analysis, mirroring how MrBayes 3.2.6 either uses its native SSE
+evaluator or hands likelihoods to BEAGLE (paper section VIII-C).  Backend
+names map to the paper's Fig. 6 bars:
+
+==================  =====================================================
+``native-sse``      MrBayes' built-in evaluator (the baseline)
+``cpu-serial``      BEAGLE CPU-serial
+``cpu-sse``         BEAGLE CPU with state vectorisation
+``cpp-threads``     BEAGLE C++-threads (thread-pool design)
+``opencl-x86``      BEAGLE OpenCL on the CPU device
+``opencl-gpu``      BEAGLE OpenCL on a simulated AMD GPU
+``cuda``            BEAGLE CUDA on the simulated NVIDIA GPU
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.accel.device import (
+    FIREPRO_S9170,
+    QUADRO_P5000,
+    XEON_E5_2680V4_X2,
+    DeviceSpec,
+)
+from repro.core.flags import Flag
+from repro.mcmc.chain import (
+    BeagleBackend,
+    MarkovChain,
+    ModelFactory,
+    NativeBackend,
+)
+from repro.mcmc.mc3 import MC3Result, MetropolisCoupledMCMC, run_mc3_distributed
+from repro.mcmc.priors import ExponentialPrior, GammaPrior, Prior, UniformPrior
+from repro.mcmc.proposals import PhyloState, default_mix
+from repro.model.codon import GY94
+from repro.model.nucleotide import HKY85
+from repro.model.sitemodel import SiteModel
+from repro.seq.patterns import PatternSet
+from repro.tree.tree import Tree
+from repro.util.rng import SeedLike, spawn_rng
+
+BACKENDS = (
+    "native-sse",
+    "cpu-serial",
+    "cpu-sse",
+    "cpp-threads",
+    "opencl-x86",
+    "opencl-gpu",
+    "cuda",
+)
+
+
+def hky_gamma_factory(n_categories: int = 4) -> ModelFactory:
+    """Parameters: kappa (ts/tv ratio), alpha (gamma shape)."""
+
+    def build(params: Dict[str, float]):
+        return (
+            HKY85(kappa=params["kappa"]),
+            SiteModel.gamma(params["alpha"], n_categories),
+        )
+
+    return build
+
+
+def gy94_factory() -> ModelFactory:
+    """Parameters: kappa and omega (dN/dS)."""
+
+    def build(params: Dict[str, float]):
+        return (
+            GY94(kappa=params["kappa"], omega=params["omega"]),
+            SiteModel.uniform(),
+        )
+
+    return build
+
+
+@dataclass
+class AnalysisSpec:
+    """Everything needed to run one MrBayes-style analysis."""
+
+    tree: Tree
+    data: PatternSet
+    model_factory: ModelFactory
+    initial_parameters: Dict[str, float]
+    parameter_priors: Dict[str, Prior]
+    branch_prior: Prior
+
+
+def nucleotide_analysis(tree: Tree, data: PatternSet) -> AnalysisSpec:
+    """HKY85 + Gamma(4), the Fig. 6 nucleotide configuration."""
+    return AnalysisSpec(
+        tree=tree,
+        data=data,
+        model_factory=hky_gamma_factory(),
+        initial_parameters={"kappa": 2.0, "alpha": 0.5},
+        parameter_priors={
+            "kappa": GammaPrior(2.0, 0.5),
+            "alpha": UniformPrior(0.05, 50.0),
+        },
+        branch_prior=ExponentialPrior(10.0),
+    )
+
+
+def codon_analysis(tree: Tree, data: PatternSet) -> AnalysisSpec:
+    """GY94 codon model, the Fig. 6 codon configuration."""
+    return AnalysisSpec(
+        tree=tree,
+        data=data,
+        model_factory=gy94_factory(),
+        initial_parameters={"kappa": 2.0, "omega": 0.2},
+        parameter_priors={
+            "kappa": GammaPrior(2.0, 0.5),
+            "omega": ExponentialPrior(1.0),
+        },
+        branch_prior=ExponentialPrior(10.0),
+    )
+
+
+def _backend_factory(
+    backend: str, spec: AnalysisSpec, precision: str
+) -> Callable[[PhyloState], object]:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    def make(state: PhyloState):
+        if backend == "native-sse":
+            return NativeBackend(
+                state, spec.data, spec.model_factory, precision=precision
+            )
+        kwargs: Dict[str, object] = {"precision": precision}
+        if backend == "cpu-serial":
+            kwargs["requirement_flags"] = Flag.VECTOR_NONE
+        elif backend == "cpu-sse":
+            kwargs["requirement_flags"] = Flag.VECTOR_SSE
+            kwargs["preference_flags"] = Flag.THREADING_NONE
+        elif backend == "cpp-threads":
+            kwargs["requirement_flags"] = Flag.THREADING_CPP
+        elif backend == "opencl-x86":
+            kwargs["requirement_flags"] = (
+                Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
+            )
+        elif backend == "opencl-gpu":
+            kwargs["requirement_flags"] = (
+                Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
+            )
+        elif backend == "cuda":
+            kwargs["requirement_flags"] = Flag.FRAMEWORK_CUDA
+        return BeagleBackend(state, spec.data, spec.model_factory, **kwargs)
+
+    return make
+
+
+@dataclass
+class MrBayesRun:
+    """Result bundle from one analysis run."""
+
+    result: MC3Result
+    wall_seconds: float
+    backend: str
+    precision: str
+
+
+class MrBayesRunner:
+    """Configure and execute an MC^3 analysis, MrBayes style."""
+
+    def __init__(
+        self,
+        spec: AnalysisSpec,
+        backend: str = "native-sse",
+        precision: str = "single",
+        n_chains: int = 4,
+        delta_t: float = 0.1,
+        rng: SeedLike = None,
+    ) -> None:
+        self.spec = spec
+        self.backend = backend
+        self.precision = precision
+        self.n_chains = n_chains
+        self.delta_t = delta_t
+        self.rng = spawn_rng(rng)
+        self._make_backend = _backend_factory(backend, spec, precision)
+
+    def _chain_factory(self, index: int, heat: float) -> MarkovChain:
+        state = PhyloState(
+            tree=self.spec.tree.copy(),
+            parameters=dict(self.spec.initial_parameters),
+        )
+        backend = self._make_backend(state)
+        seed = int(self.rng.integers(2**62))
+        return MarkovChain(
+            state=state,
+            backend=backend,
+            branch_prior=self.spec.branch_prior,
+            parameter_priors=self.spec.parameter_priors,
+            mix=default_mix(sorted(self.spec.initial_parameters)),
+            heat=heat,
+            rng=seed,
+        )
+
+    def run(
+        self,
+        generations: int,
+        swap_interval: int = 10,
+        sample_interval: int = 10,
+        n_ranks: Optional[int] = None,
+    ) -> MrBayesRun:
+        """Run the analysis; ``n_ranks`` distributes chains over simulated MPI."""
+        start = time.perf_counter()
+        if n_ranks and n_ranks > 1:
+            result = run_mc3_distributed(
+                self._chain_factory,
+                n_chains=self.n_chains,
+                n_ranks=n_ranks,
+                generations=generations,
+                swap_interval=swap_interval,
+                sample_interval=sample_interval,
+                delta_t=self.delta_t,
+                seed=int(self.rng.integers(2**62)),
+            )
+        else:
+            mc3 = MetropolisCoupledMCMC(
+                self._chain_factory,
+                n_chains=self.n_chains,
+                delta_t=self.delta_t,
+                rng=self.rng,
+            )
+            result = mc3.run(generations, swap_interval, sample_interval)
+            mc3.finalize()
+        return MrBayesRun(
+            result=result,
+            wall_seconds=time.perf_counter() - start,
+            backend=self.backend,
+            precision=self.precision,
+        )

@@ -1,0 +1,175 @@
+"""Posterior summarisation: traces, ESS, and topology support.
+
+MrBayes-style post-processing for :class:`~repro.mcmc.mc3.MC3Result`:
+burn-in removal, per-parameter trace statistics with effective sample
+sizes (the standard initial-positive-sequence autocorrelation estimator),
+and majority-rule bipartition support over sampled topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mcmc.mc3 import MC3Result, Sample
+from repro.tree.compare import (
+    bipartition_frequencies,
+    consensus_newick,
+    majority_rule_splits,
+)
+from repro.tree.newick import parse_newick
+from repro.tree.tree import Tree
+
+
+def effective_sample_size(trace: Sequence[float]) -> float:
+    """ESS via the initial positive sequence of autocorrelations (Geyer).
+
+    Sums paired autocorrelations ``rho(2k) + rho(2k+1)`` while the pair
+    sum stays positive; ``ESS = n / (1 + 2 sum rho)``.  Returns ``n`` for
+    white noise and much less for sticky chains.
+    """
+    x = np.asarray(trace, dtype=float)
+    n = x.size
+    if n < 4:
+        return float(n)
+    x = x - x.mean()
+    var = float(np.dot(x, x)) / n
+    if var == 0:
+        return float(n)
+    # FFT autocorrelation.
+    m = 1
+    while m < 2 * n:
+        m *= 2
+    f = np.fft.rfft(x, m)
+    acf = np.fft.irfft(f * np.conj(f), m)[:n].real / (var * n)
+    total = 0.0
+    k = 1
+    while k + 1 < n:
+        pair = acf[k] + acf[k + 1]
+        if pair <= 0:
+            break
+        total += pair
+        k += 2
+    ess = n / (1.0 + 2.0 * total)
+    return float(min(max(ess, 1.0), n))
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary of one scalar posterior trace."""
+
+    name: str
+    mean: float
+    std: float
+    median: float
+    hpd_low: float     # 95% highest-posterior-density interval
+    hpd_high: float
+    ess: float
+    n: int
+
+
+def _hpd(values: np.ndarray, mass: float = 0.95) -> Tuple[float, float]:
+    """Shortest interval containing ``mass`` of the samples."""
+    ordered = np.sort(values)
+    n = ordered.size
+    k = max(1, int(np.ceil(mass * n)))
+    if k >= n:
+        return float(ordered[0]), float(ordered[-1])
+    widths = ordered[k:] - ordered[: n - k]
+    i = int(np.argmin(widths))
+    return float(ordered[i]), float(ordered[i + k])
+
+
+def summarize_trace(name: str, values: Sequence[float]) -> TraceStatistics:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError(f"trace {name!r} is empty")
+    lo, hi = _hpd(arr)
+    return TraceStatistics(
+        name=name,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        hpd_low=lo,
+        hpd_high=hi,
+        ess=effective_sample_size(arr),
+        n=arr.size,
+    )
+
+
+@dataclass
+class PosteriorSummary:
+    """Full post-run summary of an MC^3 analysis."""
+
+    statistics: Dict[str, TraceStatistics]
+    n_samples: int
+    n_burned: int
+    split_support: Optional[Dict[frozenset, float]] = None
+    consensus: Optional[str] = None
+
+    def table(self) -> str:
+        from repro.util.tables import format_table
+
+        rows = [
+            [s.name, s.mean, s.std, s.median,
+             f"[{s.hpd_low:.3f}, {s.hpd_high:.3f}]", s.ess]
+            for s in self.statistics.values()
+        ]
+        return format_table(
+            ["parameter", "mean", "std", "median", "95% HPD", "ESS"],
+            rows,
+            title=(
+                f"Posterior summary ({self.n_samples} samples, "
+                f"{self.n_burned} burned)"
+            ),
+        )
+
+
+def summarize(
+    result: MC3Result,
+    burn_in: float = 0.25,
+    consensus_threshold: float = 0.5,
+) -> PosteriorSummary:
+    """Summarise an MC^3 run: traces + (when trees were sampled) topology.
+
+    ``burn_in`` is the fraction of early samples to discard.
+    """
+    if not 0.0 <= burn_in < 1.0:
+        raise ValueError(f"burn_in must be in [0, 1), got {burn_in}")
+    samples = result.samples
+    if not samples:
+        raise ValueError("result contains no samples")
+    n_burned = int(len(samples) * burn_in)
+    kept = samples[n_burned:]
+    if not kept:
+        raise ValueError("burn-in removed every sample")
+
+    stats: Dict[str, TraceStatistics] = {}
+    stats["logL"] = summarize_trace(
+        "logL", [s.log_likelihood for s in kept]
+    )
+    stats["tree_length"] = summarize_trace(
+        "tree_length", [s.tree_length for s in kept]
+    )
+    for name in sorted(kept[0].parameters):
+        stats[name] = summarize_trace(
+            name, [s.parameters[name] for s in kept]
+        )
+
+    split_support = None
+    consensus = None
+    newicks = [s.tree_newick for s in kept if s.tree_newick]
+    if newicks:
+        trees = [parse_newick(nwk) for nwk in newicks]
+        split_support = bipartition_frequencies(trees)
+        consensus = consensus_newick(trees, consensus_threshold)
+
+    return PosteriorSummary(
+        statistics=stats,
+        n_samples=len(kept),
+        n_burned=n_burned,
+        split_support=split_support,
+        consensus=consensus,
+    )

@@ -1,0 +1,19 @@
+"""Maximum-likelihood application substrate (the GARLI/PhyML role)."""
+
+from repro.ml.optimize import (
+    MLResult,
+    optimize_branch_length,
+    optimize_branch_lengths,
+    optimize_branch_lengths_newton,
+    optimize_parameters,
+    optimize_root_edge_newton,
+)
+
+__all__ = [
+    "MLResult",
+    "optimize_branch_length",
+    "optimize_branch_lengths",
+    "optimize_branch_lengths_newton",
+    "optimize_parameters",
+    "optimize_root_edge_newton",
+]

@@ -1,0 +1,60 @@
+"""Substitution models and state spaces for phylogenetic likelihoods.
+
+The model layer is *client-side* with respect to the BEAGLE API: it
+produces the eigendecompositions, frequencies, and rate categories that a
+client program feeds to a :class:`repro.core.BeagleInstance`.
+"""
+
+from repro.model.aminoacid import EmpiricalAAModel, Poisson, make_benchmark_aa_model
+from repro.model.codon import GY94, MG94, f1x4_frequencies, f3x4_frequencies
+from repro.model.nucleotide import F81, GTR, HKY85, JC69, K80
+from repro.model.ratematrix import (
+    EigenSystem,
+    SubstitutionModel,
+    build_reversible_q,
+    eigendecompose_general,
+    eigendecompose_reversible,
+    normalize_rate_matrix,
+)
+from repro.model.sitemodel import SiteModel, discrete_gamma_rates
+from repro.model.statespace import (
+    AMINO_ACID,
+    CODON,
+    NUCLEOTIDE,
+    SENSE_CODONS,
+    STANDARD_GENETIC_CODE,
+    StateSpace,
+    codon_tokens,
+    get_state_space,
+)
+
+__all__ = [
+    "AMINO_ACID",
+    "CODON",
+    "NUCLEOTIDE",
+    "SENSE_CODONS",
+    "STANDARD_GENETIC_CODE",
+    "StateSpace",
+    "codon_tokens",
+    "get_state_space",
+    "EigenSystem",
+    "SubstitutionModel",
+    "build_reversible_q",
+    "eigendecompose_general",
+    "eigendecompose_reversible",
+    "normalize_rate_matrix",
+    "SiteModel",
+    "discrete_gamma_rates",
+    "F81",
+    "GTR",
+    "HKY85",
+    "JC69",
+    "K80",
+    "GY94",
+    "MG94",
+    "f1x4_frequencies",
+    "f3x4_frequencies",
+    "EmpiricalAAModel",
+    "Poisson",
+    "make_benchmark_aa_model",
+]

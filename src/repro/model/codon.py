@@ -1,0 +1,184 @@
+"""Codon (61-state) substitution models: Goldman-Yang 1994 and Muse-Gaut 1994.
+
+Codon models are the computationally heaviest analysis class the paper
+benchmarks: with *s* = 61 the ``O(s^2)`` per-pattern work is ~230x a
+nucleotide site, which is why the paper observes codon throughput
+saturating at far smaller pattern counts (Fig. 4) and why AMD local-memory
+limits forced fewer patterns per work-group (section VII-B.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.model.ratematrix import SubstitutionModel, build_reversible_q
+from repro.model.statespace import (
+    CODON,
+    SENSE_CODONS,
+    STANDARD_GENETIC_CODE,
+)
+
+_NUC = "ACGT"
+_TRANSITIONS = {("A", "G"), ("G", "A"), ("C", "T"), ("T", "C")}
+
+
+def _single_difference(c1: str, c2: str):
+    """Return ``(position, from_nuc, to_nuc)`` if codons differ at exactly
+    one position, else ``None``."""
+    diffs = [(i, a, b) for i, (a, b) in enumerate(zip(c1, c2)) if a != b]
+    if len(diffs) == 1:
+        return diffs[0]
+    return None
+
+
+def f1x4_frequencies(nuc_freqs: Sequence[float]) -> np.ndarray:
+    """Codon frequencies as products of a single nucleotide distribution."""
+    nf = np.asarray(nuc_freqs, dtype=float)
+    if nf.shape != (4,) or not np.isclose(nf.sum(), 1.0):
+        raise ValueError("need 4 nucleotide frequencies summing to 1")
+    pi = np.array(
+        [
+            nf[_NUC.index(c[0])] * nf[_NUC.index(c[1])] * nf[_NUC.index(c[2])]
+            for c in SENSE_CODONS
+        ]
+    )
+    return pi / pi.sum()
+
+
+def f3x4_frequencies(pos_freqs: np.ndarray) -> np.ndarray:
+    """Codon frequencies from position-specific nucleotide distributions.
+
+    ``pos_freqs`` has shape ``(3, 4)``: one ACGT distribution per codon
+    position.  Stop codons are excluded and the result renormalised.
+    """
+    pf = np.asarray(pos_freqs, dtype=float)
+    if pf.shape != (3, 4) or not np.allclose(pf.sum(axis=1), 1.0):
+        raise ValueError("need (3, 4) frequencies with rows summing to 1")
+    pi = np.array(
+        [
+            pf[0, _NUC.index(c[0])]
+            * pf[1, _NUC.index(c[1])]
+            * pf[2, _NUC.index(c[2])]
+            for c in SENSE_CODONS
+        ]
+    )
+    return pi / pi.sum()
+
+
+class GY94(SubstitutionModel):
+    """Goldman-Yang 1994 codon model.
+
+    Rate from codon *i* to codon *j* (differing at one position):
+
+    * 0 if more than one position differs (or either is a stop codon);
+    * ``pi_j`` baseline, multiplied by
+    * ``kappa`` if the nucleotide change is a transition, and
+    * ``omega`` if the amino acid changes (non-synonymous).
+
+    Parameters
+    ----------
+    kappa:
+        Transition/transversion rate ratio.
+    omega:
+        Non-synonymous/synonymous rate ratio (dN/dS).
+    frequencies:
+        Codon frequencies over :data:`SENSE_CODONS`; uniform by default.
+    """
+
+    def __init__(
+        self,
+        kappa: float = 2.0,
+        omega: float = 0.5,
+        frequencies: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kappa <= 0 or omega < 0:
+            raise ValueError("kappa must be > 0 and omega >= 0")
+        n = CODON.n_states
+        pi = (
+            np.full(n, 1.0 / n)
+            if frequencies is None
+            else np.asarray(frequencies, dtype=float)
+        )
+        r = np.zeros((n, n))
+        for i, ci in enumerate(SENSE_CODONS):
+            for j in range(i + 1, n):
+                cj = SENSE_CODONS[j]
+                diff = _single_difference(ci, cj)
+                if diff is None:
+                    continue
+                _, a, b = diff
+                rate = 1.0
+                if (a, b) in _TRANSITIONS:
+                    rate *= kappa
+                if STANDARD_GENETIC_CODE[ci] != STANDARD_GENETIC_CODE[cj]:
+                    rate *= omega
+                r[i, j] = r[j, i] = rate
+        q = build_reversible_q(r, pi)
+        super().__init__(CODON, q, pi, "GY94")
+        self.kappa = float(kappa)
+        self.omega = float(omega)
+
+
+class MG94(SubstitutionModel):
+    """Muse-Gaut 1994 codon model.
+
+    Differs from GY94 in using the *target nucleotide* frequency rather
+    than the target codon frequency as the baseline rate.  Stationary
+    frequencies are computed from the resulting reversible chain.
+    """
+
+    def __init__(
+        self,
+        kappa: float = 2.0,
+        omega: float = 0.5,
+        nuc_freqs: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kappa <= 0 or omega < 0:
+            raise ValueError("kappa must be > 0 and omega >= 0")
+        nf = (
+            np.full(4, 0.25)
+            if nuc_freqs is None
+            else np.asarray(nuc_freqs, dtype=float)
+        )
+        if nf.shape != (4,) or not np.isclose(nf.sum(), 1.0):
+            raise ValueError("need 4 nucleotide frequencies summing to 1")
+        n = CODON.n_states
+        # MG94 is reversible with stationary distribution proportional to
+        # the product of per-position nucleotide frequencies (F1x4 form).
+        pi = f1x4_frequencies(nf)
+        r = np.zeros((n, n))
+        for i, ci in enumerate(SENSE_CODONS):
+            for j in range(i + 1, n):
+                cj = SENSE_CODONS[j]
+                diff = _single_difference(ci, cj)
+                if diff is None:
+                    continue
+                pos, a, b = diff
+                # Exchangeability such that Q_ij = r_ij * pi_j matches the
+                # MG94 rate kappa^{ts} * omega^{nonsyn} * pi(target nuc):
+                # divide out the two invariant positions' frequencies.
+                rate = nf[_NUC.index(b)] / (pi[j] / _pos_freq_product(cj, pos, nf))
+                if (a, b) in _TRANSITIONS:
+                    rate *= kappa
+                if STANDARD_GENETIC_CODE[ci] != STANDARD_GENETIC_CODE[cj]:
+                    rate *= omega
+                r[i, j] = r[j, i] = rate
+        q = build_reversible_q(r, pi)
+        super().__init__(CODON, q, pi, "MG94")
+        self.kappa = float(kappa)
+        self.omega = float(omega)
+
+
+def _pos_freq_product(codon: str, skip_pos: int, nf: np.ndarray) -> float:
+    """Product of nucleotide frequencies over all positions except one."""
+    prod = 1.0
+    for p, nuc in enumerate(codon):
+        if p != skip_pos:
+            prod *= nf[_NUC.index(nuc)]
+    # Renormalise by the stop-codon exclusion factor baked into pi.
+    total = sum(
+        np.prod([nf[_NUC.index(c)] for c in cod]) for cod in SENSE_CODONS
+    )
+    return prod / total

@@ -1,0 +1,111 @@
+"""Nucleotide substitution models: JC69, K80, F81, HKY85, GTR.
+
+All are special cases of the general time-reversible (GTR) family; each
+class documents which exchangeability/frequency constraints it applies.
+These are the 4-state models whose lighter per-thread workload motivates
+the paper's OpenCL-x86 loop-over-states kernel variant (section VII-B.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.ratematrix import SubstitutionModel, build_reversible_q
+from repro.model.statespace import NUCLEOTIDE
+
+_UNIFORM = np.full(4, 0.25)
+
+# Exchangeability parameter order used for GTR rate vectors, matching the
+# conventional (AC, AG, AT, CG, CT, GT) layout used by PAUP*/MrBayes.
+GTR_RATE_ORDER = ("AC", "AG", "AT", "CG", "CT", "GT")
+
+
+def _exchangeability_matrix(rates: Sequence[float]) -> np.ndarray:
+    if len(rates) != 6:
+        raise ValueError(f"GTR needs 6 exchangeabilities, got {len(rates)}")
+    ac, ag, at, cg, ct, gt = (float(r) for r in rates)
+    if min(ac, ag, at, cg, ct, gt) < 0:
+        raise ValueError("exchangeabilities must be non-negative")
+    return np.array(
+        [
+            [0.0, ac, ag, at],
+            [ac, 0.0, cg, ct],
+            [ag, cg, 0.0, gt],
+            [at, ct, gt, 0.0],
+        ]
+    )
+
+
+class GTR(SubstitutionModel):
+    """General time-reversible model (Tavare 1986).
+
+    Parameters
+    ----------
+    rates:
+        Six exchangeabilities in :data:`GTR_RATE_ORDER`.  Only relative
+        values matter; *Q* is normalised to unit mean rate.
+    frequencies:
+        Stationary base frequencies ``(pi_A, pi_C, pi_G, pi_T)``.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[float],
+        frequencies: Optional[Sequence[float]] = None,
+        name: str = "GTR",
+    ) -> None:
+        pi = _UNIFORM if frequencies is None else np.asarray(frequencies, float)
+        q = build_reversible_q(_exchangeability_matrix(rates), pi)
+        super().__init__(NUCLEOTIDE, q, pi, name)
+        self.rates = tuple(float(r) for r in rates)
+
+
+class JC69(GTR):
+    """Jukes-Cantor 1969: equal rates, equal frequencies."""
+
+    def __init__(self) -> None:
+        super().__init__(rates=(1.0,) * 6, frequencies=_UNIFORM, name="JC69")
+
+
+class F81(GTR):
+    """Felsenstein 1981: equal exchangeabilities, free frequencies."""
+
+    def __init__(self, frequencies: Sequence[float]) -> None:
+        super().__init__(rates=(1.0,) * 6, frequencies=frequencies, name="F81")
+
+
+class K80(GTR):
+    """Kimura 1980 two-parameter model: transition/transversion ratio kappa."""
+
+    def __init__(self, kappa: float = 2.0) -> None:
+        if kappa <= 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        # AG and CT are transitions (purine<->purine, pyrimidine<->pyrimidine).
+        super().__init__(
+            rates=(1.0, kappa, 1.0, 1.0, kappa, 1.0),
+            frequencies=_UNIFORM,
+            name="K80",
+        )
+        self.kappa = float(kappa)
+
+
+class HKY85(GTR):
+    """Hasegawa-Kishino-Yano 1985: kappa plus free base frequencies.
+
+    This is the model used by the paper's genomictest nucleotide
+    benchmarks and our default for synthetic workloads.
+    """
+
+    def __init__(
+        self, kappa: float = 2.0, frequencies: Optional[Sequence[float]] = None
+    ) -> None:
+        if kappa <= 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        super().__init__(
+            rates=(1.0, kappa, 1.0, 1.0, kappa, 1.0),
+            frequencies=_UNIFORM if frequencies is None else frequencies,
+            name="HKY85",
+        )
+        self.kappa = float(kappa)

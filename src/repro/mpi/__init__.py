@@ -1,0 +1,15 @@
+"""Simulated MPI for distributing Metropolis-coupled chains.
+
+MrBayes "uses MPI to concurrently compute separate Markov chain Monte
+Carlo chains across processors" (paper section VIII-C).  No MPI runtime
+exists in this environment, so this package provides an in-process
+communicator with the mpi4py-style subset the MC^3 runner needs:
+point-to-point ``send``/``recv``, ``bcast``, ``gather``, ``allreduce``,
+and ``barrier``.  Ranks run as Python threads over a shared queue fabric,
+so message-passing semantics (blocking receives, tag matching, rank
+addressing) are exercised for real even though transport is memcpy.
+"""
+
+from repro.mpi.comm import MPIError, SimulatedComm, run_mpi
+
+__all__ = ["SimulatedComm", "run_mpi", "MPIError"]

@@ -1,0 +1,137 @@
+"""In-process MPI communicator over thread queues."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+ANY_TAG = -1
+
+
+class MPIError(RuntimeError):
+    """Invalid communicator usage (bad rank, mismatched collective, ...)."""
+
+
+class _Fabric:
+    """Shared mailbox fabric: one queue per (source, dest) pair."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.queues: Dict[Tuple[int, int], "queue.Queue"] = {
+            (src, dst): queue.Queue()
+            for src in range(size)
+            for dst in range(size)
+        }
+        self.barrier = threading.Barrier(size)
+
+
+class SimulatedComm:
+    """Rank-local view of the fabric, mpi4py lowercase-method style."""
+
+    def __init__(self, rank: int, fabric: _Fabric) -> None:
+        self.rank = rank
+        self._fabric = fabric
+
+    @property
+    def size(self) -> int:
+        return self._fabric.size
+
+    def _check_rank(self, rank: int, label: str) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"{label} rank {rank} outside communicator of {self.size}")
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "dest")
+        self._fabric.queues[(self.rank, dest)].put((tag, obj))
+
+    def recv(self, source: int, tag: int = ANY_TAG, timeout: float = 60.0) -> Any:
+        self._check_rank(source, "source")
+        q = self._fabric.queues[(source, self.rank)]
+        stash: List[Tuple[int, Any]] = []
+        try:
+            while True:
+                got_tag, obj = q.get(timeout=timeout)
+                if tag == ANY_TAG or got_tag == tag:
+                    for item in stash:
+                        q.put(item)
+                    return obj
+                stash.append((got_tag, obj))
+        except queue.Empty:
+            raise MPIError(
+                f"rank {self.rank}: recv from {source} tag {tag} timed out"
+            ) from None
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._fabric.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_rank(root, "root")
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag=-2)
+            return obj
+        return self.recv(root, tag=-2)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_rank(root, "root")
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-3)
+            return out
+        self.send(obj, root, tag=-3)
+        return None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        import operator
+
+        op = op or operator.add
+        gathered = self.gather(value, root=0)
+        if self.rank == 0:
+            total = gathered[0]
+            for v in gathered[1:]:
+                total = op(total, v)
+        else:
+            total = None
+        return self.bcast(total, root=0)
+
+
+def run_mpi(n_ranks: int, fn: Callable[..., Any], *args: Any) -> List[Any]:
+    """Execute ``fn(comm, *args)`` on ``n_ranks`` concurrent ranks.
+
+    Returns the per-rank return values (rank order).  An exception on any
+    rank is re-raised after all ranks finish or die.
+    """
+    if n_ranks < 1:
+        raise MPIError(f"need at least one rank, got {n_ranks}")
+    fabric = _Fabric(n_ranks)
+    results: List[Any] = [None] * n_ranks
+    errors: List[BaseException] = []
+
+    def worker(rank: int) -> None:
+        comm = SimulatedComm(rank, fabric)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            errors.append(exc)
+            fabric.barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results

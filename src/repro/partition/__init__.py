@@ -1,0 +1,41 @@
+"""Partitioned and multi-device analyses (paper section IV-F + conclusion)."""
+
+from repro.partition.autoselect import (
+    STANDARD_BACKENDS,
+    BackendChoice,
+    backend_fits_memory,
+    balance_proportions,
+    best_backend,
+    estimate_instance_memory,
+    predict_throughput,
+    rank_backends,
+)
+from repro.partition.multi import (
+    MultiDeviceLikelihood,
+    PartitionedLikelihood,
+    split_pattern_set,
+)
+from repro.partition.spec import (
+    Partition,
+    blocks_of_sites,
+    codon_position_partitions,
+    validate_partitions,
+)
+
+__all__ = [
+    "Partition",
+    "validate_partitions",
+    "blocks_of_sites",
+    "codon_position_partitions",
+    "PartitionedLikelihood",
+    "MultiDeviceLikelihood",
+    "split_pattern_set",
+    "BackendChoice",
+    "STANDARD_BACKENDS",
+    "predict_throughput",
+    "estimate_instance_memory",
+    "backend_fits_memory",
+    "rank_backends",
+    "best_backend",
+    "balance_proportions",
+]

@@ -1,0 +1,192 @@
+"""Multi-instance likelihoods: partitioned and multi-device evaluation.
+
+Two in-paper usage patterns built from multiple BEAGLE instances:
+
+* :class:`PartitionedLikelihood` — one instance per data subset, each
+  potentially with a different model and hardware assignment
+  (section IV-F);
+* :class:`MultiDeviceLikelihood` — one dataset split across devices by
+  site patterns: "this requires the client program to partition the
+  problem across site patterns and create a separate library instance for
+  each hardware device" (conclusion).
+
+Because alignment sites are independent given the tree and model, a sum
+of per-subset log-likelihoods is exact, which the tests verify against a
+single-instance evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.highlevel import TreeLikelihood
+from repro.partition.spec import Partition, validate_partitions
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import PatternSet
+from repro.tree.tree import Tree
+
+
+class PartitionedLikelihood:
+    """Joint likelihood of disjoint partitions sharing one tree.
+
+    Each partition owns a full :class:`TreeLikelihood` (its own BEAGLE
+    instance), so partitions may run on different resources and under
+    different models — the paper's subset-per-instance pattern.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        alignment: Alignment,
+        partitions: Sequence[Partition],
+        require_cover: bool = True,
+        **shared_instance_kwargs,
+    ) -> None:
+        validate_partitions(partitions, alignment.n_sites, require_cover)
+        self.tree = tree
+        self.partitions = list(partitions)
+        self.components: List[TreeLikelihood] = []
+        for part in self.partitions:
+            data = part.extract(alignment)
+            kwargs = dict(shared_instance_kwargs)
+            kwargs.update(part.instance_kwargs)
+            self.components.append(
+                TreeLikelihood(
+                    tree, data, part.model, part.site_model, **kwargs
+                )
+            )
+
+    def log_likelihood(self) -> float:
+        return float(sum(c.log_likelihood() for c in self.components))
+
+    def partition_log_likelihoods(self) -> Dict[str, float]:
+        return {
+            part.name: component.log_likelihood()
+            for part, component in zip(self.partitions, self.components)
+        }
+
+    def update_branch_lengths(self, node_indices: Sequence[int]) -> float:
+        return float(
+            sum(c.update_branch_lengths(node_indices) for c in self.components)
+        )
+
+    def backends(self) -> Dict[str, str]:
+        """Which implementation each partition landed on."""
+        return {
+            part.name: component.instance.details.implementation_name
+            for part, component in zip(self.partitions, self.components)
+        }
+
+    def finalize(self) -> None:
+        for component in self.components:
+            component.finalize()
+
+    def __enter__(self) -> "PartitionedLikelihood":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()
+
+
+def split_pattern_set(
+    data: PatternSet, proportions: Sequence[float]
+) -> List[PatternSet]:
+    """Split a pattern set into contiguous chunks by weight proportion."""
+    proportions = np.asarray(proportions, dtype=float)
+    if np.any(proportions <= 0) or not np.isclose(proportions.sum(), 1.0):
+        raise ValueError("proportions must be positive and sum to 1")
+    n = data.n_patterns
+    if len(proportions) > n:
+        raise ValueError(
+            f"cannot split {n} patterns into {len(proportions)} chunks"
+        )
+    bounds = np.concatenate([[0], np.round(np.cumsum(proportions) * n)])
+    bounds = bounds.astype(int)
+    bounds[-1] = n
+    chunks = []
+    for i in range(len(proportions)):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        if hi <= lo:
+            raise ValueError("a chunk would be empty; reduce chunk count")
+        indices = list(range(lo, hi))
+        chunks.append(
+            PatternSet(
+                alignment=data.alignment.sites(indices),
+                weights=data.weights[lo:hi],
+                site_to_pattern=np.arange(hi - lo),
+            )
+        )
+    return chunks
+
+
+class MultiDeviceLikelihood:
+    """One dataset, many devices: pattern-split across instances.
+
+    ``device_requests`` maps a label to instance keyword arguments (e.g.
+    ``{"requirement_flags": Flag.FRAMEWORK_CUDA}``); ``proportions``
+    optionally sets the pattern share per device (see
+    :func:`repro.partition.autoselect.balance_proportions` for the
+    perf-model-driven split the paper's conclusion plans).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        data: PatternSet,
+        model,
+        site_model=None,
+        device_requests: Optional[Dict[str, Dict]] = None,
+        proportions: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not device_requests:
+            raise ValueError("need at least one device request")
+        labels = list(device_requests)
+        if proportions is None:
+            proportions = [1.0 / len(labels)] * len(labels)
+        if len(proportions) != len(labels):
+            raise ValueError("one proportion per device request")
+        self.labels = labels
+        self.chunks = split_pattern_set(data, proportions)
+        self.components = [
+            TreeLikelihood(
+                tree, chunk, model, site_model, **device_requests[label]
+            )
+            for label, chunk in zip(labels, self.chunks)
+        ]
+
+    def log_likelihood(self) -> float:
+        return float(sum(c.log_likelihood() for c in self.components))
+
+    def device_report(self) -> List[Tuple[str, str, int]]:
+        """(label, implementation, pattern count) per component."""
+        return [
+            (
+                label,
+                component.instance.details.implementation_name,
+                chunk.n_patterns,
+            )
+            for label, component, chunk in zip(
+                self.labels, self.components, self.chunks
+            )
+        ]
+
+    def simulated_times(self) -> Dict[str, float]:
+        """Per-device simulated seconds (accelerated components only)."""
+        out = {}
+        for label, component in zip(self.labels, self.components):
+            impl = component.instance.impl
+            if hasattr(impl, "simulated_time"):
+                out[label] = impl.simulated_time
+        return out
+
+    def finalize(self) -> None:
+        for component in self.components:
+            component.finalize()
+
+    def __enter__(self) -> "MultiDeviceLikelihood":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()

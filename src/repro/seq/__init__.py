@@ -1,0 +1,43 @@
+"""Sequence data substrate: alignments, pattern compression, simulation, I/O."""
+
+from repro.seq.alignment import Alignment
+from repro.seq.bootstrap import (
+    bootstrap_alignment,
+    bootstrap_replicates,
+    bootstrap_support,
+    bootstrap_weights,
+)
+from repro.seq.fasta import FastaError, read_fasta, write_fasta
+from repro.seq.nexus import NexusError, read_nexus, write_nexus
+from repro.seq.patterns import PatternSet, compress_patterns, expand_site_values
+from repro.seq.phylip import PhylipError, read_phylip, write_phylip
+from repro.seq.simulate import (
+    SyntheticPatterns,
+    simulate_alignment,
+    simulate_patterns,
+    synthetic_pattern_set,
+)
+
+__all__ = [
+    "Alignment",
+    "bootstrap_weights",
+    "bootstrap_replicates",
+    "bootstrap_alignment",
+    "bootstrap_support",
+    "PatternSet",
+    "compress_patterns",
+    "expand_site_values",
+    "simulate_alignment",
+    "simulate_patterns",
+    "synthetic_pattern_set",
+    "SyntheticPatterns",
+    "FastaError",
+    "read_fasta",
+    "write_fasta",
+    "PhylipError",
+    "read_phylip",
+    "write_phylip",
+    "NexusError",
+    "read_nexus",
+    "write_nexus",
+]

@@ -1,0 +1,81 @@
+"""Nonparametric bootstrap resampling of alignment sites.
+
+The standard Felsenstein bootstrap resamples alignment columns with
+replacement.  On compressed data this reduces to resampling *pattern
+weights* from a multinomial over the original weights — no pattern matrix
+copies — which is also how real phylogenetics codes feed BEAGLE
+(``setPatternWeights`` per replicate, reusing all partials buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import PatternSet
+from repro.util.rng import SeedLike, spawn_rng
+
+
+def bootstrap_weights(
+    data: PatternSet, rng: SeedLike = None
+) -> np.ndarray:
+    """One bootstrap replicate's pattern weights.
+
+    Draws ``n_sites`` sites with replacement, with each original pattern
+    selected proportionally to its weight; the result sums to the
+    original site count (some patterns may receive weight zero).
+    """
+    rng = spawn_rng(rng)
+    n_sites = data.n_sites
+    probabilities = data.weights / data.weights.sum()
+    return rng.multinomial(n_sites, probabilities).astype(float)
+
+
+def bootstrap_replicates(
+    data: PatternSet, n_replicates: int, rng: SeedLike = None
+) -> Iterator[np.ndarray]:
+    """Yield ``n_replicates`` independent weight vectors."""
+    if n_replicates < 1:
+        raise ValueError(f"need at least one replicate, got {n_replicates}")
+    rng = spawn_rng(rng)
+    for _ in range(n_replicates):
+        yield bootstrap_weights(data, rng)
+
+
+def bootstrap_alignment(
+    alignment: Alignment, rng: SeedLike = None
+) -> Alignment:
+    """Column-resampled copy of an (uncompressed) alignment.
+
+    Mostly useful for tests and for exporting replicates; prefer
+    :func:`bootstrap_weights` for likelihood work.
+    """
+    rng = spawn_rng(rng)
+    picks = rng.integers(0, alignment.n_sites, size=alignment.n_sites)
+    return alignment.sites([int(i) for i in picks])
+
+
+def bootstrap_support(
+    log_likelihood_fn,
+    data: PatternSet,
+    set_weights_fn,
+    n_replicates: int = 100,
+    rng: SeedLike = None,
+) -> List[float]:
+    """Evaluate a statistic across bootstrap replicates.
+
+    ``set_weights_fn(weights)`` installs replicate weights (typically
+    ``instance.set_pattern_weights``); ``log_likelihood_fn()`` evaluates
+    the statistic.  Restores the original weights afterwards.
+    """
+    rng = spawn_rng(rng)
+    values = []
+    try:
+        for weights in bootstrap_replicates(data, n_replicates, rng):
+            set_weights_fn(weights)
+            values.append(float(log_likelihood_fn()))
+    finally:
+        set_weights_fn(data.weights)
+    return values

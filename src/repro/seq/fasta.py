@@ -1,0 +1,64 @@
+"""FASTA reading and writing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.model.statespace import StateSpace
+from repro.seq.alignment import Alignment
+
+PathLike = Union[str, Path]
+
+
+class FastaError(ValueError):
+    """Malformed FASTA input."""
+
+
+def read_fasta(
+    source: Union[PathLike, str],
+    state_space: Union[StateSpace, str] = "nucleotide",
+) -> Alignment:
+    """Parse FASTA text or a FASTA file into an :class:`Alignment`.
+
+    ``source`` is treated as literal FASTA text when it starts with ``>``;
+    otherwise it is a path.
+    """
+    text = str(source)
+    # Literal FASTA text either starts with '>' or is multiline; a path
+    # never contains a newline.
+    if not text.lstrip().startswith(">") and "\n" not in text:
+        text = Path(source).read_text()
+    sequences: Dict[str, list] = {}
+    current: list | None = None
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise FastaError(f"line {lineno}: empty sequence name")
+            if name in sequences:
+                raise FastaError(f"line {lineno}: duplicate name {name!r}")
+            current = sequences.setdefault(name, [])
+        elif current is None:
+            raise FastaError(f"line {lineno}: sequence data before header")
+        else:
+            current.append(line)
+    if not sequences:
+        raise FastaError("no sequences found")
+    joined = {name: "".join(parts) for name, parts in sequences.items()}
+    return Alignment.from_strings(joined, state_space)
+
+
+def write_fasta(alignment: Alignment, path: PathLike, width: int = 70) -> None:
+    """Write an alignment in FASTA format with wrapped sequence lines."""
+    if width < 1:
+        raise ValueError(f"line width must be positive, got {width}")
+    with open(path, "w") as fh:
+        for name, row in zip(alignment.names, alignment.rows):
+            fh.write(f">{name}\n")
+            seq = "".join(row)
+            for i in range(0, len(seq), width):
+                fh.write(seq[i : i + width] + "\n")

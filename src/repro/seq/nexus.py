@@ -1,0 +1,171 @@
+"""Minimal NEXUS reading/writing: DATA/CHARACTERS and TREES blocks.
+
+MrBayes consumes NEXUS; the MCMC example scripts round-trip through this
+module.  Only the constructs those scripts need are implemented: the
+``DIMENSIONS``/``FORMAT``/``MATRIX`` commands of a data block and
+``TREE name = newick`` lines of a trees block.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.model.statespace import StateSpace
+from repro.seq.alignment import Alignment
+from repro.tree.newick import parse_newick, write_newick
+from repro.tree.tree import Tree
+
+PathLike = Union[str, Path]
+
+
+class NexusError(ValueError):
+    """Malformed NEXUS input."""
+
+
+def _strip_comments(text: str) -> str:
+    out, depth = [], 0
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            if depth == 0:
+                raise NexusError("unbalanced ']' comment")
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    if depth:
+        raise NexusError("unterminated '[' comment")
+    return "".join(out)
+
+
+def read_nexus(
+    source: Union[PathLike, str],
+    state_space: Union[StateSpace, str, None] = None,
+) -> Tuple[Union[Alignment, None], List[Tree]]:
+    """Parse a NEXUS file; returns ``(alignment_or_None, trees)``.
+
+    If ``state_space`` is None, it is inferred from the FORMAT command's
+    ``datatype`` (dna/protein/codon), defaulting to nucleotide.
+    """
+    text = str(source)
+    if (
+        not text.lstrip().upper().startswith("#NEXUS")
+        and "\n" not in text
+        and Path(text).exists()
+    ):
+        text = Path(source).read_text()
+    if not text.lstrip().upper().startswith("#NEXUS"):
+        raise NexusError("missing #NEXUS header")
+    text = _strip_comments(text)
+
+    alignment = None
+    trees: List[Tree] = []
+    block_re = re.compile(
+        r"begin\s+(\w+)\s*;(.*?)end\s*;", re.IGNORECASE | re.DOTALL
+    )
+    for match in block_re.finditer(text):
+        block_name = match.group(1).lower()
+        body = match.group(2)
+        if block_name in ("data", "characters"):
+            alignment = _parse_data_block(body, state_space)
+        elif block_name == "trees":
+            trees.extend(_parse_trees_block(body))
+    return alignment, trees
+
+
+def _parse_data_block(body: str, state_space) -> Alignment:
+    commands = [c.strip() for c in body.split(";") if c.strip()]
+    datatype = "dna"
+    matrix_text = None
+    for cmd in commands:
+        lowered = cmd.lower()
+        if lowered.startswith("format"):
+            m = re.search(r"datatype\s*=\s*(\w+)", lowered)
+            if m:
+                datatype = m.group(1)
+        elif lowered.startswith("matrix"):
+            matrix_text = cmd[len("matrix"):]
+    if matrix_text is None:
+        raise NexusError("data block lacks MATRIX command")
+    if state_space is None:
+        state_space = {"dna": "nucleotide", "nucleotide": "nucleotide",
+                       "rna": "nucleotide", "protein": "protein",
+                       "codon": "codon"}.get(datatype, "nucleotide")
+    sequences: Dict[str, str] = {}
+    for raw in matrix_text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise NexusError(f"bad matrix row {line!r}")
+        name = parts[0].strip("'\"")
+        seq = parts[1].replace(" ", "")
+        sequences[name] = sequences.get(name, "") + seq
+    if not sequences:
+        raise NexusError("empty MATRIX")
+    return Alignment.from_strings(sequences, state_space)
+
+
+def _parse_trees_block(body: str) -> List[Tree]:
+    trees = []
+    translate: Dict[str, str] = {}
+    commands = [c.strip() for c in body.split(";") if c.strip()]
+    for cmd in commands:
+        lowered = cmd.lower()
+        if lowered.startswith("translate"):
+            entries = cmd[len("translate"):].split(",")
+            for entry in entries:
+                parts = entry.split()
+                if len(parts) == 2:
+                    translate[parts[0]] = parts[1].strip("'\"")
+        elif lowered.startswith("tree"):
+            eq = cmd.find("=")
+            if eq < 0:
+                raise NexusError(f"bad TREE command {cmd!r}")
+            newick = cmd[eq + 1:].strip()
+            # MrBayes writes rooting annotations like [&U]; comments were
+            # stripped already, so only the newick remains.
+            tree = parse_newick(newick + ";")
+            if translate:
+                for tip in tree.root.tips():
+                    if tip.name in translate:
+                        tip.name = translate[tip.name]
+            trees.append(tree)
+    return trees
+
+
+def write_nexus(
+    path: PathLike,
+    alignment: Union[Alignment, None] = None,
+    trees: Union[List[Tree], None] = None,
+) -> None:
+    """Write an alignment and/or trees as a NEXUS file."""
+    if alignment is None and not trees:
+        raise ValueError("nothing to write")
+    parts = ["#NEXUS\n"]
+    if alignment is not None:
+        datatype = {
+            "nucleotide": "dna",
+            "aminoacid": "protein",
+            "codon": "dna",  # codon data serialises as the nucleotides
+        }[alignment.state_space.name]
+        parts.append("begin data;\n")
+        parts.append(
+            f"  dimensions ntax={alignment.n_sequences} "
+            f"nchar={alignment.n_sites * (3 if alignment.state_space.name == 'codon' else 1)};\n"
+        )
+        parts.append(f"  format datatype={datatype} missing=? gap=-;\n")
+        parts.append("  matrix\n")
+        pad = max(len(n) for n in alignment.names) + 2
+        for name, row in zip(alignment.names, alignment.rows):
+            parts.append(f"    {name.ljust(pad)}{''.join(row)}\n")
+        parts.append("  ;\nend;\n")
+    if trees:
+        parts.append("begin trees;\n")
+        for i, tree in enumerate(trees):
+            parts.append(f"  tree tree{i + 1} = {write_newick(tree)}\n")
+        parts.append("end;\n")
+    Path(path).write_text("".join(parts))

@@ -1,0 +1,88 @@
+"""Relaxed PHYLIP reading and writing (sequential and interleaved)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.model.statespace import StateSpace
+from repro.seq.alignment import Alignment
+
+PathLike = Union[str, Path]
+
+
+class PhylipError(ValueError):
+    """Malformed PHYLIP input."""
+
+
+def read_phylip(
+    source: Union[PathLike, str],
+    state_space: Union[StateSpace, str] = "nucleotide",
+) -> Alignment:
+    """Parse relaxed PHYLIP (name, whitespace, sequence).
+
+    Both classic layouts are supported: *sequential* (each sequence on one
+    named line, possibly repeated named blocks) and *interleaved*
+    (named first block, then anonymous continuation blocks separated by
+    blank lines, cycling through the taxa in order).  ``source`` may be a
+    path or literal text (detected by the leading two-integer header).
+    """
+    text = str(source)
+    lines = text.splitlines()
+    header_ok = False
+    if lines:
+        parts = lines[0].split()
+        header_ok = len(parts) == 2 and all(p.isdigit() for p in parts)
+    if not header_ok:
+        text = Path(source).read_text()
+        lines = text.splitlines()
+    if not lines:
+        raise PhylipError("empty input")
+    try:
+        n_seq, n_sites = (int(x) for x in lines[0].split())
+    except ValueError:
+        raise PhylipError(f"bad header line {lines[0]!r}") from None
+    sequences: dict = {}
+    order: list = []
+    continuation_slot = 0
+    for raw in lines[1:]:
+        if not raw.strip():
+            continue
+        parts = raw.split(None, 1)
+        if len(order) < n_seq:
+            # Still reading the named first block.
+            if len(parts) != 2:
+                raise PhylipError(f"bad sequence line {raw!r}")
+            name, seq = parts[0], parts[1].replace(" ", "")
+            if name in sequences:
+                raise PhylipError(f"duplicate name {name!r} in first block")
+            sequences[name] = seq
+            order.append(name)
+            continue
+        # Continuation: either a named line (sequential multi-block) or
+        # an anonymous interleaved line assigned round-robin.
+        if len(parts) == 2 and parts[0] in sequences:
+            sequences[parts[0]] += parts[1].replace(" ", "")
+        else:
+            name = order[continuation_slot % n_seq]
+            continuation_slot += 1
+            sequences[name] += raw.replace(" ", "")
+    if len(sequences) != n_seq:
+        raise PhylipError(
+            f"header promised {n_seq} sequences, found {len(sequences)}"
+        )
+    for name, seq in sequences.items():
+        if len(seq) != n_sites:
+            raise PhylipError(
+                f"{name}: length {len(seq)} != header site count {n_sites}"
+            )
+    return Alignment.from_strings(sequences, state_space)
+
+
+def write_phylip(alignment: Alignment, path: PathLike) -> None:
+    """Write relaxed sequential PHYLIP."""
+    with open(path, "w") as fh:
+        fh.write(f"{alignment.n_sequences} {alignment.n_sites}\n")
+        pad = max(len(n) for n in alignment.names) + 2
+        for name, row in zip(alignment.names, alignment.rows):
+            fh.write(f"{name.ljust(pad)}{''.join(row)}\n")

@@ -1,0 +1,47 @@
+"""Client-side phylogenetic tree substrate.
+
+BEAGLE deliberately has no tree type; inference programs own the tree and
+flatten traversals into operation lists.  This package provides the tree
+structures, Newick I/O, random generation, and operation scheduling used
+by the examples, the MCMC application, and the benchmark harness.
+"""
+
+from repro.tree.generate import (
+    balanced_tree,
+    coalescent_tree,
+    random_topology,
+    yule_tree,
+)
+from repro.tree.compare import (
+    bipartition_frequencies,
+    bipartitions,
+    consensus_newick,
+    majority_rule_splits,
+    normalized_robinson_foulds,
+    robinson_foulds,
+)
+from repro.tree.newick import NewickError, parse_newick, write_newick
+from repro.tree.node import Node
+from repro.tree.traversal import TraversalPlan, plan_partial_update, plan_traversal
+from repro.tree.tree import Tree
+
+__all__ = [
+    "Node",
+    "Tree",
+    "NewickError",
+    "bipartitions",
+    "bipartition_frequencies",
+    "robinson_foulds",
+    "normalized_robinson_foulds",
+    "majority_rule_splits",
+    "consensus_newick",
+    "parse_newick",
+    "write_newick",
+    "balanced_tree",
+    "coalescent_tree",
+    "random_topology",
+    "yule_tree",
+    "TraversalPlan",
+    "plan_partial_update",
+    "plan_traversal",
+]

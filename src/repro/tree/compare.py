@@ -1,0 +1,161 @@
+"""Tree comparison: bipartitions and Robinson-Foulds distance.
+
+Used by the MCMC summary machinery (bipartition posterior support) and by
+tests that check topology moves explore tree space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.tree.tree import Tree
+
+#: A bipartition is the smaller/canonical side of a split of tip names.
+Bipartition = FrozenSet[str]
+
+
+def bipartitions(tree: Tree) -> Set[Bipartition]:
+    """Non-trivial bipartitions induced by the tree's internal edges.
+
+    Each internal non-root edge splits the tips in two; the split is
+    canonicalised as the frozenset *not containing* the lexicographically
+    smallest tip name, making splits comparable across rootings.
+    Trivial splits (single tip / all tips) are excluded.
+    """
+    all_tips = frozenset(tree.tip_names())
+    if len(all_tips) != tree.n_tips:
+        raise ValueError("tip names must be unique for bipartition analysis")
+    anchor = min(all_tips)
+    splits: Set[Bipartition] = set()
+    for node in tree.root.postorder():
+        if node.is_root or node.is_tip:
+            continue
+        below = frozenset(
+            t.name or f"taxon{t.index}" for t in node.tips()
+        )
+        if len(below) <= 1 or len(below) >= len(all_tips) - 1:
+            continue
+        if anchor in below:
+            below = all_tips - below
+        splits.add(below)
+    return splits
+
+
+def robinson_foulds(a: Tree, b: Tree) -> int:
+    """The symmetric-difference (RF) distance between two topologies.
+
+    Trees must share the same tip set.  Branch lengths are ignored.
+    """
+    tips_a, tips_b = set(a.tip_names()), set(b.tip_names())
+    if tips_a != tips_b:
+        raise ValueError(
+            f"trees have different tips: {sorted(tips_a ^ tips_b)[:5]} ..."
+        )
+    sa, sb = bipartitions(a), bipartitions(b)
+    return len(sa ^ sb)
+
+
+def normalized_robinson_foulds(a: Tree, b: Tree) -> float:
+    """RF distance scaled to [0, 1] by the maximum possible for n tips.
+
+    For binary unrooted topologies the maximum is ``2 (n - 3)``.
+    """
+    n = a.n_tips
+    max_rf = 2 * max(n - 3, 1)
+    return robinson_foulds(a, b) / max_rf
+
+
+def bipartition_frequencies(
+    trees: Sequence[Tree],
+) -> Dict[Bipartition, float]:
+    """Fraction of trees containing each bipartition (posterior support)."""
+    if not trees:
+        raise ValueError("need at least one tree")
+    counts: Dict[Bipartition, int] = {}
+    for tree in trees:
+        for split in bipartitions(tree):
+            counts[split] = counts.get(split, 0) + 1
+    n = len(trees)
+    return {split: c / n for split, c in counts.items()}
+
+
+def _compatible(split: Bipartition, accepted: List[Bipartition]) -> bool:
+    """Two splits are compatible iff one side-pair nests or is disjoint."""
+    for other in accepted:
+        if not (
+            split <= other
+            or other <= split
+            or not (split & other)
+        ):
+            return False
+    return True
+
+
+def majority_rule_splits(
+    trees: Sequence[Tree], threshold: float = 0.5
+) -> List[Tuple[Bipartition, float]]:
+    """Bipartitions above ``threshold`` support, greedily compatibility-
+    filtered in decreasing support order (the majority-rule consensus set,
+    extended-greedy when threshold < 0.5)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    freqs = bipartition_frequencies(trees)
+    ordered = sorted(freqs.items(), key=lambda kv: (-kv[1], sorted(kv[0])))
+    accepted: List[Tuple[Bipartition, float]] = []
+    for split, support in ordered:
+        if support < threshold or support < 1e-12:
+            break
+        if _compatible(split, [s for s, _ in accepted]):
+            accepted.append((split, support))
+    return accepted
+
+
+def consensus_newick(
+    trees: Sequence[Tree], threshold: float = 0.5
+) -> str:
+    """Majority-rule consensus topology as a Newick string.
+
+    The consensus may contain polytomies, which the binary
+    :class:`~repro.tree.tree.Tree` cannot represent, so the result is a
+    Newick string with per-clade support values as internal labels.
+    """
+    tip_names = sorted(trees[0].tip_names())
+    splits = majority_rule_splits(trees, threshold)
+
+    # Build a nesting forest: each split is a clade; children of a clade
+    # are the maximal accepted splits strictly inside it.
+    ordered = sorted(splits, key=lambda kv: len(kv[0]))
+    children: Dict[int, List[int]] = {i: [] for i in range(len(ordered))}
+    parent: Dict[int, int] = {}
+    for i, (split, _) in enumerate(ordered):
+        best = None
+        for j, (other, _) in enumerate(ordered):
+            if i != j and split < other:
+                if best is None or len(other) < len(ordered[best][0]):
+                    best = j
+        if best is not None:
+            parent[i] = best
+            children[best].append(i)
+
+    assigned_tips: Dict[int, List[str]] = {i: [] for i in range(len(ordered))}
+    root_tips: List[str] = []
+    for name in tip_names:
+        best = None
+        for i, (split, _) in enumerate(ordered):
+            if name in split and (
+                best is None or len(split) < len(ordered[best][0])
+            ):
+                best = i
+        if best is None:
+            root_tips.append(name)
+        else:
+            assigned_tips[best].append(name)
+
+    def render(i: int) -> str:
+        parts = assigned_tips[i] + [render(c) for c in children[i]]
+        support = ordered[i][1]
+        return "(" + ",".join(sorted(parts)) + f"){support:.2f}"
+
+    top = [i for i in range(len(ordered)) if i not in parent]
+    pieces = sorted(root_tips) + [render(i) for i in top]
+    return "(" + ",".join(pieces) + ");"

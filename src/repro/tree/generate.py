@@ -1,0 +1,188 @@
+"""Random tree generation for synthetic workloads.
+
+The paper's genomictest program "generates random synthetic datasets of
+arbitrary sizes" (section V-A); these generators provide the topology half
+of that, with three standard shapes:
+
+* **Yule** (pure-birth) — the usual null model for species trees;
+* **coalescent** — population-genetic genealogies (deep internal nodes);
+* **balanced** — fully balanced topology, the best case for tree-level
+  concurrency (maximally many independent partials operations per level,
+  which matters to the *futures* threading design of Table III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.tree.node import Node
+from repro.tree.tree import Tree
+from repro.util.rng import SeedLike, spawn_rng
+
+
+def _tip_nodes(n_tips: int, names: Optional[Sequence[str]]) -> List[Node]:
+    if n_tips < 2:
+        raise ValueError(f"a tree needs at least 2 tips, got {n_tips}")
+    if names is not None and len(names) != n_tips:
+        raise ValueError(f"{len(names)} names for {n_tips} tips")
+    return [
+        Node(index=i, name=names[i] if names else f"taxon{i}")
+        for i in range(n_tips)
+    ]
+
+
+def yule_tree(
+    n_tips: int,
+    birth_rate: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    rng: SeedLike = None,
+) -> Tree:
+    """Simulate a pure-birth (Yule) tree with ``n_tips`` extant tips.
+
+    Implemented forward in time: lineages split uniformly at random with
+    exponential waiting times ``Exp(k * birth_rate)`` while *k* lineages
+    are active.  Branch lengths are in expected-substitution units once
+    scaled by the caller's rate.
+    """
+    if birth_rate <= 0:
+        raise ValueError(f"birth rate must be positive, got {birth_rate}")
+    rng = spawn_rng(rng)
+    tips = _tip_nodes(n_tips, names)
+    root = Node()
+    active: List[Node] = [root]
+    # Forward simulation over internal structure; tips attached at the end.
+    birth_times = {id(root): 0.0}
+    now = 0.0
+    pending = [root]
+    while len(active) < n_tips:
+        now += float(rng.exponential(1.0 / (len(active) * birth_rate)))
+        split = active.pop(int(rng.integers(len(active))))
+        left, right = Node(), Node()
+        split.add_child(left)
+        split.add_child(right)
+        split.branch_length = now - birth_times[id(split)] if not split.is_root else 0.0
+        # Actually branch length above `split` was set at its own birth;
+        # record children birth times and keep them active.
+        birth_times[id(left)] = now
+        birth_times[id(right)] = now
+        active.extend([left, right])
+    # Remaining actives become the tips, extended to the present.
+    now += float(rng.exponential(1.0 / (len(active) * birth_rate)))
+    order = rng.permutation(len(active))
+    for slot, tip in zip(order, tips):
+        holder = active[int(slot)]
+        holder.name = tip.name
+        holder.index = tip.index
+        holder.branch_length = now - birth_times[id(holder)]
+    # Fix internal branch lengths: length above a node = birth(children) - birth(node)
+    for node in root.postorder():
+        if node.is_root or node.is_tip:
+            continue
+        child_birth = birth_times[id(node.children[0])]
+        node.branch_length = child_birth - birth_times[id(node)]
+    return Tree(root)
+
+
+def coalescent_tree(
+    n_tips: int,
+    pop_size: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    rng: SeedLike = None,
+) -> Tree:
+    """Simulate a Kingman coalescent genealogy for ``n_tips`` samples.
+
+    Waiting time while *k* lineages remain is ``Exp(C(k,2)/N)``; two
+    uniformly chosen lineages merge.  Produces the long-internal-branch
+    shapes typical of population data.
+    """
+    if pop_size <= 0:
+        raise ValueError(f"population size must be positive, got {pop_size}")
+    rng = spawn_rng(rng)
+    lineages = _tip_nodes(n_tips, names)
+    heights = {id(n): 0.0 for n in lineages}
+    now = 0.0
+    while len(lineages) > 1:
+        k = len(lineages)
+        now += float(rng.exponential(pop_size / (k * (k - 1) / 2.0)))
+        i, j = rng.choice(k, size=2, replace=False)
+        i, j = int(min(i, j)), int(max(i, j))
+        right = lineages.pop(j)
+        left = lineages.pop(i)
+        parent = Node()
+        parent.add_child(left)
+        parent.add_child(right)
+        left.branch_length = now - heights[id(left)]
+        right.branch_length = now - heights[id(right)]
+        heights[id(parent)] = now
+        lineages.append(parent)
+    return Tree(lineages[0])
+
+
+def balanced_tree(
+    n_tips: int,
+    branch_length: float = 0.1,
+    names: Optional[Sequence[str]] = None,
+    rng: SeedLike = None,
+) -> Tree:
+    """Build a fully balanced binary tree (``n_tips`` must be a power of 2).
+
+    All branches share ``branch_length``.  If ``rng`` is given, branch
+    lengths are jittered log-normally around that value to avoid exact
+    symmetry in tests.
+    """
+    if n_tips < 2 or (n_tips & (n_tips - 1)) != 0:
+        raise ValueError(f"balanced tree needs a power-of-2 tip count, got {n_tips}")
+    if branch_length <= 0:
+        raise ValueError(f"branch length must be positive, got {branch_length}")
+    generator = spawn_rng(rng) if rng is not None else None
+
+    def bl() -> float:
+        if generator is None:
+            return branch_length
+        return float(branch_length * np.exp(generator.normal(0.0, 0.3)))
+
+    level = _tip_nodes(n_tips, names)
+    for node in level:
+        node.branch_length = bl()
+    while len(level) > 1:
+        nxt: List[Node] = []
+        for i in range(0, len(level), 2):
+            parent = Node(branch_length=bl())
+            parent.add_child(level[i])
+            parent.add_child(level[i + 1])
+            nxt.append(parent)
+        level = nxt
+    level[0].branch_length = 0.0
+    return Tree(level[0])
+
+
+def random_topology(
+    n_tips: int,
+    names: Optional[Sequence[str]] = None,
+    mean_branch_length: float = 0.1,
+    rng: SeedLike = None,
+) -> Tree:
+    """Uniform-ish random binary topology with exponential branch lengths.
+
+    This matches the "random synthetic datasets of arbitrary sizes"
+    behaviour of genomictest: join random pairs until one lineage remains.
+    """
+    if mean_branch_length <= 0:
+        raise ValueError("mean branch length must be positive")
+    rng = spawn_rng(rng)
+    lineages = _tip_nodes(n_tips, names)
+    for node in lineages:
+        node.branch_length = float(rng.exponential(mean_branch_length))
+    while len(lineages) > 1:
+        i, j = rng.choice(len(lineages), size=2, replace=False)
+        i, j = int(min(i, j)), int(max(i, j))
+        right = lineages.pop(j)
+        left = lineages.pop(i)
+        parent = Node(branch_length=float(rng.exponential(mean_branch_length)))
+        parent.add_child(left)
+        parent.add_child(right)
+        lineages.append(parent)
+    lineages[0].branch_length = 0.0
+    return Tree(lineages[0])

@@ -1,0 +1,147 @@
+"""Newick tree serialisation: ``(A:0.1,(B:0.2,C:0.3):0.4);``.
+
+Supports quoted labels, branch lengths, and comments in square brackets
+(discarded).  The parser is a straightforward recursive-descent tokenizer;
+trees of 10^5 tips parse without recursion because nesting is handled with
+an explicit stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tree.node import Node
+from repro.tree.tree import Tree
+
+
+class NewickError(ValueError):
+    """Malformed Newick input."""
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+        elif c in "(),:;":
+            tokens.append(c)
+            i += 1
+        elif c == "[":  # comment
+            end = text.find("]", i)
+            if end < 0:
+                raise NewickError("unterminated [comment]")
+            i = end + 1
+        elif c == "'":
+            end = i + 1
+            label = []
+            while end < n:
+                if text[end] == "'":
+                    if end + 1 < n and text[end + 1] == "'":  # escaped quote
+                        label.append("'")
+                        end += 2
+                        continue
+                    break
+                label.append(text[end])
+                end += 1
+            else:
+                raise NewickError("unterminated quoted label")
+            tokens.append("".join(label))
+            i = end + 1
+        else:
+            end = i
+            while end < n and text[end] not in "(),:;[" and not text[end].isspace():
+                end += 1
+            tokens.append(text[i:end])
+            i = end
+    return tokens
+
+
+def parse_newick(text: str) -> Tree:
+    """Parse a Newick string into a :class:`Tree`.
+
+    Tip indices are assigned in the order tips appear in the string.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise NewickError("empty input")
+    root = Node()
+    current = root
+    stack: List[Node] = []
+    awaiting_label = True  # current node may still receive a name
+    i = 0
+    saw_semicolon = False
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok == "(":
+            child = Node()
+            current.add_child(child)
+            stack.append(current)
+            current = child
+            awaiting_label = True
+        elif tok == ",":
+            if not stack:
+                raise NewickError("comma outside parentheses")
+            sibling = Node()
+            stack[-1].add_child(sibling)
+            current = sibling
+            awaiting_label = True
+        elif tok == ")":
+            if not stack:
+                raise NewickError("unbalanced ')'")
+            current = stack.pop()
+            awaiting_label = True
+        elif tok == ":":
+            i += 1
+            if i >= len(tokens):
+                raise NewickError("missing branch length after ':'")
+            try:
+                current.branch_length = float(tokens[i])
+            except ValueError:
+                raise NewickError(
+                    f"bad branch length {tokens[i]!r}"
+                ) from None
+            awaiting_label = False
+        elif tok == ";":
+            saw_semicolon = True
+            if i != len(tokens) - 1:
+                raise NewickError("content after ';'")
+        else:
+            if not awaiting_label:
+                raise NewickError(f"unexpected label {tok!r}")
+            current.name = tok
+            awaiting_label = False
+        i += 1
+    if stack:
+        raise NewickError("unbalanced '('")
+    if not saw_semicolon:
+        raise NewickError("missing terminating ';'")
+    tips = list(root.tips())
+    for idx, tip in enumerate(tips):
+        tip.index = idx
+    tree = Tree(root, reindex=True)
+    return tree
+
+
+def _escape(label: str) -> str:
+    if any(c in label for c in " (),:;[]'"):
+        return "'" + label.replace("'", "''") + "'"
+    return label
+
+
+def write_newick(tree: Tree, include_branch_lengths: bool = True) -> str:
+    """Serialise a :class:`Tree` back to Newick."""
+
+    def fmt(node: Node, is_root: bool) -> str:
+        if node.is_tip:
+            body = _escape(node.name or f"taxon{node.index}")
+        else:
+            body = "(" + ",".join(fmt(c, False) for c in node.children) + ")"
+            if node.name:
+                body += _escape(node.name)
+        if include_branch_lengths and not is_root:
+            body += f":{node.branch_length:.10g}"
+        return body
+
+    return fmt(tree.root, True) + ";"

@@ -1,0 +1,98 @@
+"""Tree node structure for rooted binary phylogenies.
+
+BEAGLE itself deliberately has *no* tree data structure (section IV-B of
+the paper) — it acts on flexibly indexed buffers.  The tree lives on the
+client side: inference programs traverse it and emit BEAGLE operation
+lists.  This module is that client-side substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+
+class Node:
+    """A node in a rooted binary tree.
+
+    Attributes
+    ----------
+    index:
+        The node's buffer index.  Tips are numbered ``0 .. n_tips-1``
+        (aligned with alignment row order) and internal nodes continue
+        from ``n_tips``; this numbering is exactly the partials-buffer
+        indexing used when driving a BEAGLE instance.
+    name:
+        Taxon label for tips; optional for internal nodes.
+    branch_length:
+        Length of the branch *above* this node (to its parent).  The root
+        branch length is ignored by the likelihood.
+    """
+
+    __slots__ = ("index", "name", "branch_length", "parent", "children")
+
+    def __init__(
+        self,
+        index: int = -1,
+        name: Optional[str] = None,
+        branch_length: float = 0.0,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.branch_length = branch_length
+        self.parent: Optional["Node"] = None
+        self.children: List["Node"] = []
+
+    @property
+    def is_tip(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def add_child(self, child: "Node") -> "Node":
+        if child.parent is not None:
+            raise ValueError(f"node {child.index} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def detach(self) -> "Node":
+        """Remove this node from its parent and return it."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def postorder(self) -> Iterator["Node"]:
+        """Iterative post-order traversal (children before parents)."""
+        stack: List[tuple["Node", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded or node.is_tip:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def preorder(self) -> Iterator["Node"]:
+        """Iterative pre-order traversal (parents before children)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def tips(self) -> Iterator["Node"]:
+        return (n for n in self.postorder() if n.is_tip)
+
+    def height(self) -> float:
+        """Maximum root-to-tip path length below (and excluding) this node."""
+        if self.is_tip:
+            return 0.0
+        return max(c.branch_length + c.height() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "tip" if self.is_tip else f"internal({len(self.children)})"
+        return f"<Node {self.index} {self.name or ''} {kind} bl={self.branch_length:g}>"

@@ -1,0 +1,184 @@
+"""Convert trees into BEAGLE operation schedules.
+
+Inference programs perform a post-order traversal, evaluating a partial
+likelihood array at each node (paper section IV-F).  BEAGLE receives that
+traversal flattened into an operation list; this module builds those lists
+and additionally groups operations into *dependency levels* — sets of
+operations with no ancestor/descendant relation — which is precisely the
+concurrency the paper's *futures* threading design exploits (section VI-A
+computed "partial-likelihood operations that were independent in the tree
+topology").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.flags import OP_NONE
+from repro.core.types import Operation
+from repro.tree.tree import Tree
+
+
+@dataclass(frozen=True)
+class TraversalPlan:
+    """Everything a client needs to drive one likelihood evaluation.
+
+    Attributes
+    ----------
+    operations:
+        Post-order :class:`Operation` list; matrix index *i* corresponds
+        to the branch above node *i*.
+    branch_node_indices / branch_lengths:
+        Parallel arrays for ``updateTransitionMatrices``: one entry per
+        non-root node.
+    root_index:
+        Partials-buffer index of the root node.
+    levels:
+        Operations grouped into dependency levels (all operations within a
+        level are mutually independent; level *k* depends only on levels
+        ``< k`` and on tips).
+    """
+
+    operations: Tuple[Operation, ...]
+    branch_node_indices: np.ndarray
+    branch_lengths: np.ndarray
+    root_index: int
+    levels: Tuple[Tuple[Operation, ...], ...]
+
+
+def plan_traversal(
+    tree: Tree,
+    use_scaling: bool = False,
+    cumulative_scale_index: int = OP_NONE,
+) -> TraversalPlan:
+    """Build the operation schedule for a full post-order re-evaluation.
+
+    Buffer convention: partials buffer *i* belongs to node *i* (tips
+    ``0..n_tips-1``, internals above), and transition matrix *i* belongs
+    to the branch above node *i*.  Scale buffers, when enabled, are
+    numbered ``dest - n_tips`` so each internal node owns one.
+
+    Parameters
+    ----------
+    use_scaling:
+        If true, every operation writes per-pattern scale factors to its
+        node's scale buffer (manual-scaling workflow); the caller then
+        accumulates buffers into ``cumulative_scale_index`` when
+        integrating the root.
+    """
+    n_tips = tree.n_tips
+    operations: List[Operation] = []
+    depth: Dict[int, int] = {}
+    branch_nodes: List[int] = []
+    branch_lens: List[float] = []
+
+    for node in tree.root.postorder():
+        if not node.is_root:
+            branch_nodes.append(node.index)
+            branch_lens.append(node.branch_length)
+        if node.is_tip:
+            depth[node.index] = 0
+            continue
+        left, right = node.children
+        op = Operation(
+            destination=node.index,
+            child1=left.index,
+            child1_matrix=left.index,
+            child2=right.index,
+            child2_matrix=right.index,
+            write_scale=(node.index - n_tips) if use_scaling else OP_NONE,
+            read_scale=OP_NONE,
+        )
+        operations.append(op)
+        depth[node.index] = 1 + max(depth[left.index], depth[right.index])
+
+    max_level = max(depth[op.destination] for op in operations)
+    levels: List[List[Operation]] = [[] for _ in range(max_level)]
+    for op in operations:
+        levels[depth[op.destination] - 1].append(op)
+
+    return TraversalPlan(
+        operations=tuple(operations),
+        branch_node_indices=np.asarray(branch_nodes, dtype=np.int32),
+        branch_lengths=np.asarray(branch_lens, dtype=float),
+        root_index=tree.root.index,
+        levels=tuple(tuple(level) for level in levels),
+    )
+
+
+def plan_partial_update(
+    tree: Tree,
+    dirty_nodes: Sequence[int],
+    use_scaling: bool = False,
+) -> TraversalPlan:
+    """Schedule only the operations needed after editing some branches.
+
+    ``dirty_nodes`` lists node indices whose branch length (or subtree)
+    changed; every ancestor of a dirty node must be recomputed, nothing
+    else — this is the incremental re-evaluation pattern MCMC samplers
+    rely on for cheap proposals.
+    """
+    n_tips = tree.n_tips
+    dirty = set(int(d) for d in dirty_nodes)
+    nodes_by_index = {n.index: n for n in tree.root.postorder()}
+    for d in dirty:
+        if d not in nodes_by_index:
+            raise KeyError(f"no node with index {d}")
+    needs_update = set()
+    for d in dirty:
+        node = nodes_by_index[d]
+        # The partials of the node's parent and all further ancestors
+        # depend on the branch above `node`.
+        walk = node.parent if not node.is_root else node
+        while walk is not None:
+            needs_update.add(walk.index)
+            walk = walk.parent
+
+    operations: List[Operation] = []
+    depth: Dict[int, int] = {}
+    branch_nodes: List[int] = []
+    branch_lens: List[float] = []
+    for node in tree.root.postorder():
+        if node.is_tip:
+            depth[node.index] = 0
+            continue
+        left, right = node.children
+        depth[node.index] = 1 + max(depth[left.index], depth[right.index])
+        if node.index not in needs_update:
+            continue
+        operations.append(
+            Operation(
+                destination=node.index,
+                child1=left.index,
+                child1_matrix=left.index,
+                child2=right.index,
+                child2_matrix=right.index,
+                write_scale=(node.index - n_tips) if use_scaling else OP_NONE,
+            )
+        )
+    for d in sorted(dirty):
+        node = nodes_by_index[d]
+        if not node.is_root:
+            branch_nodes.append(node.index)
+            branch_lens.append(node.branch_length)
+
+    if operations:
+        base = min(depth[op.destination] for op in operations)
+        max_level = max(depth[op.destination] for op in operations) - base + 1
+        levels: List[List[Operation]] = [[] for _ in range(max_level)]
+        for op in operations:
+            levels[depth[op.destination] - base].append(op)
+        level_tuple = tuple(tuple(lv) for lv in levels if lv)
+    else:
+        level_tuple = ()
+
+    return TraversalPlan(
+        operations=tuple(operations),
+        branch_node_indices=np.asarray(branch_nodes, dtype=np.int32),
+        branch_lengths=np.asarray(branch_lens, dtype=float),
+        root_index=tree.root.index,
+        levels=level_tuple,
+    )

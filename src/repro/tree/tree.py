@@ -1,0 +1,115 @@
+"""Rooted binary tree container with BEAGLE-compatible indexing."""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tree.node import Node
+
+
+class Tree:
+    """A rooted, strictly binary phylogenetic tree.
+
+    The constructor validates binary-ness and assigns canonical buffer
+    indices: tips keep their existing ``0..n_tips-1`` indices (or are
+    assigned by discovery order when unset), internal nodes are numbered
+    in post-order starting at ``n_tips``.  These indices address partials
+    buffers directly when the tree is converted to a BEAGLE operation
+    list (:mod:`repro.tree.traversal`).
+    """
+
+    def __init__(self, root: Node, reindex: bool = True) -> None:
+        self.root = root
+        for node in root.postorder():
+            if not node.is_tip and len(node.children) != 2:
+                raise ValueError(
+                    f"node {node.index}/{node.name!r} has "
+                    f"{len(node.children)} children; trees must be binary"
+                )
+        if reindex:
+            self._assign_indices()
+        self._validate_indices()
+
+    def _assign_indices(self) -> None:
+        tips = [n for n in self.root.postorder() if n.is_tip]
+        have_indices = all(t.index >= 0 for t in tips)
+        indices = {t.index for t in tips}
+        if not (have_indices and len(indices) == len(tips)
+                and indices == set(range(len(tips)))):
+            for i, tip in enumerate(tips):
+                tip.index = i
+        next_index = len(tips)
+        for node in self.root.postorder():
+            if not node.is_tip:
+                node.index = next_index
+                next_index += 1
+
+    def _validate_indices(self) -> None:
+        seen = set()
+        for node in self.root.postorder():
+            if node.index in seen:
+                raise ValueError(f"duplicate node index {node.index}")
+            seen.add(node.index)
+
+    @property
+    def n_tips(self) -> int:
+        return sum(1 for _ in self.root.tips())
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.root.postorder())
+
+    @property
+    def n_internal(self) -> int:
+        return self.n_nodes - self.n_tips
+
+    def tip_names(self) -> List[str]:
+        """Tip labels ordered by tip index."""
+        tips = sorted(self.root.tips(), key=lambda n: n.index)
+        return [t.name or f"taxon{t.index}" for t in tips]
+
+    def nodes(self) -> Iterator[Node]:
+        return self.root.postorder()
+
+    def node_by_index(self, index: int) -> Node:
+        for node in self.root.postorder():
+            if node.index == index:
+                return node
+        raise KeyError(f"no node with index {index}")
+
+    def node_by_name(self, name: str) -> Node:
+        for node in self.root.postorder():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def branch_lengths(self) -> Dict[int, float]:
+        """Map node index -> branch length above that node (root excluded)."""
+        return {
+            n.index: n.branch_length
+            for n in self.root.postorder()
+            if not n.is_root
+        }
+
+    def total_branch_length(self) -> float:
+        return sum(self.branch_lengths().values())
+
+    def copy(self) -> "Tree":
+        """Deep copy; node indices are preserved."""
+        return Tree(copy.deepcopy(self.root), reindex=False)
+
+    def scale_branches(self, factor: float) -> None:
+        """Multiply every branch length by ``factor`` in place."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        for node in self.root.postorder():
+            node.branch_length *= factor
+
+    def internal_nodes(self) -> List[Node]:
+        return [n for n in self.root.postorder() if not n.is_tip]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tree {self.n_tips} tips, {self.n_nodes} nodes>"

@@ -1,0 +1,23 @@
+"""Shared utilities: error types, RNG helpers, timing, and table rendering."""
+
+from repro.util.errors import (
+    BeagleError,
+    InvalidIndexError,
+    OutOfMemoryError,
+    UninitializedInstanceError,
+    UnsupportedOperationError,
+)
+from repro.util.rng import spawn_rng
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "BeagleError",
+    "InvalidIndexError",
+    "OutOfMemoryError",
+    "UninitializedInstanceError",
+    "UnsupportedOperationError",
+    "spawn_rng",
+    "format_table",
+    "Stopwatch",
+]

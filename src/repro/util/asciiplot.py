@@ -1,0 +1,150 @@
+"""Dependency-free ASCII line charts for the figure reproductions.
+
+The paper's Figures 4 and 5 are log-log/semi-log throughput curves; with
+no plotting stack available offline, this renderer draws them as text so
+the *shape* — crossovers, humps, saturation — is visible directly in
+terminal output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Series glyphs, assigned in order.
+_GLYPHS = "o*x+#@%&^~"
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade tick positions covering [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, stop + 1)]
+
+
+def _fmt_tick(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:g}k"
+    return f"{value:g}"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 22,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series onto a character grid.
+
+    Points are plotted with one glyph per series; collisions show the
+    most recently drawn series.  Axes carry decade ticks when
+    logarithmic.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+        if x > 0 and y > 0
+    ]
+    if not points:
+        raise ValueError("no positive data points to plot")
+    xs, ys = zip(*points)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_hi = x_lo * 10 if log_x else x_lo + 1
+    if y_lo == y_hi:
+        y_hi = y_lo * 10 if log_y else y_lo + 1
+
+    def x_pos(x: float) -> int:
+        if log_x:
+            frac = (math.log10(x) - math.log10(x_lo)) / (
+                math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def y_pos(y: float) -> int:
+        if log_y:
+            frac = (math.log10(y) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for glyph, (name, values) in zip(_GLYPHS, series.items()):
+        legend.append(f"  {glyph} {name}")
+        for x, y in values:
+            if x <= 0 or y <= 0:
+                continue
+            grid[height - 1 - y_pos(y)][x_pos(x)] = glyph
+
+    # y-axis labels at decade ticks.
+    label_width = 8
+    rows = []
+    y_ticks = _log_ticks(y_lo, y_hi) if log_y else []
+    tick_rows = {height - 1 - y_pos(t): t for t in y_ticks if y_lo <= t <= y_hi}
+    for r in range(height):
+        label = (
+            _fmt_tick(tick_rows[r]).rjust(label_width)
+            if r in tick_rows
+            else " " * label_width
+        )
+        rows.append(f"{label} |" + "".join(grid[r]))
+    rows.append(" " * label_width + "+" + "-" * width)
+
+    # x-axis tick line.
+    tick_line = [" "] * width
+    if log_x:
+        for t in _log_ticks(x_lo, x_hi):
+            if x_lo <= t <= x_hi:
+                pos = x_pos(t)
+                text = _fmt_tick(t)
+                for i, ch in enumerate(text):
+                    if pos + i < width:
+                        tick_line[pos + i] = ch
+    rows.append(" " * (label_width + 1) + "".join(tick_line))
+
+    out = []
+    if title:
+        out.append(title)
+    if y_label:
+        out.append(f"[y: {y_label}]" + (f"  [x: {x_label}]" if x_label else ""))
+    out.extend(rows)
+    out.extend(legend)
+    return "\n".join(out)
+
+
+def plot_experiment(result, x_column: int = 0, **kwargs) -> str:
+    """Plot an :class:`~repro.bench.harness.ExperimentResult`'s series.
+
+    Treats column ``x_column`` as x and every other numeric column as a
+    named series (header = series name).
+    """
+    headers = list(result.headers)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for col, name in enumerate(headers):
+        if col == x_column:
+            continue
+        values = []
+        for row in result.rows:
+            x, y = row[x_column], row[col]
+            if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+                values.append((float(x), float(y)))
+        if values:
+            series[name] = values
+    return ascii_plot(
+        series, title=result.experiment, **kwargs
+    )

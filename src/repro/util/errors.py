@@ -1,0 +1,68 @@
+"""Exception hierarchy mirroring BEAGLE's C error return codes.
+
+The C library communicates failure through negative integers
+(``BEAGLE_ERROR_*``).  The Pythonic API raises exceptions instead; the
+C-style functional API (:mod:`repro.core.api`) catches these and converts
+them back to the corresponding error codes so that client code written
+against the C conventions ports over directly.
+"""
+
+from __future__ import annotations
+
+
+class BeagleError(Exception):
+    """Base class for all library errors.
+
+    Attributes
+    ----------
+    code:
+        The equivalent ``BEAGLE_ERROR_*`` integer return code.
+    """
+
+    code = -1  # BEAGLE_ERROR_GENERAL
+
+
+class OutOfMemoryError(BeagleError):
+    """A buffer allocation exceeded the memory available on the device."""
+
+    code = -2  # BEAGLE_ERROR_OUT_OF_MEMORY
+
+
+class UnsupportedOperationError(BeagleError):
+    """The selected implementation cannot perform the requested operation."""
+
+    code = -3  # BEAGLE_ERROR_UNIDENTIFIED_EXCEPTION (closest analogue)
+
+
+class InvalidIndexError(BeagleError, IndexError):
+    """A buffer, matrix, or resource index was out of range."""
+
+    code = -5  # BEAGLE_ERROR_OUT_OF_RANGE
+
+
+class UninitializedInstanceError(BeagleError):
+    """An operation was requested on a finalized or never-created instance."""
+
+    code = -4  # BEAGLE_ERROR_UNINITIALIZED_INSTANCE
+
+
+class NoResourceError(BeagleError):
+    """No compute resource satisfied the requested flags."""
+
+    code = -6  # BEAGLE_ERROR_NO_RESOURCE
+
+
+class NoImplementationError(BeagleError):
+    """No implementation satisfied the requested flags on any resource."""
+
+    code = -7  # BEAGLE_ERROR_NO_IMPLEMENTATION
+
+
+class FloatingPointError_(BeagleError):
+    """A likelihood evaluation produced a non-finite value.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`FloatingPointError`, from which it also derives.
+    """
+
+    code = -8  # BEAGLE_ERROR_FLOATING_POINT

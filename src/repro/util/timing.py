@@ -1,0 +1,49 @@
+"""Wall-clock measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Supports use as a context manager; nested/repeated timing intervals
+    accumulate into :attr:`elapsed`.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     do_work()            # doctest: +SKIP
+    >>> sw.elapsed > 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        interval = time.perf_counter() - self._start
+        self.elapsed += interval
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

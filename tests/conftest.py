@@ -1,0 +1,85 @@
+"""Shared fixtures: small trees, datasets, and instance builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import InstanceConfig
+from repro.model import GY94, HKY85, JC69, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import plan_traversal, yule_tree
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    return yule_tree(8, rng=101)
+
+
+@pytest.fixture(scope="session")
+def hky_model():
+    return HKY85(kappa=2.0, frequencies=[0.3, 0.2, 0.2, 0.3])
+
+
+@pytest.fixture(scope="session")
+def gamma_sites():
+    return SiteModel.gamma(0.5, 4)
+
+
+@pytest.fixture(scope="session")
+def nucleotide_patterns(small_tree, hky_model, gamma_sites):
+    aln = simulate_alignment(small_tree, hky_model, 400, gamma_sites, rng=102)
+    return compress_patterns(aln)
+
+
+@pytest.fixture(scope="session")
+def codon_patterns(small_tree):
+    aln = simulate_alignment(small_tree, GY94(2.0, 0.3), 80, rng=103)
+    return compress_patterns(aln)
+
+
+def make_config(
+    tree, patterns, model, site_model, compact=0, scale_buffers=0
+) -> InstanceConfig:
+    """Instance dimensions for one (tree, data, model) triple."""
+    n = tree.n_tips
+    return InstanceConfig(
+        tip_count=n,
+        partials_buffer_count=tree.n_nodes - compact,
+        compact_buffer_count=compact,
+        state_count=model.n_states,
+        pattern_count=patterns.n_patterns,
+        eigen_buffer_count=1,
+        matrix_buffer_count=tree.n_nodes,
+        category_count=site_model.n_categories,
+        scale_buffer_count=scale_buffers,
+    )
+
+
+def drive_instance(impl, tree, patterns, model, site_model, compact_tips=()):
+    """Load data + model into an implementation and evaluate the root.
+
+    ``compact_tips`` lists tip indices stored as integer state codes;
+    the rest are stored as indicator partials.
+    """
+    enc_states = patterns.alignment.encode_states()
+    enc_partials = patterns.alignment.encode_partials()
+    for t in range(tree.n_tips):
+        if t in compact_tips:
+            impl.set_tip_states(t, enc_states[t])
+        else:
+            impl.set_tip_partials(t, enc_partials[t])
+    impl.set_pattern_weights(patterns.weights)
+    impl.set_category_rates(site_model.rates)
+    impl.set_category_weights(0, site_model.weights)
+    impl.set_state_frequencies(0, model.frequencies)
+    eigen = model.eigen
+    impl.set_eigen_decomposition(
+        0, eigen.eigenvectors, eigen.inverse_eigenvectors, eigen.eigenvalues
+    )
+    plan = plan_traversal(tree)
+    impl.update_transition_matrices(
+        0, list(plan.branch_node_indices), plan.branch_lengths
+    )
+    impl.update_partials(plan.operations)
+    return impl.calculate_root_log_likelihoods(plan.root_index)

@@ -1,0 +1,213 @@
+"""The shared accelerator implementation model across frameworks/devices."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import (
+    FIREPRO_S9170,
+    QUADRO_P5000,
+    RADEON_R9_NANO,
+    XEON_E5_2680V4_X2,
+)
+from repro.impl import AcceleratedImplementation, CPUSSEImplementation
+from repro.model import GY94, HKY85, SiteModel
+from repro.tree import plan_traversal
+from repro.util.errors import UnsupportedOperationError
+from tests.conftest import drive_instance, make_config
+
+DEVICE_MATRIX = [
+    ("cuda", QUADRO_P5000),
+    ("opencl", QUADRO_P5000),
+    ("opencl", RADEON_R9_NANO),
+    ("opencl", FIREPRO_S9170),
+    ("opencl", XEON_E5_2680V4_X2),
+]
+
+
+@pytest.mark.parametrize(
+    "framework,device", DEVICE_MATRIX,
+    ids=[f"{f}-{d.name.split()[-1]}" for f, d in DEVICE_MATRIX],
+)
+class TestAgreement:
+    def test_matches_cpu_reference(
+        self, framework, device, small_tree, nucleotide_patterns,
+        hky_model, gamma_sites,
+    ):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        ref_impl = CPUSSEImplementation(cfg)
+        ref = drive_instance(
+            ref_impl, small_tree, nucleotide_patterns, hky_model, gamma_sites
+        )
+        impl = AcceleratedImplementation(
+            cfg, "double", framework=framework, device=device
+        )
+        got = drive_instance(
+            impl, small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            compact_tips=(1, 3),
+        )
+        impl.finalize()
+        ref_impl.finalize()
+        assert np.isclose(got, ref, rtol=1e-10)
+
+    def test_simulated_clock_advances(
+        self, framework, device, small_tree, nucleotide_patterns,
+        hky_model, gamma_sites,
+    ):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, "single", framework=framework, device=device
+        )
+        drive_instance(
+            impl, small_tree, nucleotide_patterns, hky_model, gamma_sites
+        )
+        assert impl.simulated_time > 0
+        impl.reset_simulated_time()
+        assert impl.simulated_time == 0.0
+        impl.finalize()
+
+
+class TestBackendNaming:
+    def test_cuda_name_and_flags(self, small_tree, nucleotide_patterns,
+                                 hky_model, gamma_sites):
+        from repro.core.flags import Flag
+
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, framework="cuda", device=QUADRO_P5000
+        )
+        assert impl.name == "CUDA"
+        assert impl.flags & Flag.FRAMEWORK_CUDA
+        assert impl.flags & Flag.PROCESSOR_GPU
+        impl.finalize()
+
+    def test_opencl_x86_name(self, small_tree, nucleotide_patterns,
+                             hky_model, gamma_sites):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, framework="opencl", device=XEON_E5_2680V4_X2
+        )
+        assert impl.name == "OpenCL-x86"
+        assert impl.interface.kernel_config.variant == "x86"
+        impl.finalize()
+
+    def test_opencl_gpu_name(self, small_tree, nucleotide_patterns,
+                             hky_model, gamma_sites):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, framework="opencl", device=RADEON_R9_NANO
+        )
+        assert impl.name == "OpenCL-GPU"
+        assert impl.interface.kernel_config.variant == "gpu"
+        impl.finalize()
+
+    def test_unknown_framework(self, small_tree, nucleotide_patterns,
+                               hky_model, gamma_sites):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        with pytest.raises(ValueError, match="framework"):
+            AcceleratedImplementation(
+                cfg, framework="vulkan", device=QUADRO_P5000
+            )
+
+
+class TestDeviceSideState:
+    def test_partials_round_trip_through_device(
+        self, small_tree, nucleotide_patterns, hky_model, gamma_sites
+    ):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, framework="opencl", device=RADEON_R9_NANO
+        )
+        data = np.random.default_rng(1).random(
+            (cfg.category_count, cfg.pattern_count, cfg.state_count)
+        )
+        impl.set_partials(9, data)
+        assert np.allclose(impl.get_partials(9), data)
+        impl.finalize()
+
+    def test_compact_tip_buffers_on_device(
+        self, small_tree, nucleotide_patterns, hky_model, gamma_sites
+    ):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        impl = AcceleratedImplementation(
+            cfg, framework="cuda", device=QUADRO_P5000
+        )
+        states = np.zeros(cfg.pattern_count, dtype=np.int32)
+        impl.set_tip_states(0, states)
+        with pytest.raises(UnsupportedOperationError):
+            impl.get_partials(0)
+        impl.finalize()
+
+    def test_scaling_on_device(self, small_tree, nucleotide_patterns,
+                               hky_model, gamma_sites):
+        cfg = make_config(
+            small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            scale_buffers=small_tree.n_internal + 1,
+        )
+        ref_impl = CPUSSEImplementation(cfg)
+
+        def run_scaled(impl):
+            enc = nucleotide_patterns.alignment.encode_partials()
+            for t in range(small_tree.n_tips):
+                impl.set_tip_partials(t, enc[t])
+            impl.set_pattern_weights(nucleotide_patterns.weights)
+            impl.set_category_rates(gamma_sites.rates)
+            impl.set_category_weights(0, gamma_sites.weights)
+            impl.set_state_frequencies(0, hky_model.frequencies)
+            e = hky_model.eigen
+            impl.set_eigen_decomposition(
+                0, e.eigenvectors, e.inverse_eigenvectors, e.eigenvalues
+            )
+            plan = plan_traversal(small_tree, use_scaling=True)
+            impl.update_transition_matrices(
+                0, list(plan.branch_node_indices), plan.branch_lengths
+            )
+            impl.update_partials(plan.operations)
+            cum = small_tree.n_internal
+            impl.reset_scale_factors(cum)
+            impl.accumulate_scale_factors(list(range(cum)), cum)
+            out = impl.calculate_root_log_likelihoods(plan.root_index, 0, 0, cum)
+            impl.finalize()
+            return out
+
+        ref = run_scaled(ref_impl)
+        got = run_scaled(AcceleratedImplementation(
+            cfg, framework="opencl", device=FIREPRO_S9170
+        ))
+        assert np.isclose(got, ref, rtol=1e-10)
+
+    def test_edge_likelihood_on_device(self, small_tree, nucleotide_patterns,
+                                       hky_model, gamma_sites):
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+
+        def run_edge(impl):
+            drive_instance(
+                impl, small_tree, nucleotide_patterns, hky_model, gamma_sites
+            )
+            root = small_tree.root
+            child = root.children[0]
+            sibling = root.children[1]
+            out = impl.calculate_edge_log_likelihoods(
+                sibling.index, child.index, child.index
+            )
+            impl.finalize()
+            return out
+
+        ref = run_edge(CPUSSEImplementation(cfg))
+        got = run_edge(AcceleratedImplementation(
+            cfg, framework="cuda", device=QUADRO_P5000
+        ))
+        assert np.isclose(got, ref, rtol=1e-10)
+
+    def test_codon_single_precision(self, small_tree, codon_patterns):
+        model = GY94(2.0, 0.3)
+        sm = SiteModel.uniform()
+        cfg = make_config(small_tree, codon_patterns, model, sm)
+        ref_impl = CPUSSEImplementation(cfg, "double")
+        ref = drive_instance(ref_impl, small_tree, codon_patterns, model, sm)
+        ref_impl.finalize()
+        impl = AcceleratedImplementation(
+            cfg, "single", framework="opencl", device=RADEON_R9_NANO
+        )
+        got = drive_instance(impl, small_tree, codon_patterns, model, sm)
+        impl.finalize()
+        assert np.isclose(got, ref, rtol=1e-3)

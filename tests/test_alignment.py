@@ -1,0 +1,223 @@
+"""Alignments, pattern compression, and sequence simulation."""
+
+import numpy as np
+import pytest
+
+from repro.model import GY94, HKY85, JC69, SiteModel
+from repro.model.statespace import CODON, NUCLEOTIDE
+from repro.seq import (
+    Alignment,
+    compress_patterns,
+    expand_site_values,
+    simulate_alignment,
+    simulate_patterns,
+    synthetic_pattern_set,
+)
+from repro.tree import yule_tree
+
+
+class TestAlignment:
+    def test_from_strings(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "AC-T"})
+        assert aln.n_sequences == 2 and aln.n_sites == 4
+        assert aln.state_space is NUCLEOTIDE
+
+    def test_codon_tokenisation(self):
+        aln = Alignment.from_strings({"a": "ATGGCC", "b": "ATGGCA"}, "codon")
+        assert aln.n_sites == 2
+        assert aln.state_space is CODON
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Alignment.from_strings({"a": "ACGT", "b": "ACG"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alignment(["x", "x"], [list("AC"), list("GT")], NUCLEOTIDE)
+
+    def test_invalid_token_reported_with_context(self):
+        with pytest.raises(ValueError, match="b site 1"):
+            Alignment.from_strings({"a": "AC", "b": "A!"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Alignment([], [], NUCLEOTIDE)
+
+    def test_column_access(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "TGCA"})
+        assert aln.column(0) == ("A", "T")
+        assert len(list(aln.columns())) == 4
+
+    def test_sequence_lookup(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "TGCA"})
+        assert "".join(aln.sequence("b")) == "TGCA"
+        with pytest.raises(KeyError):
+            aln.sequence("c")
+
+    def test_encode_states_shape(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "NNNN"})
+        enc = aln.encode_states()
+        assert enc.shape == (2, 4)
+        assert np.all(enc[1] == 4)
+
+    def test_encode_partials_shape(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "RYRY"})
+        enc = aln.encode_partials()
+        assert enc.shape == (2, 4, 4)
+        assert np.all(enc[0].sum(axis=1) == 1)
+        assert np.all(enc[1].sum(axis=1) == 2)
+
+    def test_subset_preserves_order(self):
+        aln = Alignment.from_strings({"a": "AC", "b": "GT", "c": "CA"})
+        sub = aln.subset(["c", "a"])
+        assert sub.names == ["c", "a"]
+
+    def test_sites_selection(self):
+        aln = Alignment.from_strings({"a": "ACGT", "b": "TGCA"})
+        sub = aln.sites([3, 0])
+        assert "".join(sub.sequence("a")) == "TA"
+
+
+class TestPatternCompression:
+    def test_identical_columns_merge(self):
+        aln = Alignment.from_strings({"a": "AAAC", "b": "GGGT"})
+        ps = compress_patterns(aln)
+        assert ps.n_patterns == 2
+        assert ps.n_sites == 4
+        assert list(ps.weights) == [3.0, 1.0]
+
+    def test_weights_sum_to_site_count(self):
+        t = yule_tree(6, rng=1)
+        aln = simulate_alignment(t, JC69(), 500, rng=2)
+        ps = compress_patterns(aln)
+        assert ps.n_sites == 500
+        assert ps.weights.sum() == 500
+
+    def test_first_occurrence_order(self):
+        aln = Alignment.from_strings({"a": "CAC", "b": "TGT"})
+        ps = compress_patterns(aln)
+        assert ps.alignment.column(0) == ("C", "T")
+        assert ps.alignment.column(1) == ("A", "G")
+
+    def test_site_to_pattern_mapping(self):
+        aln = Alignment.from_strings({"a": "AAC", "b": "GGT"})
+        ps = compress_patterns(aln)
+        assert list(ps.site_to_pattern) == [0, 0, 1]
+
+    def test_expand_site_values(self):
+        aln = Alignment.from_strings({"a": "AAC", "b": "GGT"})
+        ps = compress_patterns(aln)
+        expanded = expand_site_values(np.array([1.5, 2.5]), ps)
+        assert list(expanded) == [1.5, 1.5, 2.5]
+
+    def test_expand_rejects_wrong_length(self):
+        aln = Alignment.from_strings({"a": "AAC", "b": "GGT"})
+        ps = compress_patterns(aln)
+        with pytest.raises(ValueError, match="expected 2"):
+            expand_site_values(np.zeros(3), ps)
+
+    def test_likelihood_invariant_under_compression(self):
+        """Compressed and uncompressed data give identical likelihoods."""
+        from repro.core.highlevel import TreeLikelihood
+
+        t = yule_tree(6, rng=3)
+        model = HKY85(2.0)
+        aln = simulate_alignment(t, model, 300, rng=4)
+        compressed = compress_patterns(aln)
+        # Fake "uncompressed" pattern set: every site its own pattern.
+        from repro.seq.patterns import PatternSet
+
+        uncompressed = PatternSet(
+            alignment=aln,
+            weights=np.ones(aln.n_sites),
+            site_to_pattern=np.arange(aln.n_sites),
+        )
+        with TreeLikelihood(t, compressed, model) as tl:
+            a = tl.log_likelihood()
+        with TreeLikelihood(t, uncompressed, model) as tl:
+            b = tl.log_likelihood()
+        assert np.isclose(a, b, rtol=1e-12)
+
+
+class TestSimulation:
+    def test_rows_align_with_tip_indices(self):
+        t = yule_tree(5, rng=5)
+        aln = simulate_alignment(t, JC69(), 50, rng=6)
+        tips = sorted(t.root.tips(), key=lambda n: n.index)
+        assert aln.names == [tip.name for tip in tips]
+
+    def test_codon_simulation(self):
+        t = yule_tree(4, rng=7)
+        aln = simulate_alignment(t, GY94(), 30, rng=8)
+        assert aln.state_space is CODON
+        assert aln.n_sites == 30
+
+    def test_deterministic(self):
+        t = yule_tree(4, rng=9)
+        a = simulate_alignment(t, JC69(), 40, rng=10)
+        b = simulate_alignment(t, JC69(), 40, rng=10)
+        assert a.rows == b.rows
+
+    def test_zero_rate_category_freezes_sites(self):
+        t = yule_tree(4, rng=11)
+        sm = SiteModel.gamma_invariant(0.5, 0.99, 2)  # almost all invariant
+        aln = simulate_alignment(t, JC69(), 200, sm, rng=12)
+        identical = sum(
+            1 for col in aln.columns() if len(set(col)) == 1
+        )
+        assert identical > 150
+
+    def test_short_branches_preserve_states(self):
+        t = yule_tree(4, rng=13)
+        t.scale_branches(1e-8)
+        aln = simulate_alignment(t, JC69(), 100, rng=14)
+        for col in aln.columns():
+            assert len(set(col)) == 1
+
+    def test_long_branches_randomise(self):
+        t = yule_tree(4, rng=15)
+        t.scale_branches(500.0)
+        aln = simulate_alignment(t, JC69(), 500, rng=16)
+        varying = sum(1 for col in aln.columns() if len(set(col)) > 1)
+        assert varying > 300
+
+    def test_base_composition_follows_model(self):
+        t = yule_tree(4, rng=17)
+        model = HKY85(2.0, [0.7, 0.1, 0.1, 0.1])
+        aln = simulate_alignment(t, model, 3000, rng=18)
+        flat = [tok for row in aln.rows for tok in row]
+        freq_a = flat.count("A") / len(flat)
+        assert 0.63 < freq_a < 0.77
+
+    def test_simulate_patterns_compresses(self):
+        t = yule_tree(4, rng=19)
+        ps = simulate_patterns(t, JC69(), 400, rng=20)
+        assert ps.n_sites == 400
+        assert ps.n_patterns <= 400
+
+    def test_invalid_site_count(self):
+        t = yule_tree(4, rng=21)
+        with pytest.raises(ValueError, match="at least one site"):
+            simulate_alignment(t, JC69(), 0)
+
+
+class TestSyntheticPatterns:
+    def test_shape_and_uniqueness(self):
+        sp = synthetic_pattern_set(10, 500, 4, rng=22)
+        assert sp.tip_states.shape == (10, 500)
+        columns = {sp.tip_states[:, i].tobytes() for i in range(500)}
+        assert len(columns) == 500
+
+    def test_state_range(self):
+        sp = synthetic_pattern_set(6, 100, 61, rng=23)
+        assert sp.tip_states.min() >= 0
+        assert sp.tip_states.max() < 61
+
+    def test_impossible_request_rejected(self):
+        # 2 taxa x 2 states -> only 4 distinct columns exist.
+        with pytest.raises(ValueError, match="unique patterns"):
+            synthetic_pattern_set(2, 100, 2, rng=24)
+
+    def test_weights_positive(self):
+        sp = synthetic_pattern_set(5, 50, 4, rng=25)
+        assert np.all(sp.weights >= 1)

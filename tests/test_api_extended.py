@@ -1,0 +1,168 @@
+"""Extended C-style API surface and manager fallback behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import Flag, InstanceConfig
+from repro.core.api import (
+    beagle_calculate_edge_derivatives,
+    beagle_create_instance,
+    beagle_finalize_instance,
+    beagle_get_scale_factors,
+    beagle_get_transition_matrix,
+    beagle_set_category_rates,
+    beagle_set_eigen_decomposition,
+    beagle_set_pattern_weights,
+    beagle_set_tip_partials,
+    beagle_update_partials,
+    beagle_update_transition_matrices,
+)
+from repro.core.manager import default_manager
+from repro.impl.registry import (
+    ImplementationPlugin,
+    register_plugin,
+    unregister_plugin,
+)
+from repro.model import HKY85
+
+
+@pytest.fixture
+def instance():
+    handle, details = beagle_create_instance(
+        tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+        state_count=4, pattern_count=16, eigen_buffer_count=1,
+        matrix_buffer_count=9, category_count=1, scale_buffer_count=3,
+    )
+    assert handle >= 0
+    yield handle
+    beagle_finalize_instance(handle)
+
+
+def _load_basics(handle):
+    model = HKY85(2.0)
+    rng = np.random.default_rng(1)
+    for tip in range(3):
+        partials = np.zeros((16, 4))
+        partials[np.arange(16), rng.integers(0, 4, 16)] = 1.0
+        assert beagle_set_tip_partials(handle, tip, partials) == 0
+    assert beagle_set_pattern_weights(handle, np.ones(16)) == 0
+    assert beagle_set_category_rates(handle, [1.0]) == 0
+    e = model.eigen
+    assert beagle_set_eigen_decomposition(
+        handle, 0, e.eigenvectors, e.inverse_eigenvectors, e.eigenvalues
+    ) == 0
+    return model
+
+
+class TestExtendedAPI:
+    def test_get_transition_matrix(self, instance):
+        model = _load_basics(instance)
+        assert beagle_update_transition_matrices(
+            instance, 0, [0, 1], [0.1, 0.4]
+        ) == 0
+        out = np.zeros((1, 4, 4))
+        assert beagle_get_transition_matrix(instance, 1, out) == 0
+        assert np.allclose(out[0], model.transition_matrix(0.4), atol=1e-9)
+
+    def test_derivative_round_trip(self, instance):
+        _load_basics(instance)
+        # Matrices 0,1 for child branches; 2 + derivatives 3,4 for an edge.
+        assert beagle_update_transition_matrices(
+            instance, 0, [0, 1], [0.1, 0.2]
+        ) == 0
+        assert beagle_update_partials(
+            instance, [(3, -1, -1, 0, 0, 1, 1)]
+        ) == 0
+        assert beagle_update_transition_matrices(
+            instance, 0, [2], [0.3],
+            first_derivative_indices=[3],
+            second_derivative_indices=[4],
+        ) == 0
+        ll = np.zeros(1)
+        d1 = np.zeros(1)
+        d2 = np.zeros(1)
+        rc = beagle_calculate_edge_derivatives(
+            instance, [3], [0], [2], [3], [4], [0], [0], [-1], ll, d1, d2
+        )
+        assert rc == 0
+        assert ll[0] < 0 and np.isfinite(d1[0]) and np.isfinite(d2[0])
+
+    def test_get_scale_factors(self, instance):
+        _load_basics(instance)
+        assert beagle_update_transition_matrices(
+            instance, 0, [0, 1], [0.1, 0.2]
+        ) == 0
+        # Operation writing scale buffer 0.
+        assert beagle_update_partials(
+            instance, [(3, 0, -1, 0, 0, 1, 1)]
+        ) == 0
+        out = np.zeros(16)
+        assert beagle_get_scale_factors(instance, 0, out) == 0
+        assert np.all(out <= 0.0)  # partials <= 1 -> log factors <= 0
+
+    def test_scale_factor_index_error_code(self, instance):
+        out = np.zeros(16)
+        assert beagle_get_scale_factors(instance, 99, out) < 0
+
+
+class TestManagerFallback:
+    def test_failing_plugin_falls_through(self):
+        """A higher-priority plugin whose factory fails must not mask
+        working implementations (the runtime-dependency story of the
+        plugin system, paper section IV-C)."""
+
+        def broken_factory(config, precision, device=None, **kw):
+            raise RuntimeError("dependency missing")
+
+        plugin = ImplementationPlugin(
+            name="test-broken-accelerator",
+            flags=(Flag.PRECISION_SINGLE | Flag.PRECISION_DOUBLE
+                   | Flag.VECTOR_NONE | Flag.PROCESSOR_CPU
+                   | Flag.FRAMEWORK_CPU),
+            priority=999,
+            factory=broken_factory,
+        )
+        register_plugin(plugin)
+        try:
+            config = InstanceConfig(
+                tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+                state_count=4, pattern_count=8, eigen_buffer_count=1,
+                matrix_buffer_count=5,
+            )
+            impl, details = default_manager().create_implementation(
+                config, requirement_flags=Flag.VECTOR_NONE
+            )
+            assert details.implementation_name == "CPU-serial"
+            impl.finalize()
+        finally:
+            unregister_plugin("test-broken-accelerator")
+
+    def test_all_candidates_failing_reports_causes(self):
+        from repro.util.errors import NoImplementationError
+
+        def broken_factory(config, precision, device=None, **kw):
+            raise RuntimeError("nope")
+
+        plugin = ImplementationPlugin(
+            name="test-only-fpga",
+            flags=(Flag.PROCESSOR_FPGA | Flag.PRECISION_DOUBLE
+                   | Flag.PRECISION_SINGLE | Flag.FRAMEWORK_CPU
+                   | Flag.PROCESSOR_CPU),
+            priority=999,
+            factory=broken_factory,
+        )
+        register_plugin(plugin)
+        try:
+            config = InstanceConfig(
+                tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+                state_count=4, pattern_count=8, eigen_buffer_count=1,
+                matrix_buffer_count=5,
+            )
+            # PROCESSOR_FPGA is only served (nominally) by the broken
+            # plugin, and no resource supports it -> NoImplementation.
+            with pytest.raises(NoImplementationError):
+                default_manager().create_implementation(
+                    config, requirement_flags=Flag.PROCESSOR_FPGA
+                )
+        finally:
+            unregister_plugin("test-only-fpga")

@@ -1,0 +1,69 @@
+"""ASCII chart rendering for figure reproductions."""
+
+import pytest
+
+from repro.bench import fig4_series, fig5_scaling
+from repro.util.asciiplot import ascii_plot, plot_experiment
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            {"a": [(1, 1), (10, 10), (100, 100)]},
+            title="T", y_label="GFLOPS", x_label="patterns",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o a" in out
+        assert out.count("o") >= 3
+        assert "GFLOPS" in out
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = ascii_plot(
+            {"first": [(1, 2), (10, 20)], "second": [(1, 3), (10, 30)]},
+        )
+        assert "o first" in out and "* second" in out
+
+    def test_log_ticks_present(self):
+        out = ascii_plot({"a": [(100, 5), (100_000, 500)]})
+        assert "1k" in out or "100" in out
+        assert "100k" in out or "10k" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_plot({})
+        with pytest.raises(ValueError, match="positive data"):
+            ascii_plot({"a": [(0, 0)]})
+
+    def test_linear_axes(self):
+        out = ascii_plot(
+            {"a": [(1, 1), (2, 2), (3, 3)]}, log_x=False, log_y=False,
+        )
+        grid_glyphs = sum(
+            line.count("o") for line in out.splitlines() if "|" in line
+        )
+        assert grid_glyphs == 3
+
+    def test_constant_series_handled(self):
+        out = ascii_plot({"flat": [(1, 5), (10, 5), (100, 5)]})
+        assert out.count("o") >= 1
+
+    def test_plot_fig4(self):
+        out = plot_experiment(fig4_series(4))
+        assert "Figure 4" in out
+        assert "AMD Radeon R9 Nano" in out
+        # 8 series legend entries
+        assert sum(1 for l in out.splitlines() if l.startswith("  ")) >= 8
+
+    def test_plot_fig5_linear(self):
+        out = plot_experiment(fig5_scaling(), log_x=False, log_y=False)
+        assert "Figure 5" in out
+        assert "OpenCL-x86 (fission)" in out
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.cli import experiments_main
+
+        assert experiments_main(["fig5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "C++ threads (taskset)" in out
+        assert "|" in out  # chart frame present

@@ -1,0 +1,230 @@
+"""genomictest driver and the paper-experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    PartialsWorkload,
+    fig4_series,
+    fig5_scaling,
+    fig6_mrbayes,
+    fig6_speedup,
+    gflops,
+    model_for_states,
+    run_genomictest,
+    table3_threading,
+    table4_fma,
+    table5_workgroup,
+    verify_backends,
+)
+from repro.bench.harness import (
+    FIG6_PAPER_APPROX,
+    TABLE3_PAPER,
+    TABLE4_PAPER,
+    TABLE5_PAPER,
+)
+
+
+class TestThroughputAccounting:
+    def test_workload_flops(self):
+        w = PartialsWorkload(16, 1000, 4, 4)
+        assert w.n_operations == 15
+        assert w.total_flops == 15 * 1000 * 4 * (4 * 17)
+
+    def test_gflops(self):
+        assert gflops(2e9, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            gflops(1.0, 0.0)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            PartialsWorkload(1, 100, 4)
+        with pytest.raises(ValueError):
+            PartialsWorkload(4, 0, 4)
+
+
+class TestGenomictest:
+    def test_wall_mode_produces_throughput(self):
+        result = run_genomictest(
+            tips=8, patterns=300, states=4, backend="cpu-sse", reps=2
+        )
+        assert result.gflops > 0
+        assert np.isfinite(result.log_likelihood)
+
+    def test_model_mode_reads_simulated_clock(self):
+        result = run_genomictest(
+            tips=8, patterns=300, states=4, backend="cuda",
+            reps=2, mode="model",
+        )
+        assert result.mode == "model"
+        assert result.gflops > 0
+
+    def test_model_mode_invalid_for_cpu_backends(self):
+        with pytest.raises(ValueError, match="simulated clock"):
+            run_genomictest(backend="cpu-sse", mode="model", patterns=50)
+
+    def test_deterministic_likelihood(self):
+        a = run_genomictest(tips=6, patterns=100, backend="cpu-sse", seed=5)
+        b = run_genomictest(tips=6, patterns=100, backend="cpu-serial", seed=5)
+        assert np.isclose(a.log_likelihood, b.log_likelihood, rtol=1e-10)
+
+    def test_non_power_of_two_tips(self):
+        result = run_genomictest(tips=13, patterns=64, backend="cpu-sse")
+        assert result.workload.tip_count == 13
+
+    def test_verify_backends_passes(self):
+        assert verify_backends(tips=6, patterns=100)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_genomictest(backend="abacus")
+
+    def test_model_for_states(self):
+        assert model_for_states(4).n_states == 4
+        assert model_for_states(20).n_states == 20
+        assert model_for_states(61).n_states == 61
+        with pytest.raises(ValueError):
+            model_for_states(7)
+
+    def test_cli_main(self, capsys):
+        from repro.bench.genomictest import main
+
+        assert main(["--tips", "6", "--patterns", "100",
+                     "--backend", "cpu-sse", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+
+
+def relative_errors(rows, model_col, paper_col):
+    errs = []
+    for row in rows:
+        model, paper = row[model_col], row[paper_col]
+        if isinstance(paper, float) and np.isfinite(paper) and paper > 0:
+            errs.append(abs(model - paper) / paper)
+    return errs
+
+
+class TestPaperReproduction:
+    """The reproduction contract: shapes and factors of every experiment."""
+
+    def test_table3_within_tolerance(self):
+        rows = table3_threading().rows
+        # columns: tips, serial, p, futures, p, create, p, pool, p, ...
+        for model_col, paper_col in ((1, 2), (3, 4), (5, 6), (7, 8)):
+            for err in relative_errors(rows, model_col, paper_col):
+                assert err < 0.25
+
+    def test_table3_ordering(self):
+        for row in table3_threading().rows:
+            serial, futures, create, pool = row[1], row[3], row[5], row[7]
+            assert pool > max(futures, create) > serial
+
+    def test_table4_fma_direction_and_magnitude(self):
+        rows = table4_fma().rows
+        for row in rows:
+            precision, gain, paper_gain = row[0], row[6], row[7]
+            assert gain > 0
+            if precision == "double":
+                assert 7.0 < gain < 14.0
+            else:
+                assert gain < 3.0
+        # absolute throughputs within 10%
+        for err in relative_errors(rows, 2, 3):
+            assert err < 0.10
+
+    def test_table5_speedup_factor(self):
+        result = table5_workgroup()
+        x86_at_256 = next(r for r in result.rows if r[1] == 256 and r[0] == "OpenCL-x86")
+        assert 5.0 < x86_at_256[4] < 7.5  # paper: 6.25
+        for err in relative_errors(result.rows, 2, 3):
+            assert err < 0.12
+
+    def test_fig4_nucleotide_anchors(self):
+        result = fig4_series(4)
+        headers = result.headers
+        r9_col = headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
+        row = next(r for r in result.rows if r[0] == 475_081)
+        assert abs(row[r9_col] - 444.92) / 444.92 < 0.05
+
+    def test_fig4_codon_anchor(self):
+        result = fig4_series(61)
+        r9_col = result.headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
+        row = next(r for r in result.rows if r[0] == 28_419)
+        assert abs(row[r9_col] - 1324.19) / 1324.19 < 0.05
+
+    def test_fig4_gpu_throughput_scales_with_patterns(self):
+        result = fig4_series(4)
+        for name in result.headers[1:5]:
+            col = result.headers.index(name)
+            series = [row[col] for row in result.rows]
+            assert series == sorted(series)
+
+    def test_fig4_cpu_hump_then_crossover(self):
+        """C++ threads peak mid-range then fall below OpenCL-x86."""
+        result = fig4_series(4)
+        threads_col = result.headers.index(
+            "C++ threads: Intel Xeon E5-2680v4 x2")
+        x86_col = result.headers.index("OpenCL-x86: Intel Xeon E5-2680v4 x2")
+        by_patterns = {row[0]: row for row in result.rows}
+        assert by_patterns[20_092][threads_col] > by_patterns[1000][threads_col]
+        assert by_patterns[20_092][threads_col] > by_patterns[475_081][threads_col]
+        # mid-range: threads beat x86; at 475k the crossover has happened
+        assert by_patterns[20_092][threads_col] > by_patterns[20_092][x86_col]
+        assert by_patterns[475_081][x86_col] > by_patterns[475_081][threads_col]
+
+    def test_fig4_codon_less_pattern_sensitive(self):
+        nt = fig4_series(4)
+        codon = fig4_series(61)
+        col = nt.headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
+
+        def ratio(result, small, large):
+            by = {row[0]: row[col] for row in result.rows}
+            return by[small] / by[large]
+
+        assert ratio(codon, 100, 28_419) > 30 * ratio(nt, 100, 475_081)
+
+    def test_fig5_saturation(self):
+        result = fig5_scaling()
+        pool = {row[0]: row[1] for row in result.rows}
+        assert pool[8] > 3 * pool[1]          # strong early scaling
+        assert pool[56] < pool[27] * 1.10     # saturated by the knee
+
+    def test_fig6_bars_within_factor(self):
+        result = fig6_mrbayes()
+        for row in result.rows:
+            model, paper = row[3], row[4]
+            if np.isfinite(paper):
+                assert 0.55 < model / paper < 1.6, row
+
+    def test_fig6_orderings(self):
+        """Who wins: GPU > x86 > threads-ish > Phi; codon >> nucleotide."""
+        gpu_codon = fig6_speedup(
+            "OpenCL-GPU: AMD FirePro S9170", 61, "single")
+        x86_codon = fig6_speedup(
+            "OpenCL-x86: Intel Xeon E5-2680v4 x2", 61, "single")
+        threads_codon = fig6_speedup(
+            "C++ threads: Intel Xeon E5-2680v4 x2", 61, "single")
+        phi_codon = fig6_speedup("C++ threads: Intel Xeon Phi 7210", 61, "single")
+        assert gpu_codon > x86_codon > threads_codon > phi_codon
+        gpu_nt = fig6_speedup("OpenCL-GPU: AMD FirePro S9170", 4, "single")
+        assert gpu_codon > 2.5 * gpu_nt
+
+    def test_fig6_text_anchors(self):
+        """'speedups are 7.6 and 13.8-fold' over fastest-SP MrBayes."""
+        sse_nt = fig6_speedup("MrBayes-SSE", 4, "single")
+        sse_codon = fig6_speedup("MrBayes-SSE", 61, "single")
+        gpu_nt = fig6_speedup("OpenCL-GPU: AMD FirePro S9170", 4, "single")
+        gpu_codon = fig6_speedup("OpenCL-GPU: AMD FirePro S9170", 61, "single")
+        assert abs(gpu_nt / sse_nt - 7.6) < 1.5
+        assert abs(gpu_codon / sse_codon - 13.8) < 3.0
+
+    def test_abstract_39fold_codon_speedup(self):
+        """Abstract: 39-fold CPU-only codon speedup via OpenCL-x86."""
+        value = fig6_speedup("OpenCL-x86: Intel Xeon E5-2680v4 x2", 61, "single")
+        assert 33 < value < 48
+
+    def test_all_experiments_render(self):
+        for name, fn in ALL_EXPERIMENTS.items():
+            table = fn().table()
+            assert len(table.splitlines()) > 3

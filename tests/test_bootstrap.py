@@ -1,0 +1,125 @@
+"""Bootstrap resampling and per-kernel time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.highlevel import TreeLikelihood
+from repro.model import HKY85
+from repro.seq import (
+    bootstrap_alignment,
+    bootstrap_replicates,
+    bootstrap_support,
+    bootstrap_weights,
+    compress_patterns,
+    simulate_alignment,
+)
+from repro.tree import yule_tree
+
+
+@pytest.fixture(scope="module")
+def boot_setup():
+    tree = yule_tree(6, rng=200)
+    model = HKY85(2.0)
+    aln = simulate_alignment(tree, model, 400, rng=201)
+    return tree, aln, compress_patterns(aln), model
+
+
+class TestBootstrapWeights:
+    def test_weights_sum_to_site_count(self, boot_setup):
+        _, _, data, _ = boot_setup
+        for seed in range(5):
+            w = bootstrap_weights(data, rng=seed)
+            assert w.sum() == data.n_sites
+            assert w.shape == data.weights.shape
+            assert np.all(w >= 0)
+
+    def test_expected_weights_match_original(self, boot_setup):
+        _, _, data, _ = boot_setup
+        rng = np.random.default_rng(202)
+        total = np.zeros_like(data.weights)
+        n = 300
+        for _ in range(n):
+            total += bootstrap_weights(data, rng)
+        # Law of large numbers: mean replicate ~= original weights.
+        assert np.allclose(total / n, data.weights, atol=0.6)
+
+    def test_replicates_differ(self, boot_setup):
+        _, _, data, _ = boot_setup
+        reps = list(bootstrap_replicates(data, 3, rng=203))
+        assert len(reps) == 3
+        assert not np.array_equal(reps[0], reps[1])
+
+    def test_replicate_count_validated(self, boot_setup):
+        _, _, data, _ = boot_setup
+        with pytest.raises(ValueError):
+            list(bootstrap_replicates(data, 0))
+
+    def test_bootstrap_alignment_shape(self, boot_setup):
+        _, aln, _, _ = boot_setup
+        b = bootstrap_alignment(aln, rng=204)
+        assert b.n_sequences == aln.n_sequences
+        assert b.n_sites == aln.n_sites
+
+    def test_bootstrap_support_restores_weights(self, boot_setup):
+        tree, _, data, model = boot_setup
+        with TreeLikelihood(tree, data, model) as tl:
+            original = tl.log_likelihood()
+            values = bootstrap_support(
+                tl.log_likelihood,
+                data,
+                tl.instance.set_pattern_weights,
+                n_replicates=10,
+                rng=205,
+            )
+            assert len(values) == 10
+            assert np.std(values) > 0
+            # Weights restored: the original likelihood is reproduced.
+            assert np.isclose(tl.log_likelihood(), original, rtol=1e-12)
+
+    def test_bootstrap_values_bracket_original(self, boot_setup):
+        tree, _, data, model = boot_setup
+        with TreeLikelihood(tree, data, model) as tl:
+            original = tl.log_likelihood()
+            values = bootstrap_support(
+                tl.log_likelihood, data,
+                tl.instance.set_pattern_weights,
+                n_replicates=30, rng=206,
+            )
+            assert min(values) < original < max(values)
+
+
+class TestKernelBreakdown:
+    def test_breakdown_labels_and_totals(self):
+        from repro.bench import run_genomictest
+
+        result = run_genomictest(
+            tips=8, patterns=500, backend="cuda", mode="model", reps=2,
+        )
+        assert result.breakdown
+        assert any("Partials" in k or "States" in k for k in result.breakdown)
+        assert np.isclose(
+            sum(result.breakdown.values()),
+            result.seconds_per_eval * 2,
+            rtol=1e-9,
+        )
+
+    def test_wall_mode_has_no_breakdown(self):
+        from repro.bench import run_genomictest
+
+        result = run_genomictest(
+            tips=8, patterns=200, backend="cpu-sse", reps=1,
+        )
+        assert result.breakdown is None
+
+    def test_clock_label_accumulation(self):
+        from repro.accel.perfmodel import SimulatedClock
+
+        clock = SimulatedClock()
+        clock.advance(1.0, label="a")
+        clock.advance(2.0, label="a")
+        clock.advance(3.0, label="b")
+        clock.advance(4.0)  # unlabelled still counts toward elapsed
+        assert clock.by_label == {"a": 3.0, "b": 3.0}
+        assert clock.elapsed == 10.0
+        clock.reset()
+        assert clock.by_label == {}

@@ -1,0 +1,51 @@
+"""Command-line entry points."""
+
+import pytest
+
+from repro.cli import experiments_main, info_main
+
+
+class TestInfo:
+    def test_resource_survey(self, capsys):
+        assert info_main([]) == 0
+        out = capsys.readouterr().out
+        assert "CPU (host)" in out
+        assert "AMD Radeon R9 Nano" in out
+        assert "Performance-model ranking" in out
+
+    def test_kernel_dump_cuda(self, capsys):
+        assert info_main(["--kernels", "cuda", "--states", "61"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+        assert "STATE_COUNT = 61" in out
+
+    def test_kernel_dump_opencl(self, capsys):
+        assert info_main(
+            ["--kernels", "opencl", "--precision", "double"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "__kernel" in out
+        assert "float64" in out
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table3", "table4", "table5", "fig4-nucleotide",
+                     "fig4-codon", "fig5", "fig6"):
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert experiments_main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "193.10" in out  # paper value printed alongside
+
+    def test_unknown_experiment(self, capsys):
+        assert experiments_main(["table99"]) == 2
+
+    def test_all_experiments(self, capsys):
+        assert experiments_main([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Table V" in out

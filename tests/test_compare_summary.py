@@ -1,0 +1,208 @@
+"""Tree comparison (bipartitions, RF) and posterior summarisation."""
+
+import numpy as np
+import pytest
+
+from repro.mcmc import (
+    MrBayesRunner,
+    effective_sample_size,
+    nucleotide_analysis,
+    summarize,
+    summarize_trace,
+)
+from repro.model import HKY85
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import (
+    bipartition_frequencies,
+    bipartitions,
+    consensus_newick,
+    majority_rule_splits,
+    normalized_robinson_foulds,
+    parse_newick,
+    robinson_foulds,
+    yule_tree,
+)
+
+
+class TestBipartitions:
+    def test_four_taxon_tree_has_one_split(self):
+        t = parse_newick("((A:1,B:1):1,(C:1,D:1):1);")
+        splits = bipartitions(t)
+        assert len(splits) == 1
+        assert splits == {frozenset({"C", "D"})}
+
+    def test_caterpillar_splits(self):
+        t = parse_newick("(((A:1,B:1):1,C:1):1,(D:1,E:1):1);")
+        splits = bipartitions(t)
+        # Non-trivial: {A,B} (canonical: complement contains A... anchor=A
+        # so it flips to {C,D,E}) and {D,E}.
+        assert frozenset({"D", "E"}) in splits
+        assert len(splits) == 2
+
+    def test_canonicalisation_root_invariant(self):
+        # Same unrooted topology, two different rootings.
+        a = parse_newick("((A:1,B:1):1,(C:1,D:1):1);")
+        b = parse_newick("(A:1,(B:1,((C:1,D:1):1):0):1);") \
+            if False else parse_newick("((C:1,D:1):1,(A:1,B:1):1);")
+        assert bipartitions(a) == bipartitions(b)
+
+    def test_duplicate_names_rejected(self):
+        from repro.tree import Node, Tree
+
+        root = Node()
+        left = Node(0, "X", 0.1)
+        right = Node(1, "X", 0.1)
+        root.add_child(left)
+        root.add_child(right)
+        with pytest.raises(ValueError, match="unique"):
+            bipartitions(Tree(root))
+
+
+class TestRobinsonFoulds:
+    def test_identical_trees_distance_zero(self):
+        t = yule_tree(12, rng=1)
+        assert robinson_foulds(t, t.copy()) == 0
+
+    def test_symmetric(self):
+        a, b = yule_tree(10, rng=2), yule_tree(10, rng=3)
+        assert robinson_foulds(a, b) == robinson_foulds(b, a)
+
+    def test_different_tip_sets_rejected(self):
+        a = yule_tree(5, rng=4)
+        b = yule_tree(5, names=[f"x{i}" for i in range(5)], rng=5)
+        with pytest.raises(ValueError, match="different tips"):
+            robinson_foulds(a, b)
+
+    def test_normalised_bounds(self):
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            a = yule_tree(10, rng=rng)
+            b = yule_tree(10, rng=rng)
+            v = normalized_robinson_foulds(a, b)
+            assert 0.0 <= v <= 1.0
+
+    def test_single_nni_changes_distance_by_at_most_two(self):
+        from repro.mcmc.proposals import NNIMove, PhyloState
+        from repro.util.rng import spawn_rng
+
+        base = yule_tree(10, rng=7)
+        state = PhyloState(tree=base.copy(), parameters={})
+        NNIMove().propose(state, spawn_rng(8))
+        assert robinson_foulds(base, state.tree) <= 2
+
+
+class TestConsensus:
+    def test_unanimous_trees_full_support(self):
+        t = yule_tree(8, rng=9)
+        trees = [t.copy() for _ in range(10)]
+        freqs = bipartition_frequencies(trees)
+        assert all(np.isclose(v, 1.0) for v in freqs.values())
+        splits = majority_rule_splits(trees)
+        assert len(splits) == len(bipartitions(t))
+
+    def test_majority_threshold_filters(self):
+        a = parse_newick("((A:1,B:1):1,(C:1,D:1):1);")
+        b = parse_newick("((A:1,C:1):1,(B:1,D:1):1);")
+        # 6 copies of a, 4 of b: a's split at 0.6, b's at 0.4.
+        trees = [a.copy()] * 6 + [b.copy()] * 4
+        splits = majority_rule_splits(trees, threshold=0.5)
+        assert len(splits) == 1
+        assert splits[0][0] == frozenset({"C", "D"})
+        assert np.isclose(splits[0][1], 0.6)
+
+    def test_incompatible_splits_greedily_resolved(self):
+        a = parse_newick("((A:1,B:1):1,(C:1,D:1):1);")
+        b = parse_newick("((A:1,C:1):1,(B:1,D:1):1);")
+        trees = [a.copy()] * 6 + [b.copy()] * 4
+        splits = majority_rule_splits(trees, threshold=0.0)
+        # The 0.4 split conflicts with the 0.6 split: only one survives.
+        assert len(splits) == 1
+
+    def test_consensus_newick_contains_all_tips_and_support(self):
+        t = yule_tree(6, rng=10)
+        newick = consensus_newick([t.copy() for _ in range(4)])
+        for name in t.tip_names():
+            assert name in newick
+        assert "1.00" in newick
+        assert newick.endswith(");")
+
+    def test_threshold_validation(self):
+        t = yule_tree(4, rng=11)
+        with pytest.raises(ValueError, match="threshold"):
+            majority_rule_splits([t], threshold=1.5)
+
+    def test_empty_tree_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bipartition_frequencies([])
+
+
+class TestESS:
+    def test_white_noise_ess_near_n(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=2000)
+        ess = effective_sample_size(x)
+        assert ess > 1200
+
+    def test_autocorrelated_chain_has_low_ess(self):
+        rng = np.random.default_rng(13)
+        x = np.zeros(2000)
+        for i in range(1, 2000):
+            x[i] = 0.97 * x[i - 1] + rng.normal() * 0.1
+        ess = effective_sample_size(x)
+        assert ess < 300
+
+    def test_constant_trace(self):
+        assert effective_sample_size(np.ones(100)) == 100.0
+
+    def test_tiny_trace(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0
+
+    def test_ess_bounded_by_n(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=500)
+        assert 1.0 <= effective_sample_size(x) <= 500.0
+
+
+class TestSummaries:
+    def test_trace_statistics(self):
+        rng = np.random.default_rng(15)
+        values = rng.normal(5.0, 2.0, size=4000)
+        stats = summarize_trace("x", values)
+        assert abs(stats.mean - 5.0) < 0.15
+        assert abs(stats.std - 2.0) < 0.15
+        assert stats.hpd_low < stats.median < stats.hpd_high
+        # 95% HPD of a normal is about +-1.96 sigma.
+        assert abs((stats.hpd_high - stats.hpd_low) - 2 * 1.96 * 2.0) < 0.5
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize_trace("x", [])
+
+    def test_full_run_summary(self):
+        tree = yule_tree(6, rng=16)
+        aln = simulate_alignment(tree, HKY85(2.0), 200, rng=17)
+        spec = nucleotide_analysis(tree, compress_patterns(aln))
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=2, rng=18
+        ).run(80, sample_interval=10)
+        summary = summarize(run.result, burn_in=0.25)
+        assert summary.n_samples == 6 and summary.n_burned == 2
+        assert {"logL", "tree_length", "kappa", "alpha"} <= set(
+            summary.statistics
+        )
+        assert summary.consensus and summary.consensus.endswith(");")
+        assert summary.split_support
+        assert "Posterior summary" in summary.table()
+
+    def test_burn_in_validation(self):
+        tree = yule_tree(4, rng=19)
+        aln = simulate_alignment(tree, HKY85(2.0), 60, rng=20)
+        spec = nucleotide_analysis(tree, compress_patterns(aln))
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=1, rng=21
+        ).run(20, sample_interval=10)
+        with pytest.raises(ValueError, match="burn_in"):
+            summarize(run.result, burn_in=1.0)
+        # Fractional burn-in always keeps at least one sample.
+        summary = summarize(run.result, burn_in=0.99)
+        assert summary.n_samples >= 1

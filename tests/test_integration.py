@@ -1,0 +1,126 @@
+"""End-to-end integration: full analyses spanning every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import Flag, HKY85, SiteModel, TreeLikelihood
+from repro.bench import run_genomictest, verify_backends
+from repro.mcmc import MrBayesRunner, nucleotide_analysis
+from repro.model import GY94
+from repro.seq import (
+    compress_patterns,
+    read_fasta,
+    simulate_alignment,
+    write_fasta,
+    write_nexus,
+    read_nexus,
+)
+from repro.tree import parse_newick, write_newick, yule_tree
+
+
+class TestFileToLikelihoodPipeline:
+    def test_simulate_write_read_evaluate(self, tmp_path):
+        """Simulation -> FASTA round trip -> likelihood is unchanged."""
+        tree = yule_tree(10, rng=60)
+        model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+        sm = SiteModel.gamma(0.5, 4)
+        aln = simulate_alignment(tree, model, 500, sm, rng=61)
+
+        path = tmp_path / "data.fasta"
+        write_fasta(aln, path)
+        reread = read_fasta(path)
+
+        direct = compress_patterns(aln)
+        roundtrip = compress_patterns(reread)
+        with TreeLikelihood(tree, direct, model, sm) as tl:
+            a = tl.log_likelihood()
+        with TreeLikelihood(tree, roundtrip, model, sm) as tl:
+            b = tl.log_likelihood()
+        assert np.isclose(a, b, rtol=1e-12)
+
+    def test_nexus_tree_and_data_pipeline(self, tmp_path):
+        tree = yule_tree(6, rng=62)
+        model = HKY85(2.0)
+        aln = simulate_alignment(tree, model, 200, rng=63)
+        path = tmp_path / "analysis.nex"
+        write_nexus(path, alignment=aln, trees=[tree])
+        aln2, trees = read_nexus(path)
+        data = compress_patterns(aln2)
+        with TreeLikelihood(trees[0], data, model) as tl:
+            assert np.isfinite(tl.log_likelihood())
+
+
+class TestHeterogeneousAgreement:
+    def test_all_backends_one_dataset(self):
+        """The genomictest correctness contract over every backend."""
+        assert verify_backends(tips=8, patterns=300, states=4, seed=64)
+
+    def test_codon_across_frameworks(self):
+        tree = yule_tree(6, rng=65)
+        model = GY94(2.0, 0.3)
+        aln = simulate_alignment(tree, model, 60, rng=66)
+        data = compress_patterns(aln)
+        values = []
+        for flags in (
+            Flag.VECTOR_SSE,
+            Flag.FRAMEWORK_CUDA,
+            Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU,
+            Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU,
+        ):
+            with TreeLikelihood(
+                tree, data, model, requirement_flags=flags
+            ) as tl:
+                values.append(tl.log_likelihood())
+        assert np.allclose(values, values[0], rtol=1e-10)
+
+
+class TestApplicationLevel:
+    def test_mcmc_recovers_simulation_truth_region(self):
+        """A short analysis moves kappa toward its true value."""
+        tree = yule_tree(8, rng=67)
+        truth_kappa = 6.0
+        model = HKY85(kappa=truth_kappa)
+        sm = SiteModel.gamma(0.8, 4)
+        aln = simulate_alignment(tree, model, 1500, sm, rng=68)
+        data = compress_patterns(aln)
+        spec = nucleotide_analysis(tree, data)
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=2, rng=69
+        ).run(250, sample_interval=25)
+        kappas = [s.parameters["kappa"] for s in run.result.samples[-5:]]
+        assert 3.0 < np.mean(kappas) < 10.0  # moved from 2.0 toward 6.0
+
+    def test_genomictest_wall_and_model_modes(self):
+        wall = run_genomictest(
+            tips=8, patterns=600, backend="cpu-sse", reps=2, seed=70
+        )
+        model = run_genomictest(
+            tips=8, patterns=600, backend="opencl-gpu", reps=2,
+            mode="model", seed=70,
+        )
+        # Same dataset, same likelihood, different timing domains.
+        assert np.isclose(wall.log_likelihood, model.log_likelihood, rtol=1e-9)
+        assert model.gflops > wall.gflops  # simulated GPU beats 1-core host
+
+    def test_tree_search_and_mcmc_compose(self):
+        """ML-optimised tree used as the MCMC starting point."""
+        from repro.ml import optimize_branch_lengths
+
+        tree = yule_tree(6, rng=71)
+        model = HKY85(2.0)
+        aln = simulate_alignment(tree, model, 400, rng=72)
+        data = compress_patterns(aln)
+        work = tree.copy()
+        for node in work.nodes():
+            if not node.is_root:
+                node.branch_length = 0.5
+        with TreeLikelihood(work, data, model) as tl:
+            tl.log_likelihood()
+            result = optimize_branch_lengths(tl, max_passes=3)
+        spec = nucleotide_analysis(work, data)
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=2, rng=73
+        ).run(30, sample_interval=15)
+        # The sampler explores around the ML optimum; allow posterior
+        # breathing room but require it stays in the optimum's vicinity.
+        assert run.result.samples[-1].log_likelihood > result.log_likelihood - 200

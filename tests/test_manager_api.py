@@ -1,0 +1,294 @@
+"""Implementation manager, plugin registry, and the C-style API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeagleInstance,
+    Flag,
+    InstanceConfig,
+    ReturnCode,
+    create_instance,
+    default_manager,
+)
+from repro.core.api import (
+    beagle_accumulate_scale_factors,
+    beagle_calculate_root_log_likelihoods,
+    beagle_create_instance,
+    beagle_finalize_instance,
+    beagle_get_partials,
+    beagle_get_resource_list,
+    beagle_get_site_log_likelihoods,
+    beagle_set_category_rates,
+    beagle_set_category_weights,
+    beagle_set_eigen_decomposition,
+    beagle_set_pattern_weights,
+    beagle_set_state_frequencies,
+    beagle_set_tip_partials,
+    beagle_set_tip_states,
+    beagle_update_partials,
+    beagle_update_transition_matrices,
+)
+from repro.core.manager import ResourceManager
+from repro.impl.registry import (
+    ImplementationPlugin,
+    register_plugin,
+    registered_plugins,
+    unregister_plugin,
+)
+from repro.model import HKY85, SiteModel
+from repro.tree import plan_traversal, yule_tree
+from repro.util.errors import NoImplementationError
+
+
+class TestResourceDiscovery:
+    def test_host_is_resource_zero(self):
+        resources = default_manager().resources()
+        assert resources[0].name == "CPU (host)"
+
+    def test_catalog_devices_enumerated(self):
+        names = {r.name for r in default_manager().resources()}
+        assert "AMD Radeon R9 Nano" in names
+        assert "Intel Xeon Phi 7210" in names
+
+    def test_bad_resource_id(self):
+        from repro.util.errors import NoResourceError
+
+        with pytest.raises(NoResourceError):
+            default_manager().resource(999)
+
+    def test_custom_device_population(self):
+        from repro.accel.device import QUADRO_P5000
+
+        manager = ResourceManager(devices=[QUADRO_P5000])
+        assert len(manager.resources()) == 2  # host + one GPU
+
+
+class TestSelection:
+    def _config(self):
+        return InstanceConfig(
+            tip_count=4, partials_buffer_count=7, compact_buffer_count=0,
+            state_count=4, pattern_count=20, eigen_buffer_count=1,
+            matrix_buffer_count=7,
+        )
+
+    def test_default_prefers_highest_priority(self):
+        impl, details = default_manager().create_implementation(self._config())
+        assert details.implementation_name == "CUDA"
+        impl.finalize()
+
+    def test_requirement_narrows_to_serial(self):
+        impl, details = default_manager().create_implementation(
+            self._config(), requirement_flags=Flag.VECTOR_NONE
+        )
+        assert details.implementation_name == "CPU-serial"
+        impl.finalize()
+
+    def test_requirement_opencl_cpu(self):
+        impl, details = default_manager().create_implementation(
+            self._config(),
+            requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU,
+        )
+        assert details.implementation_name == "OpenCL-x86"
+        impl.finalize()
+
+    def test_requirement_threading(self):
+        impl, details = default_manager().create_implementation(
+            self._config(), requirement_flags=Flag.THREADING_CPP
+        )
+        assert "threaded" in details.implementation_name
+        impl.finalize()
+
+    def test_resource_restriction(self):
+        manager = default_manager()
+        host_only = [0]
+        impl, details = manager.create_implementation(
+            self._config(), resource_ids=host_only
+        )
+        assert details.resource_name == "CPU (host)"
+        impl.finalize()
+
+    def test_unsatisfiable_requirements(self):
+        with pytest.raises(NoImplementationError):
+            default_manager().create_implementation(
+                self._config(),
+                requirement_flags=Flag.PROCESSOR_FPGA,
+            )
+
+    def test_cuda_requires_nvidia_resource(self):
+        # Restricting to the AMD GPU excludes the CUDA plugin.
+        manager = default_manager()
+        amd_id = next(
+            r.resource_id for r in manager.resources()
+            if "Radeon" in r.name
+        )
+        impl, details = manager.create_implementation(
+            self._config(), resource_ids=[amd_id]
+        )
+        assert details.implementation_name == "OpenCL-GPU"
+        impl.finalize()
+
+
+class TestPluginRegistry:
+    def test_builtins_registered(self):
+        names = {p.name for p in registered_plugins()}
+        assert {"CUDA", "OpenCL", "CPU-SSE", "CPU-serial",
+                "CPU-threaded-pool"} <= names
+
+    def test_duplicate_rejected(self):
+        plugin = registered_plugins()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register_plugin(plugin)
+
+    def test_register_unregister_cycle(self):
+        plugin = ImplementationPlugin(
+            name="test-null",
+            flags=Flag.PRECISION_DOUBLE,
+            priority=1,
+            factory=lambda *a, **k: None,
+        )
+        register_plugin(plugin)
+        assert any(p.name == "test-null" for p in registered_plugins())
+        unregister_plugin("test-null")
+        assert not any(p.name == "test-null" for p in registered_plugins())
+
+    def test_unregister_unknown(self):
+        with pytest.raises(KeyError):
+            unregister_plugin("no-such-plugin")
+
+
+class TestBeagleInstance:
+    def test_context_manager_finalizes(self, small_tree, nucleotide_patterns,
+                                        hky_model, gamma_sites):
+        from repro.util.errors import UninitializedInstanceError
+        from tests.conftest import make_config
+
+        cfg = make_config(small_tree, nucleotide_patterns, hky_model, gamma_sites)
+        with BeagleInstance(cfg) as inst:
+            pass
+        with pytest.raises(UninitializedInstanceError):
+            inst.set_pattern_weights(np.ones(cfg.pattern_count))
+
+    def test_create_instance_signature(self):
+        inst = create_instance(
+            tip_count=4, partials_buffer_count=7, compact_buffer_count=0,
+            state_count=4, pattern_count=10, eigen_buffer_count=1,
+            matrix_buffer_count=7,
+        )
+        assert inst.config.tip_count == 4
+        inst.finalize()
+
+
+class TestCAPI:
+    def _create(self, **kw):
+        args = dict(
+            tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+            state_count=4, pattern_count=8, eigen_buffer_count=1,
+            matrix_buffer_count=5, category_count=1, scale_buffer_count=0,
+        )
+        args.update(kw)
+        return beagle_create_instance(**args)
+
+    def test_resource_list(self):
+        resources = beagle_get_resource_list()
+        assert resources[0].resource_id == 0
+
+    def test_full_c_style_workflow(self):
+        """A complete likelihood via the C-style call sequence."""
+        tree = yule_tree(3, rng=1)
+        model = HKY85(2.0)
+        handle, details = self._create()
+        assert handle >= 0 and details is not None
+
+        rng = np.random.default_rng(2)
+        for tip in range(3):
+            assert beagle_set_tip_states(
+                handle, tip, rng.integers(0, 4, size=8)
+            ) == 0
+        assert beagle_set_pattern_weights(handle, np.ones(8)) == 0
+        assert beagle_set_category_rates(handle, [1.0]) == 0
+        assert beagle_set_category_weights(handle, 0, [1.0]) == 0
+        assert beagle_set_state_frequencies(
+            handle, 0, model.frequencies) == 0
+        e = model.eigen
+        assert beagle_set_eigen_decomposition(
+            handle, 0, e.eigenvectors, e.inverse_eigenvectors, e.eigenvalues
+        ) == 0
+        plan = plan_traversal(tree)
+        assert beagle_update_transition_matrices(
+            handle, 0, list(plan.branch_node_indices), plan.branch_lengths
+        ) == 0
+        op_tuples = [
+            (op.destination, -1, -1, op.child1, op.child1_matrix,
+             op.child2, op.child2_matrix)
+            for op in plan.operations
+        ]
+        assert beagle_update_partials(handle, op_tuples) == 0
+        out = np.zeros(1)
+        assert beagle_calculate_root_log_likelihoods(
+            handle, [plan.root_index], [0], [0], [-1], out
+        ) == 0
+        assert out[0] < 0
+        site = np.zeros(8)
+        assert beagle_get_site_log_likelihoods(handle, site) == 0
+        assert np.isclose(site.sum(), out[0])
+        partials = np.zeros((1, 8, 4))
+        assert beagle_get_partials(handle, plan.root_index, partials) == 0
+        assert partials.max() > 0
+        assert beagle_finalize_instance(handle) == 0
+
+    def test_error_codes_not_exceptions(self):
+        handle, _ = self._create()
+        # Out-of-range tip index -> error code, no exception.
+        rc = beagle_set_tip_states(handle, 99, np.zeros(8, dtype=np.int32))
+        assert rc == int(ReturnCode.ERROR_OUT_OF_RANGE)
+        # Bad shape -> out of range code.
+        rc = beagle_set_pattern_weights(handle, np.ones(3))
+        assert rc == int(ReturnCode.ERROR_OUT_OF_RANGE)
+        beagle_finalize_instance(handle)
+
+    def test_operations_on_dead_handle(self):
+        handle, _ = self._create()
+        beagle_finalize_instance(handle)
+        rc = beagle_set_pattern_weights(handle, np.ones(8))
+        assert rc == int(ReturnCode.ERROR_GENERAL)
+
+    def test_double_finalize(self):
+        handle, _ = self._create()
+        assert beagle_finalize_instance(handle) == 0
+        assert beagle_finalize_instance(handle) != 0
+
+    def test_create_with_unsatisfiable_flags(self):
+        handle, details = self._create()
+        beagle_finalize_instance(handle)
+        bad_handle, bad_details = beagle_create_instance(
+            tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+            state_count=4, pattern_count=8, eigen_buffer_count=1,
+            matrix_buffer_count=5,
+            requirement_flags=Flag.PROCESSOR_FPGA,
+        )
+        assert bad_handle < 0 and bad_details is None
+
+    def test_single_precision_selection(self):
+        handle, details = self._create()
+        beagle_finalize_instance(handle)
+        handle, details = beagle_create_instance(
+            tip_count=3, partials_buffer_count=5, compact_buffer_count=0,
+            state_count=4, pattern_count=8, eigen_buffer_count=1,
+            matrix_buffer_count=5,
+            requirement_flags=Flag.PRECISION_SINGLE,
+        )
+        assert handle >= 0
+        beagle_finalize_instance(handle)
+
+    def test_malformed_operation_tuple(self):
+        handle, _ = self._create()
+        rc = beagle_update_partials(handle, [(1, 2, 3)])
+        assert rc == int(ReturnCode.ERROR_OUT_OF_RANGE)
+        beagle_finalize_instance(handle)
+
+    def test_tip_partials_entry(self):
+        handle, _ = self._create()
+        rc = beagle_set_tip_partials(handle, 0, np.ones((8, 4)) * 0.25)
+        assert rc == 0
+        beagle_finalize_instance(handle)

@@ -1,0 +1,376 @@
+"""MCMC machinery: priors, proposals, chains, coupling, the runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mcmc import (
+    BranchLengthMultiplier,
+    ExponentialPrior,
+    GammaPrior,
+    LogNormalPrior,
+    MarkovChain,
+    MrBayesRunner,
+    NativeBackend,
+    NativeLikelihood,
+    NNIMove,
+    ParameterMultiplier,
+    PhyloState,
+    ProposalMix,
+    UniformPrior,
+    branch_lengths_log_prior,
+    codon_analysis,
+    default_mix,
+    incremental_heats,
+    nucleotide_analysis,
+)
+from repro.mcmc.chain import BeagleBackend
+from repro.model import HKY85, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import write_newick, yule_tree
+from repro.util.rng import spawn_rng
+
+
+class TestPriors:
+    def test_exponential_density(self):
+        p = ExponentialPrior(rate=10.0)
+        assert np.isclose(p.log_pdf(0.1), math.log(10) - 1.0)
+        assert p.log_pdf(-0.1) == -math.inf
+
+    def test_exponential_integrates_to_one(self):
+        from scipy.integrate import quad
+
+        p = ExponentialPrior(2.0)
+        total, _ = quad(lambda x: math.exp(p.log_pdf(x)), 0, 50)
+        assert np.isclose(total, 1.0, atol=1e-6)
+
+    def test_gamma_density_matches_scipy(self):
+        from scipy import stats
+
+        p = GammaPrior(shape=2.0, rate=3.0)
+        for x in (0.1, 1.0, 4.0):
+            assert np.isclose(
+                p.log_pdf(x), stats.gamma.logpdf(x, a=2.0, scale=1 / 3.0)
+            )
+
+    def test_lognormal_matches_scipy(self):
+        from scipy import stats
+
+        p = LogNormalPrior(mu=0.5, sigma=0.8)
+        for x in (0.1, 1.0, 4.0):
+            assert np.isclose(
+                p.log_pdf(x),
+                stats.lognorm.logpdf(x, s=0.8, scale=math.exp(0.5)),
+            )
+
+    def test_uniform(self):
+        p = UniformPrior(1.0, 3.0)
+        assert np.isclose(p.log_pdf(2.0), -math.log(2.0))
+        assert p.log_pdf(0.5) == -math.inf
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialPrior(0.0)
+        with pytest.raises(ValueError):
+            GammaPrior(shape=-1.0)
+        with pytest.raises(ValueError):
+            UniformPrior(2.0, 1.0)
+
+    def test_branch_prior_sums_over_branches(self):
+        tree = yule_tree(5, rng=1)
+        p = ExponentialPrior(10.0)
+        total = branch_lengths_log_prior(tree, p)
+        manual = sum(
+            p.log_pdf(bl) for bl in tree.branch_lengths().values()
+        )
+        assert np.isclose(total, manual)
+
+
+class TestProposals:
+    def _state(self, seed=2):
+        return PhyloState(
+            tree=yule_tree(6, rng=seed), parameters={"kappa": 2.0}
+        )
+
+    def test_branch_multiplier_undo_restores(self):
+        state = self._state()
+        before = dict(state.tree.branch_lengths())
+        move = BranchLengthMultiplier()
+        pr = move.propose(state, spawn_rng(3))
+        assert state.tree.branch_lengths() != before
+        pr.undo()
+        assert state.tree.branch_lengths() == before
+
+    def test_branch_multiplier_hastings(self):
+        state = self._state()
+        move = BranchLengthMultiplier()
+        rng = spawn_rng(4)
+        pr = move.propose(state, rng)
+        node = state.tree.node_by_index(pr.dirty_nodes[0])
+        # log Hastings must equal the log of the applied factor.
+        pr.undo()
+        old = node.branch_length
+        move2 = BranchLengthMultiplier()
+        rng2 = spawn_rng(4)
+        pr2 = move2.propose(state, rng2)
+        factor = state.tree.node_by_index(pr2.dirty_nodes[0]).branch_length / old
+        assert np.isclose(pr2.log_hastings, math.log(factor))
+
+    def test_nni_changes_topology_and_undoes(self):
+        state = self._state()
+        before = write_newick(state.tree)
+        move = NNIMove()
+        rng = spawn_rng(5)
+        changed = False
+        for _ in range(10):
+            pr = move.propose(state, rng)
+            after = write_newick(state.tree)
+            if after != before:
+                changed = True
+                pr.undo()
+                assert write_newick(state.tree) == before
+                break
+            pr.undo()
+        assert changed
+
+    def test_nni_preserves_tips_and_binary(self):
+        state = self._state()
+        move = NNIMove()
+        rng = spawn_rng(6)
+        for _ in range(20):
+            move.propose(state, rng)  # accept every move
+        tips = sorted(n.name for n in state.tree.root.tips())
+        assert tips == sorted(f"taxon{i}" for i in range(6))
+        for node in state.tree.nodes():
+            assert node.is_tip or len(node.children) == 2
+
+    def test_parameter_multiplier(self):
+        state = self._state()
+        move = ParameterMultiplier("kappa")
+        pr = move.propose(state, spawn_rng(7))
+        assert state.parameters["kappa"] != 2.0
+        assert pr.parameters_changed
+        pr.undo()
+        assert state.parameters["kappa"] == 2.0
+
+    def test_parameter_multiplier_unknown_parameter(self):
+        state = self._state()
+        with pytest.raises(KeyError):
+            ParameterMultiplier("omega").propose(state, spawn_rng(8))
+
+    def test_mix_weights_validated(self):
+        with pytest.raises(ValueError, match="one weight per"):
+            ProposalMix([NNIMove()], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ProposalMix([NNIMove()], [-1.0])
+
+    def test_default_mix_draws_all_kinds(self):
+        mix = default_mix(["kappa"])
+        rng = spawn_rng(9)
+        names = {mix.draw(rng).name for _ in range(300)}
+        assert {"branch-multiplier", "nni", "multiplier(kappa)"} <= names
+
+
+def _nucleotide_setup(seed=10, sites=150, tips=6):
+    tree = yule_tree(tips, rng=seed)
+    model = HKY85(2.0)
+    sm = SiteModel.gamma(0.5, 4)
+    aln = simulate_alignment(tree, model, sites, sm, rng=seed + 1)
+    return tree, compress_patterns(aln)
+
+
+class TestChain:
+    def _chain(self, backend_cls=NativeBackend, heat=1.0, seed=11):
+        tree, data = _nucleotide_setup()
+
+        def factory(params):
+            return HKY85(kappa=params["kappa"]), SiteModel.gamma(
+                params["alpha"], 4
+            )
+
+        state = PhyloState(
+            tree=tree.copy(), parameters={"kappa": 2.0, "alpha": 0.5}
+        )
+        backend = backend_cls(state, data, factory, precision="double") \
+            if backend_cls is NativeBackend else BeagleBackend(
+                state, data, factory, precision="double")
+        return MarkovChain(
+            state=state,
+            backend=backend,
+            branch_prior=ExponentialPrior(10.0),
+            parameter_priors={
+                "kappa": GammaPrior(2.0, 0.5),
+                "alpha": UniformPrior(0.05, 50.0),
+            },
+            mix=default_mix(["kappa", "alpha"]),
+            heat=heat,
+            rng=seed,
+        )
+
+    def test_chain_invariant_loglik_consistency(self):
+        """After any run, the cached logL must equal a fresh evaluation."""
+        chain = self._chain()
+        chain.run(40)
+        fresh = chain.backend.initial(chain.state)
+        assert np.isclose(chain.log_likelihood, fresh, rtol=1e-9)
+        chain.finalize()
+
+    def test_beagle_backend_tracks_native(self):
+        a = self._chain(NativeBackend, seed=12)
+        b = self._chain(BeagleBackend, seed=12)
+        for _ in range(25):
+            a.step()
+            b.step()
+            assert np.isclose(a.log_likelihood, b.log_likelihood, rtol=1e-8)
+        a.finalize()
+        b.finalize()
+
+    def test_acceptance_rates_recorded(self):
+        chain = self._chain()
+        chain.run(50)
+        assert sum(chain.stats.proposed.values()) == 50
+        for name, n in chain.stats.proposed.items():
+            assert 0.0 <= chain.stats.rate(name) <= 1.0
+        chain.finalize()
+
+    def test_posterior_improves_from_bad_start(self):
+        chain = self._chain(seed=13)
+        # Sabotage the start: stretch all branches.
+        for node in chain.state.tree.nodes():
+            if not node.is_root:
+                node.branch_length = 3.0
+        chain.log_likelihood = chain.backend.initial(chain.state)
+        chain.log_prior = chain._log_prior()
+        start = chain.log_posterior
+        chain.run(150)
+        assert chain.log_posterior > start + 50
+        chain.finalize()
+
+    def test_heat_must_be_positive(self):
+        with pytest.raises(ValueError, match="heat"):
+            self._chain(heat=0.0)
+
+    def test_prior_for_unknown_parameter_rejected(self):
+        tree, data = _nucleotide_setup()
+
+        def factory(params):
+            return HKY85(2.0), SiteModel.uniform()
+
+        state = PhyloState(tree=tree, parameters={})
+        with pytest.raises(ValueError, match="unknown parameter"):
+            MarkovChain(
+                state=state,
+                backend=NativeBackend(state, data, factory),
+                branch_prior=ExponentialPrior(),
+                parameter_priors={"omega": ExponentialPrior()},
+                mix=default_mix([]),
+            )
+
+
+class TestMC3:
+    def test_incremental_heats(self):
+        heats = incremental_heats(4, 0.1)
+        assert heats[0] == 1.0
+        assert np.allclose(heats, [1.0, 1 / 1.1, 1 / 1.2, 1 / 1.3])
+
+    def test_heats_validation(self):
+        with pytest.raises(ValueError):
+            incremental_heats(0)
+        with pytest.raises(ValueError):
+            incremental_heats(4, -0.5)
+
+    def test_runner_native_vs_beagle_same_trajectory(self):
+        tree, data = _nucleotide_setup(seed=20)
+        spec = nucleotide_analysis(tree, data)
+        a = MrBayesRunner(spec, backend="native-sse", precision="double",
+                          n_chains=2, rng=21).run(30, sample_interval=10)
+        b = MrBayesRunner(spec, backend="cpu-sse", precision="double",
+                          n_chains=2, rng=21).run(30, sample_interval=10)
+        lls_a = [s.log_likelihood for s in a.result.samples]
+        lls_b = [s.log_likelihood for s in b.result.samples]
+        assert np.allclose(lls_a, lls_b, rtol=1e-8)
+
+    def test_swap_bookkeeping(self):
+        tree, data = _nucleotide_setup(seed=22)
+        spec = nucleotide_analysis(tree, data)
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=3, rng=23
+        ).run(60, swap_interval=5, sample_interval=20)
+        assert run.result.swap_proposed == 12
+        assert 0 <= run.result.swap_accepted <= 12
+        assert len(run.result.samples) == 3
+
+    def test_distributed_run_produces_samples(self):
+        tree, data = _nucleotide_setup(seed=24, sites=80, tips=5)
+        spec = nucleotide_analysis(tree, data)
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=4, rng=25
+        ).run(30, n_ranks=2, swap_interval=10, sample_interval=10)
+        assert len(run.result.samples) == 3
+        for s in run.result.samples:
+            assert np.isfinite(s.log_likelihood)
+
+    def test_distributed_needs_enough_chains(self):
+        tree, data = _nucleotide_setup(seed=26, sites=40, tips=4)
+        spec = nucleotide_analysis(tree, data)
+        runner = MrBayesRunner(spec, backend="cpu-sse", n_chains=1, rng=27)
+        with pytest.raises(ValueError, match="chain per rank"):
+            runner.run(10, n_ranks=2)
+
+    def test_unknown_backend(self):
+        tree, data = _nucleotide_setup(seed=28, sites=40, tips=4)
+        spec = nucleotide_analysis(tree, data)
+        with pytest.raises(ValueError, match="unknown backend"):
+            MrBayesRunner(spec, backend="tpu")
+
+    def test_codon_spec_runs(self):
+        from repro.model import GY94
+
+        tree = yule_tree(5, rng=29)
+        aln = simulate_alignment(tree, GY94(2.0, 0.2), 60, rng=30)
+        data = compress_patterns(aln)
+        spec = codon_analysis(tree, data)
+        run = MrBayesRunner(
+            spec, backend="cpu-sse", precision="double", n_chains=2, rng=31
+        ).run(20, sample_interval=10)
+        assert len(run.result.samples) == 2
+
+
+class TestNativeLikelihood:
+    def test_agrees_with_beagle_stack(self):
+        from repro.core.highlevel import TreeLikelihood
+
+        tree, data = _nucleotide_setup(seed=32)
+        model = HKY85(2.3)
+        sm = SiteModel.gamma(0.7, 4)
+        native = NativeLikelihood(tree, data, model, sm, precision="double")
+        with TreeLikelihood(tree, data, model, sm) as tl:
+            assert np.isclose(
+                native.log_likelihood(), tl.log_likelihood(), rtol=1e-9
+            )
+
+    def test_single_precision_tolerance(self):
+        tree, data = _nucleotide_setup(seed=33)
+        model = HKY85(2.0)
+        dbl = NativeLikelihood(tree, data, model, precision="double")
+        sgl = NativeLikelihood(tree, data, model, precision="single")
+        assert np.isclose(
+            sgl.log_likelihood(), dbl.log_likelihood(), rtol=1e-3
+        )
+
+    def test_deep_tree_rescaling(self):
+        from repro.tree import balanced_tree
+
+        tree = balanced_tree(128, branch_length=0.05)
+        model = HKY85(2.0)
+        aln = simulate_alignment(tree, model, 30, rng=34)
+        data = compress_patterns(aln)
+        native = NativeLikelihood(tree, data, model, precision="single")
+        value = native.log_likelihood()
+        assert np.isfinite(value)
+
+    def test_invalid_precision(self):
+        tree, data = _nucleotide_setup(seed=35, sites=20, tips=4)
+        with pytest.raises(ValueError, match="precision"):
+            NativeLikelihood(tree, data, HKY85(2.0), precision="half")

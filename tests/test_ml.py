@@ -1,0 +1,110 @@
+"""Maximum-likelihood optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.highlevel import TreeLikelihood
+from repro.ml import (
+    optimize_branch_length,
+    optimize_branch_lengths,
+    optimize_parameters,
+)
+from repro.model import HKY85, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import yule_tree
+
+
+@pytest.fixture(scope="module")
+def ml_setup():
+    tree = yule_tree(6, rng=40)
+    model = HKY85(kappa=3.0)
+    aln = simulate_alignment(tree, model, 2000, rng=41)
+    return tree, compress_patterns(aln), model
+
+
+class TestBranchOptimisation:
+    def test_single_branch_recovers_truth(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        node = work.node_by_index(2)
+        truth = node.branch_length
+        node.branch_length = truth * 5.0 + 0.2
+        with TreeLikelihood(work, data, model) as tl:
+            tl.log_likelihood()
+            optimize_branch_length(tl, 2)
+            assert abs(node.branch_length - truth) < 0.08
+
+    def test_single_branch_never_decreases_likelihood(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        with TreeLikelihood(work, data, model) as tl:
+            before = tl.log_likelihood()
+            after = optimize_branch_length(tl, 1)
+            assert after >= before - 1e-9
+
+    def test_root_branch_rejected(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        with TreeLikelihood(work, data, model) as tl:
+            tl.log_likelihood()
+            with pytest.raises(ValueError, match="root"):
+                optimize_branch_length(tl, work.root.index)
+
+    def test_full_optimisation_improves_perturbed_tree(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        rng = np.random.default_rng(42)
+        for node in work.nodes():
+            if not node.is_root:
+                node.branch_length *= float(np.exp(rng.normal(0, 1.0)))
+        with TreeLikelihood(work, data, model) as tl:
+            start = tl.log_likelihood()
+            result = optimize_branch_lengths(tl, max_passes=4)
+            assert result.log_likelihood > start
+            assert result.n_passes <= 4
+            # Optimised tree should beat the start decisively.
+            assert result.log_likelihood - start > 10
+
+    def test_already_optimal_converges_quickly(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        with TreeLikelihood(work, data, model) as tl:
+            tl.log_likelihood()
+            first = optimize_branch_lengths(
+                tl, max_passes=6, improvement_tolerance=0.5
+            )
+            again = optimize_branch_lengths(
+                tl, max_passes=6, improvement_tolerance=0.5
+            )
+            assert again.n_passes <= 2
+            assert again.log_likelihood - first.log_likelihood < 0.5
+
+
+class TestParameterOptimisation:
+    def test_kappa_recovery(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        with TreeLikelihood(work, data, HKY85(kappa=1.0)) as tl:
+
+            def rebuild(params):
+                tl.model = HKY85(kappa=params["kappa"])
+                tl.instance.set_substitution_model(0, tl.model)
+
+            result = optimize_parameters(
+                tl, {"kappa": 1.0}, rebuild, bounds={"kappa": (0.2, 20.0)}
+            )
+            assert 2.3 < result.parameters["kappa"] < 3.9
+
+    def test_evaluation_counter(self, ml_setup):
+        tree, data, model = ml_setup
+        work = tree.copy()
+        with TreeLikelihood(work, data, HKY85(kappa=2.0)) as tl:
+
+            def rebuild(params):
+                tl.model = HKY85(kappa=params["kappa"])
+                tl.instance.set_substitution_model(0, tl.model)
+
+            result = optimize_parameters(
+                tl, {"kappa": 2.0}, rebuild, max_passes=1
+            )
+            assert result.n_evaluations > 2

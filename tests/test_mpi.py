@@ -1,0 +1,131 @@
+"""Simulated MPI communicator semantics."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPIError, run_mpi
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_mpi(2, main)
+        assert results[1] == {"x": 1}
+
+    def test_tag_matching_out_of_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = run_mpi(2, main)
+        assert results[1] == ("first", "second")
+
+    def test_any_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(42, dest=1, tag=7)
+                return None
+            return comm.recv(source=0)
+
+        assert run_mpi(2, main)[1] == 42
+
+    def test_bad_rank(self):
+        def main(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(MPIError, match="dest rank"):
+            run_mpi(2, main)
+
+    def test_recv_timeout(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, timeout=0.05)
+
+        with pytest.raises(MPIError, match="timed out"):
+            run_mpi(2, main)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def main(comm):
+            value = [1, 2, 3] if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        assert run_mpi(3, main) == [[1, 2, 3]] * 3
+
+    def test_gather(self):
+        def main(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = run_mpi(3, main)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None and results[2] is None
+
+    def test_allreduce_sum(self):
+        def main(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert run_mpi(4, main) == [10] * 4
+
+    def test_allreduce_custom_op(self):
+        def main(comm):
+            return comm.allreduce(comm.rank + 1, op=operator.mul)
+
+        assert run_mpi(4, main) == [24] * 4
+
+    def test_barrier_synchronises(self):
+        import time
+
+        order = []
+
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                order.append("slow")
+            comm.barrier()
+            if comm.rank == 1:
+                order.append("after")
+
+        run_mpi(2, main)
+        assert order == ["slow", "after"]
+
+    def test_size_and_rank(self):
+        def main(comm):
+            return (comm.rank, comm.size)
+
+        assert run_mpi(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_worker_exception_propagates(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("worker boom")
+            comm.barrier()
+
+        with pytest.raises((RuntimeError, Exception)):
+            run_mpi(2, main)
+
+    def test_numpy_payloads(self):
+        def main(comm):
+            data = np.full(5, comm.rank, dtype=float)
+            gathered = comm.gather(data, root=0)
+            if comm.rank == 0:
+                return np.concatenate(gathered).sum()
+            return None
+
+        assert run_mpi(3, main)[0] == 5 * (0 + 1 + 2)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(MPIError):
+            run_mpi(0, lambda comm: None)

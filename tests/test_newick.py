@@ -1,0 +1,103 @@
+"""Newick parsing and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.tree import NewickError, parse_newick, write_newick, yule_tree
+
+
+class TestParse:
+    def test_simple(self):
+        t = parse_newick("(A:0.1,B:0.2);")
+        assert t.n_tips == 2
+        assert t.node_by_name("A").branch_length == 0.1
+
+    def test_nested(self):
+        t = parse_newick("((A:1,B:2):3,C:4);")
+        assert t.n_tips == 3
+        ab = t.node_by_name("A").parent
+        assert ab.branch_length == 3.0
+
+    def test_internal_labels(self):
+        t = parse_newick("((A:1,B:2)AB:3,C:4)root;")
+        assert t.node_by_name("AB") is t.node_by_name("A").parent
+        assert t.root.name == "root"
+
+    def test_quoted_labels(self):
+        t = parse_newick("('Homo sapiens':0.1,'Pan (chimp)':0.2);")
+        assert "Homo sapiens" in t.tip_names()
+        assert "Pan (chimp)" in t.tip_names()
+
+    def test_escaped_quote(self):
+        t = parse_newick("('it''s':0.1,B:0.2);")
+        assert "it's" in t.tip_names()
+
+    def test_comments_stripped(self):
+        t = parse_newick("(A[&rate=1.5]:0.1,B:0.2)[&R];")
+        assert sorted(t.tip_names()) == ["A", "B"]
+
+    def test_scientific_notation_lengths(self):
+        t = parse_newick("(A:1e-3,B:2.5E2);")
+        assert np.isclose(t.node_by_name("A").branch_length, 1e-3)
+        assert np.isclose(t.node_by_name("B").branch_length, 250.0)
+
+    def test_missing_lengths_default_zero(self):
+        t = parse_newick("(A,B);")
+        assert t.node_by_name("A").branch_length == 0.0
+
+    def test_whitespace_tolerated(self):
+        t = parse_newick(" ( A : 0.1 ,\n B : 0.2 ) ; ")
+        assert sorted(t.tip_names()) == ["A", "B"]
+
+    def test_tip_indices_in_appearance_order(self):
+        t = parse_newick("(X:1,(Y:1,Z:1):1);")
+        assert [t.node_by_index(i).name for i in range(3)] == ["X", "Y", "Z"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(A:0.1,B:0.2)",          # missing semicolon
+            "(A:0.1,B:0.2)); ",       # unbalanced
+            "((A:0.1,B:0.2);",        # unbalanced
+            "(A:x,B:0.2);",           # bad length
+            "(A:0.1,B:0.2); junk;",   # trailing content
+            "(A:0.1,B:0.2,;",         # dangling comma
+            "(A[unclosed:0.1,B:1);",  # unterminated comment
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(NewickError):
+            parse_newick(bad)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            parse_newick("(A:1,B:1,C:1,D:1);")
+
+
+class TestRoundTrip:
+    def test_write_then_parse_preserves_topology_and_lengths(self):
+        for seed in range(5):
+            t = yule_tree(12, rng=seed)
+            back = parse_newick(write_newick(t))
+            assert sorted(back.tip_names()) == sorted(t.tip_names())
+            assert np.isclose(
+                back.total_branch_length(), t.total_branch_length()
+            )
+
+    def test_special_names_quoted(self):
+        t = parse_newick("('needs space':1,plain:2);")
+        out = write_newick(t)
+        assert "'needs space'" in out
+        assert parse_newick(out).n_tips == 2
+
+    def test_without_branch_lengths(self):
+        t = parse_newick("(A:1,(B:2,C:3):4);")
+        out = write_newick(t, include_branch_lengths=False)
+        assert ":" not in out
+        assert parse_newick(out).n_tips == 3
+
+    def test_output_ends_with_semicolon(self):
+        assert write_newick(yule_tree(4, rng=0)).endswith(";")

@@ -1,0 +1,298 @@
+"""Partitioned analyses, multi-device splitting, and backend autoselection."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import Flag
+from repro.core.highlevel import TreeLikelihood
+from repro.model import GTR, HKY85, JC69, SiteModel
+from repro.partition import (
+    MultiDeviceLikelihood,
+    Partition,
+    PartitionedLikelihood,
+    balance_proportions,
+    best_backend,
+    blocks_of_sites,
+    codon_position_partitions,
+    predict_throughput,
+    rank_backends,
+    split_pattern_set,
+    validate_partitions,
+)
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import yule_tree
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = yule_tree(8, rng=90)
+    model = HKY85(2.0)
+    sm = SiteModel.gamma(0.5, 4)
+    aln = simulate_alignment(tree, model, 600, sm, rng=91)
+    return tree, aln, model, sm
+
+
+class TestSpec:
+    def test_blocks_cover_and_disjoint(self):
+        blocks = blocks_of_sites(100, 3)
+        flat = [s for b in blocks for s in b]
+        assert sorted(flat) == list(range(100))
+
+    def test_blocks_validation(self):
+        with pytest.raises(ValueError):
+            blocks_of_sites(5, 10)
+
+    def test_codon_positions(self):
+        parts = codon_position_partitions(9)
+        assert parts[0] == [0, 3, 6]
+        assert parts[2] == [2, 5, 8]
+        with pytest.raises(ValueError, match="codon multiple"):
+            codon_position_partitions(10)
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError, match="no sites"):
+            Partition("empty", [], JC69())
+
+    def test_overlap_detected(self):
+        parts = [
+            Partition("a", [0, 1], JC69()),
+            Partition("b", [1, 2], JC69()),
+        ]
+        with pytest.raises(ValueError, match="claimed by both"):
+            validate_partitions(parts, 3)
+
+    def test_gap_detected(self):
+        parts = [Partition("a", [0, 1], JC69())]
+        with pytest.raises(ValueError, match="unassigned"):
+            validate_partitions(parts, 3)
+        validate_partitions(parts, 3, require_cover=False)
+
+    def test_out_of_range_site(self):
+        parts = [Partition("a", [0, 99], JC69())]
+        with pytest.raises(ValueError, match="outside"):
+            validate_partitions(parts, 3, require_cover=False)
+
+
+class TestPartitionedLikelihood:
+    def test_equals_single_instance_with_shared_model(self, setup):
+        tree, aln, model, sm = setup
+        parts = [
+            Partition(f"block{i}", idx, model, sm)
+            for i, idx in enumerate(blocks_of_sites(aln.n_sites, 3))
+        ]
+        with PartitionedLikelihood(tree, aln, parts) as pl:
+            joint = pl.log_likelihood()
+        with TreeLikelihood(tree, compress_patterns(aln), model, sm) as tl:
+            single = tl.log_likelihood()
+        assert np.isclose(joint, single, rtol=1e-10)
+
+    def test_per_partition_values_sum(self, setup):
+        tree, aln, model, sm = setup
+        parts = [
+            Partition(f"block{i}", idx, model, sm)
+            for i, idx in enumerate(blocks_of_sites(aln.n_sites, 2))
+        ]
+        with PartitionedLikelihood(tree, aln, parts) as pl:
+            per = pl.partition_log_likelihoods()
+            assert np.isclose(sum(per.values()), pl.log_likelihood())
+
+    def test_different_models_per_partition(self, setup):
+        tree, aln, _, _ = setup
+        blocks = blocks_of_sites(aln.n_sites, 2)
+        parts = [
+            Partition("strict", blocks[0], JC69(), SiteModel.uniform()),
+            Partition(
+                "rich", blocks[1],
+                GTR([1, 2, 1, 1, 2, 1], [0.3, 0.2, 0.2, 0.3]),
+                SiteModel.gamma(0.5, 4),
+            ),
+        ]
+        with PartitionedLikelihood(tree, aln, parts) as pl:
+            value = pl.log_likelihood()
+            assert np.isfinite(value)
+            per = pl.partition_log_likelihoods()
+            assert set(per) == {"strict", "rich"}
+
+    def test_per_partition_hardware_assignment(self, setup):
+        """Each data subset can land on a different resource (IV-F)."""
+        tree, aln, model, sm = setup
+        blocks = blocks_of_sites(aln.n_sites, 2)
+        parts = [
+            Partition(
+                "on-gpu", blocks[0], model, sm,
+                instance_kwargs=dict(requirement_flags=Flag.FRAMEWORK_CUDA),
+            ),
+            Partition(
+                "on-cpu", blocks[1], model, sm,
+                instance_kwargs=dict(requirement_flags=Flag.VECTOR_NONE),
+            ),
+        ]
+        with PartitionedLikelihood(tree, aln, parts) as pl:
+            backends = pl.backends()
+            assert backends["on-gpu"] == "CUDA"
+            assert backends["on-cpu"] == "CPU-serial"
+            # Still numerically exact against one instance.
+            with TreeLikelihood(
+                tree, compress_patterns(aln), model, sm
+            ) as tl:
+                assert np.isclose(
+                    pl.log_likelihood(), tl.log_likelihood(), rtol=1e-9
+                )
+
+    def test_branch_update_across_partitions(self, setup):
+        tree, aln, model, sm = setup
+        parts = [
+            Partition(f"b{i}", idx, model, sm)
+            for i, idx in enumerate(blocks_of_sites(aln.n_sites, 2))
+        ]
+        with PartitionedLikelihood(tree, aln, parts) as pl:
+            pl.log_likelihood()
+            node = tree.node_by_index(2)
+            old = node.branch_length
+            node.branch_length = old * 1.7
+            incremental = pl.update_branch_lengths([2])
+            full = pl.log_likelihood()
+            node.branch_length = old
+            assert np.isclose(incremental, full, rtol=1e-12)
+
+
+class TestMultiDevice:
+    def test_split_preserves_weights(self, setup):
+        _, aln, _, _ = setup
+        data = compress_patterns(aln)
+        chunks = split_pattern_set(data, [0.5, 0.3, 0.2])
+        assert sum(c.n_patterns for c in chunks) == data.n_patterns
+        assert np.isclose(
+            sum(c.weights.sum() for c in chunks), data.weights.sum()
+        )
+
+    def test_split_validation(self, setup):
+        _, aln, _, _ = setup
+        data = compress_patterns(aln)
+        with pytest.raises(ValueError, match="sum to 1"):
+            split_pattern_set(data, [0.5, 0.2])
+        with pytest.raises(ValueError):
+            split_pattern_set(data, [1.0, -0.0001])
+
+    def test_multi_device_equals_single(self, setup):
+        tree, aln, model, sm = setup
+        data = compress_patterns(aln)
+        requests = {
+            "cuda": dict(requirement_flags=Flag.FRAMEWORK_CUDA),
+            "amd": dict(
+                requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
+            ),
+            "host": dict(requirement_flags=Flag.VECTOR_SSE,
+                         preference_flags=Flag.THREADING_NONE),
+        }
+        with MultiDeviceLikelihood(
+            tree, data, model, sm, device_requests=requests
+        ) as md:
+            multi = md.log_likelihood()
+            report = md.device_report()
+        with TreeLikelihood(tree, data, model, sm) as tl:
+            single = tl.log_likelihood()
+        assert np.isclose(multi, single, rtol=1e-10)
+        assert {r[1] for r in report} == {"CUDA", "OpenCL-GPU", "CPU-SSE"}
+
+    def test_custom_proportions(self, setup):
+        tree, aln, model, sm = setup
+        data = compress_patterns(aln)
+        requests = {
+            "big": dict(requirement_flags=Flag.FRAMEWORK_CUDA),
+            "small": dict(requirement_flags=Flag.VECTOR_SSE),
+        }
+        with MultiDeviceLikelihood(
+            tree, data, model, sm, device_requests=requests,
+            proportions=[0.8, 0.2],
+        ) as md:
+            report = md.device_report()
+            assert report[0][2] > 3 * report[1][2]
+
+    def test_simulated_times_reported(self, setup):
+        tree, aln, model, sm = setup
+        data = compress_patterns(aln)
+        requests = {"cuda": dict(requirement_flags=Flag.FRAMEWORK_CUDA)}
+        with MultiDeviceLikelihood(
+            tree, data, model, sm, device_requests=requests
+        ) as md:
+            md.log_likelihood()
+            times = md.simulated_times()
+            assert times["cuda"] > 0
+
+    def test_needs_requests(self, setup):
+        tree, aln, model, sm = setup
+        with pytest.raises(ValueError, match="device request"):
+            MultiDeviceLikelihood(
+                tree, compress_patterns(aln), model, sm, device_requests={}
+            )
+
+
+class TestAutoselect:
+    def test_predict_throughput_positive(self):
+        for backend in (
+            "cuda:NVIDIA Quadro P5000",
+            "opencl-gpu:AMD Radeon R9 Nano",
+            "opencl-x86:Intel Xeon E5-2680v4 x2",
+            "cpp-threads:Intel Xeon E5-2680v4 x2",
+        ):
+            assert predict_throughput(backend, 16, 10_000) > 0
+
+    def test_backend_syntax_errors(self):
+        with pytest.raises(ValueError, match="kind:device"):
+            predict_throughput("just-a-name", 16, 1000)
+        with pytest.raises(ValueError, match="NVIDIA"):
+            predict_throughput("cuda:AMD Radeon R9 Nano", 16, 1000)
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            predict_throughput("fpga:NVIDIA Quadro P5000", 16, 1000)
+
+    def test_problem_size_flips_the_winner(self):
+        """Paper conclusion: 'selecting the best performing implementation
+        depends not only on the hardware available but on problem size'."""
+        mid = best_backend(16, 20_092)
+        large = best_backend(16, 475_081)
+        assert "cpp-threads" in mid.name
+        assert "R9 Nano" in large.name
+
+    def test_codon_prefers_gpu_everywhere(self):
+        choice = best_backend(15, 6_080, states=61, categories=1)
+        assert "gpu" in choice.name or "cuda" in choice.name
+
+    def test_rank_is_sorted(self):
+        ranked = rank_backends(16, 50_000)
+        values = [c.predicted_gflops for c in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_balance_proportions_favour_faster_device(self):
+        props = balance_proportions(
+            16, 100_000,
+            ["cuda:NVIDIA Quadro P5000", "cpp-threads:Intel Xeon E5-2680v4 x2"],
+        )
+        assert np.isclose(sum(props), 1.0)
+        assert props[0] > props[1]
+
+    def test_balance_single_backend(self):
+        assert balance_proportions(16, 1000, ["cuda:NVIDIA Quadro P5000"]) == [1.0]
+
+    def test_balanced_split_runs(self, setup):
+        """End to end: model-balanced proportions drive a multi-device run."""
+        tree, aln, model, sm = setup
+        data = compress_patterns(aln)
+        backends = [
+            "cuda:NVIDIA Quadro P5000",
+            "opencl-x86:Intel Xeon E5-2680v4 x2",
+        ]
+        props = balance_proportions(8, data.n_patterns, backends)
+        requests = {
+            "gpu": dict(requirement_flags=Flag.FRAMEWORK_CUDA),
+            "cpu": dict(
+                requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
+            ),
+        }
+        with MultiDeviceLikelihood(
+            tree, data, model, sm, device_requests=requests,
+            proportions=props,
+        ) as md:
+            value = md.log_likelihood()
+        with TreeLikelihood(tree, data, model, sm) as tl:
+            assert np.isclose(value, tl.log_likelihood(), rtol=1e-10)

@@ -1,0 +1,132 @@
+"""Additional property-based tests: metrics, resampling, diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq import bootstrap_weights, compress_patterns, simulate_alignment
+from repro.seq.patterns import PatternSet
+from repro.partition import split_pattern_set
+from repro.mcmc import effective_sample_size
+from repro.model import JC69
+from repro.tree import (
+    normalized_robinson_foulds,
+    random_topology,
+    robinson_foulds,
+    yule_tree,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    seeds=st.tuples(
+        st.integers(0, 500), st.integers(501, 1000), st.integers(1001, 1500)
+    ),
+)
+def test_robinson_foulds_is_a_metric(n, seeds):
+    """Identity, symmetry, and the triangle inequality."""
+    a, b, c = (random_topology(n, rng=s) for s in seeds)
+    assert robinson_foulds(a, a.copy()) == 0
+    dab, dba = robinson_foulds(a, b), robinson_foulds(b, a)
+    assert dab == dba
+    dac, dcb = robinson_foulds(a, c), robinson_foulds(c, b)
+    assert dab <= dac + dcb
+    # Even-ness: symmetric differences of same-size split sets... RF can
+    # be odd in general, but is bounded by the split-count sum.
+    assert dab <= 2 * (n - 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_sites=st.integers(min_value=5, max_value=200),
+)
+def test_bootstrap_weights_invariants(seed, n_sites):
+    tree = yule_tree(4, rng=1)
+    aln = simulate_alignment(tree, JC69(), n_sites, rng=2)
+    data = compress_patterns(aln)
+    w = bootstrap_weights(data, rng=seed)
+    assert w.sum() == n_sites
+    assert w.shape == data.weights.shape
+    assert np.all(w >= 0)
+    assert np.all(w == np.floor(w))  # integer multiplicities
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_split_pattern_set_partitions_weights(seed, k):
+    tree = yule_tree(5, rng=3)
+    aln = simulate_alignment(tree, JC69(), 120, rng=4)
+    data = compress_patterns(aln)
+    if k > data.n_patterns:
+        return
+    rng = np.random.default_rng(seed)
+    raw = rng.random(k) + 0.2
+    proportions = raw / raw.sum()
+    chunks = split_pattern_set(data, proportions)
+    assert sum(c.n_patterns for c in chunks) == data.n_patterns
+    assert np.isclose(
+        sum(c.weights.sum() for c in chunks), data.weights.sum()
+    )
+    # Chunk columns concatenate back to the original pattern columns.
+    reassembled = []
+    for chunk in chunks:
+        for site in range(chunk.alignment.n_sites):
+            reassembled.append(chunk.alignment.column(site))
+    original = [data.alignment.column(i) for i in range(data.n_patterns)]
+    assert reassembled == original
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(min_value=8, max_value=400),
+    scale=st.floats(min_value=0.1, max_value=100.0),
+    shift=st.floats(min_value=-50.0, max_value=50.0),
+)
+def test_ess_affine_invariant(seed, n, scale, shift):
+    """ESS depends on autocorrelation, not location/scale."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    a = effective_sample_size(x)
+    b = effective_sample_size(scale * x + shift)
+    assert np.isclose(a, b, rtol=1e-6)
+    assert 1.0 <= a <= n
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_nrf_in_unit_interval(seed):
+    a = random_topology(12, rng=seed)
+    b = random_topology(12, rng=seed + 1000)
+    v = normalized_robinson_foulds(a, b)
+    assert 0.0 <= v <= 1.0
+
+
+class TestFunctionalPerformanceFloor:
+    """Guard rails: the functional kernels must stay usable."""
+
+    def test_codon_partials_pass_under_two_seconds(self):
+        import time
+
+        from repro.bench import run_genomictest
+
+        start = time.perf_counter()
+        run_genomictest(
+            tips=8, patterns=1000, states=61, categories=1,
+            backend="cpu-sse", reps=1,
+        )
+        assert time.perf_counter() - start < 10.0
+
+    def test_large_nucleotide_pass_under_a_second_per_eval(self):
+        from repro.bench import run_genomictest
+
+        result = run_genomictest(
+            tips=16, patterns=20_000, states=4, backend="cpu-sse", reps=1,
+        )
+        assert result.seconds_per_eval < 5.0

@@ -1,0 +1,121 @@
+"""Numerical rescaling: underflow protection on deep trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.highlevel import TreeLikelihood
+from repro.impl import CPUSSEImplementation
+from repro.model import HKY85, JC69, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import balanced_tree, plan_traversal, yule_tree
+from tests.conftest import make_config
+
+
+class TestScalingCorrectness:
+    def test_scaled_equals_unscaled_when_no_underflow(
+        self, small_tree, nucleotide_patterns, hky_model, gamma_sites
+    ):
+        with TreeLikelihood(
+            small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            use_scaling=False,
+        ) as tl:
+            plain = tl.log_likelihood()
+        with TreeLikelihood(
+            small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            use_scaling=True,
+        ) as tl:
+            scaled = tl.log_likelihood()
+        assert np.isclose(plain, scaled, rtol=1e-10)
+
+    def test_deep_tree_single_precision_needs_scaling(self):
+        """On a 256-tip tree, float32 partials underflow without scaling."""
+        tree = balanced_tree(256, branch_length=0.05)
+        model = JC69()
+        aln = simulate_alignment(tree, model, 60, rng=1)
+        data = compress_patterns(aln)
+        with TreeLikelihood(
+            tree, data, model, precision="single", use_scaling=False,
+        ) as tl:
+            unscaled = tl.log_likelihood()
+        with TreeLikelihood(
+            tree, data, model, precision="single", use_scaling=True,
+        ) as tl:
+            scaled = tl.log_likelihood()
+        with TreeLikelihood(
+            tree, data, model, precision="double", use_scaling=True,
+        ) as tl:
+            reference = tl.log_likelihood()
+        # Without scaling float32 partials hit zero -> -inf.
+        assert unscaled == -np.inf
+        assert np.isfinite(scaled)
+        assert np.isclose(scaled, reference, rtol=1e-3)
+
+    def test_scale_factor_accumulation(self, small_tree, nucleotide_patterns,
+                                       hky_model, gamma_sites):
+        n_internal = small_tree.n_internal
+        cfg = make_config(
+            small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            scale_buffers=n_internal + 1,
+        )
+        impl = CPUSSEImplementation(cfg)
+        enc = nucleotide_patterns.alignment.encode_partials()
+        for t in range(small_tree.n_tips):
+            impl.set_tip_partials(t, enc[t])
+        impl.set_pattern_weights(nucleotide_patterns.weights)
+        impl.set_category_rates(gamma_sites.rates)
+        impl.set_category_weights(0, gamma_sites.weights)
+        impl.set_state_frequencies(0, hky_model.frequencies)
+        e = hky_model.eigen
+        impl.set_eigen_decomposition(
+            0, e.eigenvectors, e.inverse_eigenvectors, e.eigenvalues
+        )
+        plan = plan_traversal(small_tree, use_scaling=True)
+        impl.update_transition_matrices(
+            0, list(plan.branch_node_indices), plan.branch_lengths
+        )
+        impl.update_partials(plan.operations)
+        cum = n_internal
+        impl.reset_scale_factors(cum)
+        impl.accumulate_scale_factors(list(range(n_internal)), cum)
+        total = sum(
+            impl.get_scale_factors(i) for i in range(n_internal)
+        )
+        assert np.allclose(impl.get_scale_factors(cum), total)
+
+    def test_reset_scale_factors(self):
+        cfg = make_config(
+            yule_tree(4, rng=2),
+            type("PS", (), {"n_patterns": 10})(),
+            JC69(),
+            SiteModel.uniform(),
+            scale_buffers=2,
+        )
+        # make_config reads .n_patterns off the duck-typed object above.
+        impl = CPUSSEImplementation(cfg)
+        impl._scale_factors[0] = 3.0
+        impl.reset_scale_factors(0)
+        assert np.all(impl.get_scale_factors(0) == 0.0)
+
+    def test_rescaled_partials_bounded(self, small_tree, nucleotide_patterns,
+                                       hky_model, gamma_sites):
+        cfg = make_config(
+            small_tree, nucleotide_patterns, hky_model, gamma_sites,
+            scale_buffers=small_tree.n_internal + 1,
+        )
+        impl = CPUSSEImplementation(cfg)
+        enc = nucleotide_patterns.alignment.encode_partials()
+        for t in range(small_tree.n_tips):
+            impl.set_tip_partials(t, enc[t])
+        impl.set_category_rates(gamma_sites.rates)
+        e = hky_model.eigen
+        impl.set_eigen_decomposition(
+            0, e.eigenvectors, e.inverse_eigenvectors, e.eigenvalues
+        )
+        plan = plan_traversal(small_tree, use_scaling=True)
+        impl.update_transition_matrices(
+            0, list(plan.branch_node_indices), plan.branch_lengths
+        )
+        impl.update_partials(plan.operations)
+        for op in plan.operations:
+            partials = impl.get_partials(op.destination)
+            assert partials.max() <= 1.0 + 1e-12

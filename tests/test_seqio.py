@@ -1,0 +1,182 @@
+"""Sequence file formats: FASTA, PHYLIP, NEXUS."""
+
+import numpy as np
+import pytest
+
+from repro.seq import (
+    Alignment,
+    FastaError,
+    NexusError,
+    PhylipError,
+    read_fasta,
+    read_nexus,
+    read_phylip,
+    write_fasta,
+    write_nexus,
+    write_phylip,
+)
+from repro.tree import parse_newick, yule_tree
+
+
+@pytest.fixture
+def aln():
+    return Alignment.from_strings(
+        {"alpha": "ACGTACGT", "beta": "ACGTTGCA", "gamma": "NNACGT--"}
+    )
+
+
+class TestFasta:
+    def test_parse_text(self):
+        aln = read_fasta(">a\nACGT\n>b\nTG\nCA\n")
+        assert aln.n_sequences == 2
+        assert "".join(aln.sequence("b")) == "TGCA"
+
+    def test_header_description_ignored(self):
+        aln = read_fasta(">a some description here\nACGT\n>b\nACGT\n")
+        assert aln.names == ["a", "b"]
+
+    def test_round_trip(self, aln, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(aln, path, width=5)
+        back = read_fasta(path)
+        assert back.names == aln.names
+        assert back.rows == aln.rows
+
+    def test_wrapping(self, aln, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(aln, path, width=3)
+        lines = path.read_text().splitlines()
+        assert max(len(l) for l in lines if not l.startswith(">")) == 3
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(FastaError, match="duplicate"):
+            read_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaError, match="before header"):
+            read_fasta("ACGT\n>a\nACGT\n")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FastaError, match="empty sequence name"):
+            read_fasta(">\nACGT\n")
+
+    def test_empty_input_rejected(self, tmp_path):
+        p = tmp_path / "empty.fasta"
+        p.write_text("")
+        with pytest.raises(FastaError, match="no sequences"):
+            read_fasta(p)
+
+    def test_bad_width(self, aln, tmp_path):
+        with pytest.raises(ValueError, match="width"):
+            write_fasta(aln, tmp_path / "x.fasta", width=0)
+
+
+class TestPhylip:
+    def test_parse_text(self):
+        aln = read_phylip("2 4\na ACGT\nb TGCA\n")
+        assert aln.n_sequences == 2 and aln.n_sites == 4
+
+    def test_round_trip(self, aln, tmp_path):
+        path = tmp_path / "x.phy"
+        write_phylip(aln, path)
+        back = read_phylip(path)
+        assert back.names == aln.names and back.rows == aln.rows
+
+    def test_header_mismatch_sequences(self):
+        with pytest.raises(PhylipError, match="promised 3"):
+            read_phylip("3 4\na ACGT\nb TGCA\n")
+
+    def test_header_mismatch_sites(self):
+        with pytest.raises(PhylipError, match="length"):
+            read_phylip("2 5\na ACGT\nb TGCA\n")
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "x.phy"
+        p.write_text("not a header\n")
+        with pytest.raises(PhylipError, match="bad header"):
+            read_phylip(p)
+
+    def test_sequence_with_spaces(self):
+        aln = read_phylip("1 8\nname ACGT ACGT\n")
+        assert aln.n_sites == 8
+
+    def test_interleaved_anonymous_blocks(self):
+        text = "2 8\nalpha ACGT\nbeta  TGCA\n\nACGT\nTGCA\n"
+        aln = read_phylip(text)
+        assert "".join(aln.sequence("alpha")) == "ACGTACGT"
+        assert "".join(aln.sequence("beta")) == "TGCATGCA"
+
+    def test_sequential_named_blocks(self):
+        text = "2 8\nalpha ACGT\nbeta  TGCA\nalpha ACGT\nbeta  TGCA\n"
+        aln = read_phylip(text)
+        assert aln.n_sites == 8
+
+    def test_duplicate_name_in_first_block(self):
+        with pytest.raises(PhylipError, match="duplicate"):
+            read_phylip("2 4\nsame AC\nsame GT\n")
+
+
+class TestNexus:
+    NEXUS = """#NEXUS
+begin data;
+  dimensions ntax=2 nchar=4;
+  format datatype=dna missing=? gap=-;
+  matrix
+    a ACGT
+    b TG-A
+  ;
+end;
+begin trees;
+  tree one = (a:0.1,b:0.2);
+end;
+"""
+
+    def test_parse_data_and_trees(self):
+        aln, trees = read_nexus(self.NEXUS)
+        assert aln.n_sequences == 2
+        assert len(trees) == 1
+        assert sorted(trees[0].tip_names()) == ["a", "b"]
+
+    def test_comments_stripped(self):
+        text = self.NEXUS.replace("matrix", "matrix [a comment]")
+        aln, _ = read_nexus(text)
+        assert aln.n_sites == 4
+
+    def test_translate_block(self):
+        text = """#NEXUS
+begin trees;
+  translate 1 alpha, 2 beta;
+  tree t = (1:0.5,2:0.5);
+end;
+"""
+        _, trees = read_nexus(text)
+        assert sorted(trees[0].tip_names()) == ["alpha", "beta"]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(NexusError, match="#NEXUS"):
+            read_nexus("begin data; end;")
+
+    def test_unbalanced_comment_rejected(self):
+        with pytest.raises(NexusError, match="comment"):
+            read_nexus("#NEXUS [unclosed\nbegin data; end;")
+
+    def test_round_trip(self, aln, tmp_path):
+        path = tmp_path / "x.nex"
+        tree = yule_tree(3, names=aln.names, rng=1)
+        write_nexus(path, alignment=aln, trees=[tree])
+        back_aln, back_trees = read_nexus(path)
+        assert back_aln.rows == aln.rows
+        assert sorted(back_trees[0].tip_names()) == sorted(aln.names)
+        assert np.isclose(
+            back_trees[0].total_branch_length(), tree.total_branch_length()
+        )
+
+    def test_write_requires_content(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing to write"):
+            write_nexus(tmp_path / "x.nex")
+
+    def test_trees_only(self, tmp_path):
+        path = tmp_path / "t.nex"
+        write_nexus(path, trees=[yule_tree(4, rng=2)])
+        aln, trees = read_nexus(path)
+        assert aln is None and len(trees) == 1

@@ -1,0 +1,150 @@
+"""Operation scheduling: full traversals, dependency levels, partial updates."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import OP_NONE
+from repro.tree import (
+    balanced_tree,
+    plan_partial_update,
+    plan_traversal,
+    random_topology,
+    yule_tree,
+)
+
+
+class TestFullTraversal:
+    def test_operation_count(self):
+        t = yule_tree(10, rng=1)
+        plan = plan_traversal(t)
+        assert len(plan.operations) == t.n_internal
+
+    def test_dependency_order(self):
+        t = random_topology(20, rng=2)
+        plan = plan_traversal(t)
+        ready = set(range(t.n_tips))
+        for op in plan.operations:
+            assert op.child1 in ready and op.child2 in ready
+            ready.add(op.destination)
+
+    def test_matrix_index_equals_child_index(self):
+        t = yule_tree(6, rng=3)
+        for op in plan_traversal(t).operations:
+            assert op.child1_matrix == op.child1
+            assert op.child2_matrix == op.child2
+
+    def test_branches_cover_all_nonroot_nodes(self):
+        t = yule_tree(9, rng=4)
+        plan = plan_traversal(t)
+        assert set(plan.branch_node_indices) == {
+            n.index for n in t.nodes() if not n.is_root
+        }
+        assert plan.branch_lengths.shape == (t.n_nodes - 1,)
+
+    def test_root_index(self):
+        t = yule_tree(5, rng=5)
+        assert plan_traversal(t).root_index == t.root.index
+
+    def test_no_scaling_by_default(self):
+        t = yule_tree(5, rng=6)
+        for op in plan_traversal(t).operations:
+            assert op.write_scale == OP_NONE
+
+    def test_scaling_assigns_one_buffer_per_internal(self):
+        t = yule_tree(7, rng=7)
+        plan = plan_traversal(t, use_scaling=True)
+        scales = sorted(op.write_scale for op in plan.operations)
+        assert scales == list(range(t.n_internal))
+
+
+class TestLevels:
+    def test_balanced_tree_levels(self):
+        t = balanced_tree(16)
+        plan = plan_traversal(t)
+        assert [len(level) for level in plan.levels] == [8, 4, 2, 1]
+
+    def test_levels_partition_operations(self):
+        t = random_topology(25, rng=8)
+        plan = plan_traversal(t)
+        flattened = [op for level in plan.levels for op in level]
+        assert sorted(o.destination for o in flattened) == sorted(
+            o.destination for o in plan.operations
+        )
+
+    def test_levels_are_independent(self):
+        t = random_topology(25, rng=9)
+        plan = plan_traversal(t)
+        for level in plan.levels:
+            destinations = {op.destination for op in level}
+            for op in level:
+                assert op.child1 not in destinations
+                assert op.child2 not in destinations
+
+    def test_level_k_depends_only_on_earlier(self):
+        t = random_topology(18, rng=10)
+        plan = plan_traversal(t)
+        available = set(range(t.n_tips))
+        for level in plan.levels:
+            for op in level:
+                assert {op.child1, op.child2} <= available
+            available |= {op.destination for op in level}
+
+
+class TestPartialUpdate:
+    def test_tip_edit_updates_ancestor_path(self):
+        t = balanced_tree(8)
+        plan = plan_partial_update(t, [0])
+        # Path from tip 0 to root: 3 internal nodes on a depth-3 tree.
+        assert len(plan.operations) == 3
+        assert plan.operations[-1].destination == t.root.index
+
+    def test_root_edit_updates_nothing_extra(self):
+        t = balanced_tree(8)
+        plan = plan_partial_update(t, [t.root.index])
+        assert len(plan.operations) == 1  # only the root itself
+
+    def test_branch_list_contains_only_dirty(self):
+        t = balanced_tree(8)
+        plan = plan_partial_update(t, [2, 5])
+        assert set(plan.branch_node_indices) == {2, 5}
+
+    def test_multiple_dirty_nodes_merge_paths(self):
+        t = balanced_tree(16)
+        full = plan_traversal(t)
+        partial = plan_partial_update(t, [0, 1])
+        # Tips 0,1 share their whole ancestor path.
+        assert len(partial.operations) == 4
+        assert len(partial.operations) < len(full.operations)
+
+    def test_dependency_order_preserved(self):
+        t = random_topology(20, rng=11)
+        plan = plan_partial_update(t, [0, 7, 12])
+        computed = set()
+        all_destinations = {op.destination for op in plan.operations}
+        for op in plan.operations:
+            for child in (op.child1, op.child2):
+                if child in all_destinations:
+                    assert child in computed
+            computed.add(op.destination)
+
+    def test_unknown_node_rejected(self):
+        t = balanced_tree(4)
+        with pytest.raises(KeyError):
+            plan_partial_update(t, [999])
+
+    def test_equivalence_with_full_recompute(self):
+        """Partial updates must yield the same likelihood as a full pass."""
+        from repro.core.highlevel import TreeLikelihood
+        from repro.model import HKY85, SiteModel
+        from repro.seq import simulate_patterns
+
+        t = yule_tree(10, rng=12)
+        model = HKY85(2.0)
+        data = simulate_patterns(t, model, 200, rng=13)
+        with TreeLikelihood(t, data, model, SiteModel.uniform()) as tl:
+            tl.log_likelihood()
+            node = t.node_by_index(4)
+            node.branch_length *= 2.0
+            incremental = tl.update_branch_lengths([4])
+            full = tl.log_likelihood()
+            assert np.isclose(incremental, full, rtol=1e-12)

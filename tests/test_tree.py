@@ -1,0 +1,203 @@
+"""Tree structures, traversal orders, and tree generation."""
+
+import numpy as np
+import pytest
+
+from repro.tree import (
+    Node,
+    Tree,
+    balanced_tree,
+    coalescent_tree,
+    parse_newick,
+    random_topology,
+    yule_tree,
+)
+
+
+def chain_tree():
+    """((A,B),C) caterpillar."""
+    a, b, c = Node(0, "A", 0.1), Node(1, "B", 0.2), Node(2, "C", 0.3)
+    ab = Node(branch_length=0.15)
+    ab.add_child(a)
+    ab.add_child(b)
+    root = Node()
+    root.add_child(ab)
+    root.add_child(c)
+    return Tree(root)
+
+
+class TestNode:
+    def test_tip_detection(self):
+        t = chain_tree()
+        tips = [n.name for n in t.root.tips()]
+        assert tips == ["A", "B", "C"]
+
+    def test_postorder_children_before_parents(self):
+        t = chain_tree()
+        order = [n.index for n in t.root.postorder()]
+        seen = set()
+        for node in t.root.postorder():
+            for child in node.children:
+                assert child.index in seen
+            seen.add(node.index)
+        assert len(order) == 5
+
+    def test_preorder_parents_before_children(self):
+        t = chain_tree()
+        seen = set()
+        for node in t.root.preorder():
+            if node.parent is not None:
+                assert node.parent.index in seen
+            seen.add(node.index)
+
+    def test_add_child_rejects_reparenting(self):
+        a = Node(0, "A")
+        p1, p2 = Node(), Node()
+        p1.add_child(a)
+        with pytest.raises(ValueError, match="already has a parent"):
+            p2.add_child(a)
+
+    def test_detach(self):
+        t = chain_tree()
+        node = t.root.children[0]
+        node.detach()
+        assert node.parent is None
+        assert len(t.root.children) == 1
+
+    def test_height(self):
+        # Deepest path: root -> AB (0.15) -> B (0.2).
+        t = chain_tree()
+        assert np.isclose(t.root.height(), 0.15 + 0.2)
+
+
+class TestTree:
+    def test_counts(self):
+        t = chain_tree()
+        assert t.n_tips == 3 and t.n_nodes == 5 and t.n_internal == 2
+
+    def test_tip_indices_canonical(self):
+        t = chain_tree()
+        assert sorted(n.index for n in t.root.tips()) == [0, 1, 2]
+
+    def test_internal_indices_follow_tips(self):
+        t = chain_tree()
+        internals = sorted(n.index for n in t.internal_nodes())
+        assert internals == [3, 4]
+
+    def test_rejects_nonbinary(self):
+        root = Node()
+        for i in range(3):
+            root.add_child(Node(i, f"t{i}"))
+        with pytest.raises(ValueError, match="binary"):
+            Tree(root)
+
+    def test_node_lookup(self):
+        t = chain_tree()
+        assert t.node_by_name("B").index == 1
+        assert t.node_by_index(2).name == "C"
+        with pytest.raises(KeyError):
+            t.node_by_name("Z")
+        with pytest.raises(KeyError):
+            t.node_by_index(99)
+
+    def test_branch_lengths_exclude_root(self):
+        t = chain_tree()
+        bls = t.branch_lengths()
+        assert len(bls) == 4
+        assert np.isclose(t.total_branch_length(), 0.1 + 0.2 + 0.3 + 0.15)
+
+    def test_copy_is_deep(self):
+        t = chain_tree()
+        c = t.copy()
+        c.node_by_index(0).branch_length = 9.0
+        assert t.node_by_index(0).branch_length == 0.1
+
+    def test_scale_branches(self):
+        t = chain_tree()
+        before = t.total_branch_length()
+        t.scale_branches(2.0)
+        assert np.isclose(t.total_branch_length(), 2 * before)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            chain_tree().scale_branches(0.0)
+
+    def test_tip_names_ordered_by_index(self):
+        t = chain_tree()
+        assert t.tip_names() == ["A", "B", "C"]
+
+
+@pytest.mark.parametrize(
+    "generator", [yule_tree, coalescent_tree, random_topology],
+    ids=lambda g: g.__name__,
+)
+class TestGenerators:
+    def test_tip_count(self, generator):
+        for n in (2, 5, 33):
+            t = generator(n, rng=1)
+            assert t.n_tips == n
+            assert t.n_nodes == 2 * n - 1
+
+    def test_branch_lengths_non_negative(self, generator):
+        t = generator(20, rng=2)
+        assert all(bl >= 0 for bl in t.branch_lengths().values())
+
+    def test_deterministic_with_seed(self, generator):
+        a, b = generator(10, rng=42), generator(10, rng=42)
+        from repro.tree import write_newick
+
+        assert write_newick(a) == write_newick(b)
+
+    def test_different_seeds_differ(self, generator):
+        from repro.tree import write_newick
+
+        assert write_newick(generator(10, rng=1)) != write_newick(
+            generator(10, rng=2)
+        )
+
+    def test_custom_names(self, generator):
+        names = [f"sp{i}" for i in range(6)]
+        t = generator(6, names=names, rng=3)
+        assert sorted(t.tip_names()) == sorted(names)
+
+    def test_rejects_too_few_tips(self, generator):
+        with pytest.raises(ValueError):
+            generator(1, rng=0)
+
+
+class TestBalanced:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power-of-2"):
+            balanced_tree(6)
+
+    def test_shape_fully_balanced(self):
+        t = balanced_tree(8)
+        depths = set()
+        for tip in t.root.tips():
+            d = 0
+            node = tip
+            while node.parent is not None:
+                d += 1
+                node = node.parent
+            depths.add(d)
+        assert depths == {3}
+
+    def test_ultrametric_by_default(self):
+        t = balanced_tree(16, branch_length=0.2)
+        assert np.isclose(t.root.height(), 0.2 * 4)
+
+    def test_jitter_with_rng(self):
+        t = balanced_tree(8, rng=5)
+        bls = list(t.branch_lengths().values())
+        assert len(set(np.round(bls, 12))) > 1
+
+
+class TestCoalescentShape:
+    def test_expected_tmrca_scales_with_popsize(self):
+        # E[TMRCA] = 2N(1 - 1/n); crude Monte Carlo sanity check.
+        rng = np.random.default_rng(7)
+        heights = [
+            coalescent_tree(10, pop_size=1.0, rng=rng).root.height()
+            for _ in range(200)
+        ]
+        assert 1.2 < np.mean(heights) < 2.4  # theory: 1.8

@@ -1,0 +1,188 @@
+"""Upper (pre-order) partials and full-tree Newton optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.flags import Flag
+from repro.core.highlevel import TreeLikelihood
+from repro.ml import optimize_branch_lengths, optimize_branch_lengths_newton
+from repro.model import GY94, HKY85, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import yule_tree
+
+
+@pytest.fixture(scope="module")
+def upper_setup():
+    tree = yule_tree(10, rng=400)
+    model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+    sm = SiteModel.gamma(0.6, 4)
+    aln = simulate_alignment(tree, model, 500, sm, rng=401)
+    return tree, compress_patterns(aln), model, sm
+
+
+class TestUpperPartials:
+    def test_requires_flag(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(tree, data, model, sm) as tl:
+            with pytest.raises(RuntimeError, match="enable_upper_partials"):
+                tl.upper
+
+    def test_requires_reversible_model(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.model.reversible = False
+            with pytest.raises(ValueError, match="reversible"):
+                tl.upper
+            tl.model.reversible = True
+
+    def test_scaling_unsupported(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True,
+            use_scaling=True,
+        ) as tl:
+            with pytest.raises(ValueError, match="scaling"):
+                tl.upper
+
+    def test_extended_pulley_every_branch(self, upper_setup):
+        """Edge likelihood across ANY branch equals the root likelihood."""
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            root_ll = tl.log_likelihood()
+            tl.upper.update()
+            for node in tree.nodes():
+                if node.is_root:
+                    continue
+                assert np.isclose(
+                    tl.upper.edge_log_likelihood(node.index), root_ll,
+                    rtol=1e-9,
+                )
+
+    def test_node_likelihood_every_node(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            root_ll = tl.log_likelihood()
+            tl.upper.update()
+            for node in tree.nodes():
+                if node.is_root:
+                    continue
+                assert np.isclose(
+                    tl.upper.node_log_likelihood(node.index), root_ll,
+                    rtol=1e-9,
+                )
+
+    def test_pulley_holds_on_codon_model(self):
+        tree = yule_tree(6, rng=402)
+        model = GY94(2.0, 0.3)
+        aln = simulate_alignment(tree, model, 60, rng=403)
+        data = compress_patterns(aln)
+        with TreeLikelihood(
+            tree, data, model, enable_upper_partials=True
+        ) as tl:
+            root_ll = tl.log_likelihood()
+            tl.upper.update()
+            for node in tree.nodes():
+                if not node.is_root:
+                    assert np.isclose(
+                        tl.upper.edge_log_likelihood(node.index), root_ll,
+                        rtol=1e-8,
+                    )
+
+    def test_pulley_on_accelerated_backend(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True,
+            requirement_flags=Flag.FRAMEWORK_CUDA,
+        ) as tl:
+            root_ll = tl.log_likelihood()
+            tl.upper.update()
+            node = next(n for n in tree.nodes() if not n.is_root)
+            assert np.isclose(
+                tl.upper.edge_log_likelihood(node.index), root_ll, rtol=1e-9
+            )
+
+    def test_derivatives_match_finite_differences(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.log_likelihood()
+            tl.upper.update()
+            for node in list(tree.nodes())[:4]:
+                if node.is_root:
+                    continue
+                t0 = max(node.branch_length, 1e-3)
+                h = 1e-6
+                _, d1, d2 = tl.upper.branch_derivatives(node.index, t0)
+                _, d1p, _ = tl.upper.branch_derivatives(node.index, t0 + h)
+                _, d1m, _ = tl.upper.branch_derivatives(node.index, t0 - h)
+                assert np.isclose(d2, (d1p - d1m) / (2 * h), rtol=1e-3)
+
+    def test_stale_guard(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.log_likelihood()
+            tl.upper.update()
+            tl.upper.invalidate()
+            with pytest.raises(RuntimeError, match="stale"):
+                tl.upper.edge_log_likelihood(0)
+
+    def test_root_has_no_branch(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(
+            tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.log_likelihood()
+            tl.upper.update()
+            with pytest.raises(ValueError, match="root"):
+                tl.upper.edge_log_likelihood(tree.root.index)
+
+
+class TestNewtonFullTree:
+    def _perturbed(self, tree, seed):
+        work = tree.copy()
+        rng = np.random.default_rng(seed)
+        for n in work.nodes():
+            if not n.is_root:
+                n.branch_length *= float(np.exp(rng.normal(0, 0.8)))
+        return work
+
+    def test_reaches_brent_optimum_with_fewer_evaluations(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        newton_tree = self._perturbed(tree, 404)
+        with TreeLikelihood(
+            newton_tree, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            tl.log_likelihood()
+            newton = optimize_branch_lengths_newton(tl)
+        brent_tree = self._perturbed(tree, 404)
+        with TreeLikelihood(brent_tree, data, model, sm) as tl:
+            tl.log_likelihood()
+            brent = optimize_branch_lengths(tl, max_passes=8)
+        assert abs(newton.log_likelihood - brent.log_likelihood) < 1.0
+        assert newton.n_evaluations < brent.n_evaluations
+
+    def test_monotone_improvement(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        work = self._perturbed(tree, 405)
+        with TreeLikelihood(
+            work, data, model, sm, enable_upper_partials=True
+        ) as tl:
+            start = tl.log_likelihood()
+            result = optimize_branch_lengths_newton(tl, max_sweeps=6)
+            assert result.log_likelihood >= start
+
+    def test_requires_upper_partials(self, upper_setup):
+        tree, data, model, sm = upper_setup
+        with TreeLikelihood(tree, data, model, sm) as tl:
+            tl.log_likelihood()
+            with pytest.raises(RuntimeError, match="enable_upper_partials"):
+                optimize_branch_lengths_newton(tl)

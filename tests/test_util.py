@@ -1,0 +1,105 @@
+"""Utility modules: errors, RNG plumbing, tables, stopwatch."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import Stopwatch, format_table, spawn_rng
+from repro.util.errors import (
+    BeagleError,
+    InvalidIndexError,
+    NoImplementationError,
+    NoResourceError,
+    OutOfMemoryError,
+    UninitializedInstanceError,
+    UnsupportedOperationError,
+)
+from repro.util.rng import split_rng
+
+
+class TestErrors:
+    def test_codes_distinct(self):
+        codes = {
+            cls.code
+            for cls in (
+                BeagleError, OutOfMemoryError, UnsupportedOperationError,
+                InvalidIndexError, UninitializedInstanceError,
+                NoResourceError, NoImplementationError,
+            )
+        }
+        assert len(codes) == 7
+        assert all(c < 0 for c in codes)
+
+    def test_hierarchy(self):
+        assert issubclass(OutOfMemoryError, BeagleError)
+        assert issubclass(InvalidIndexError, IndexError)
+
+
+class TestRNG:
+    def test_none_gives_fresh_stream(self):
+        a, b = spawn_rng(None), spawn_rng(None)
+        assert a is not b
+
+    def test_seed_reproducible(self):
+        assert spawn_rng(7).random() == spawn_rng(7).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert spawn_rng(g) is g
+
+    def test_split_independence(self):
+        children = split_rng(spawn_rng(5), 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_split_deterministic(self):
+        a = [g.random() for g in split_rng(spawn_rng(5), 3)]
+        b = [g.random() for g in split_rng(spawn_rng(5), 3)]
+        assert a == b
+
+    def test_split_negative(self):
+        with pytest.raises(ValueError):
+            split_rng(spawn_rng(0), -1)
+
+
+class TestTables:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["name", "value"], [["x", 1.234567], ["longer", 2]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in out
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestStopwatch:
+    def test_accumulates_intervals(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first > 0
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0

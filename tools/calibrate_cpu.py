@@ -1,0 +1,113 @@
+"""Grid-search calibration of CPUSystemModel constants vs paper Table III.
+
+Run manually; results are transcribed into repro/accel/perfmodel.py and
+EXPERIMENTS.md.  Not part of the installed package.
+"""
+import itertools
+import math
+
+# Reconstructed Table III (see EXPERIMENTS.md): tips -> (serial, futures,
+# thread-create, thread-pool) single-precision GFLOPS, 10k patterns.
+TARGET = {
+    8: (35.82, 37.92, 39.07, 193.10),
+    16: (35.47, 59.70, 78.26, 258.99),
+    64: (14.95, 78.67, 87.91, 217.24),
+    128: (13.62, 61.61, 60.19, 126.95),
+}
+
+FLOPS_PER_OP = 10000 * 4 * 68.0  # patterns * cats * s(4s+1)
+INTENSITY = 68.0 / 48.0
+LLC = 70 * 2**20
+
+
+def ws(tips):
+    return (2 * tips - 1) * 4 * 10000 * 4 * 4.0
+
+
+def blend(w, cache, dram, sharp):
+    if w <= LLC:
+        return cache
+    frac = min(1.0, (w - LLC) / (sharp * LLC))
+    return 1.0 / ((1 - frac) / cache + frac / dram)
+
+
+def levels(tips):
+    out = []
+    n = tips // 2
+    while n >= 1:
+        out.append(n)
+        n //= 2
+    return out
+
+
+def model(theta):
+    (pt_dram, pt_cache, agg_dram, agg_cache, sharp_pt, sharp_agg,
+     fut_oh, conc_eff, spawn, dispatch, numa) = theta
+    res = {}
+    for tips in TARGET:
+        w = ws(tips)
+        ops = tips - 1
+        total = ops * FLOPS_PER_OP
+        serial_rate = min(35.8, blend(w, pt_cache, pt_dram, sharp_pt) * INTENSITY)
+        t_serial = total / (serial_rate * 1e9)
+        # futures
+        op_t = FLOPS_PER_OP / (serial_rate * 1e9)
+        t_fut = 0.0
+        for L in levels(tips):
+            c = max(1.0, min(L, 56) * conc_eff)
+            t_c = (L / c) * op_t
+            bw = min(c * blend(w, pt_cache, pt_dram, sharp_pt),
+                     blend(w, agg_cache, agg_dram, sharp_agg))
+            t_b = L * FLOPS_PER_OP / (bw * INTENSITY * 1e9)
+            t_fut += max(t_c, t_b) + L * fut_oh
+        # pool
+        rate_n = min(35.8 * (28 + 0.15 * 28),
+                     blend(w, agg_cache, agg_dram, sharp_agg) * INTENSITY)
+        t_pool = total / (rate_n * 1e9) + dispatch
+        # create: fresh threads -> NUMA/cold-cache DRAM penalty
+        rate_c = min(35.8 * (28 + 0.15 * 28),
+                     blend(w, agg_cache, agg_dram * numa, sharp_agg) * INTENSITY)
+        t_create = total / (rate_c * 1e9) + 56 * spawn
+        res[tips] = tuple(total / t / 1e9 for t in (t_serial, t_fut, t_create, t_pool))
+    return res
+
+
+def loss(theta):
+    res = model(theta)
+    err = 0.0
+    for tips, targ in TARGET.items():
+        for m, t in zip(res[tips], targ):
+            err += (math.log(m / t)) ** 2
+    return err
+
+
+grid = {
+    "pt_dram": [7.0, 8.0, 9.5],
+    "pt_cache": [25.0, 30.0, 40.0],
+    "agg_dram": [85.0, 95.0, 105.0],
+    "agg_cache": [200.0, 230.0, 260.0],
+    "sharp_pt": [0.05, 0.1, 0.2],
+    "sharp_agg": [0.3, 0.5, 0.8],
+    "fut_oh": [8e-6, 1.2e-5, 2e-5],
+    "conc_eff": [0.4, 0.5, 0.6],
+    "spawn": [5e-6, 7e-6, 9e-6],
+    "dispatch": [2e-5, 4e-5, 6e-5],
+    "numa": [0.4, 0.55, 0.7],
+}
+
+keys = list(grid)
+best = None
+for combo in itertools.product(*(grid[k] for k in keys)):
+    l = loss(combo)
+    if best is None or l < best[0]:
+        best = (l, combo)
+print("best loss", best[0])
+theta = dict(zip(keys, best[1]))
+for k, v in theta.items():
+    print(f"  {k} = {v}")
+res = model(best[1])
+print(f"{'tips':>4} {'serial':>7} {'futures':>8} {'create':>8} {'pool':>8}")
+for tips, targ in TARGET.items():
+    m = res[tips]
+    print(f"{tips:>4} " + " ".join(f"{x:8.2f}" for x in m) +
+          "   | " + " ".join(f"{x:7.2f}" for x in targ))

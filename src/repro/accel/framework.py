@@ -130,6 +130,24 @@ class HardwareInterface(abc.ABC):
     ) -> None:
         """Execute a kernel and advance the simulated clock."""
 
+    def launch_batch(
+        self,
+        kernel_name: str,
+        batch: Sequence[Tuple[str, Sequence[Any]]],
+        geometry: LaunchGeometry,
+        cost: KernelCost,
+    ) -> None:
+        """Execute a fused batch kernel: one launch, many operations.
+
+        ``batch`` entries are ``(kernel name, resolved args)`` pairs the
+        fused kernel dispatches internally.  Nested argument handles are
+        *not* resolved by the framework — callers pass device views —
+        so both frameworks share this default: a single :meth:`launch`
+        whose only argument is the batch, paying one launch overhead for
+        the combined cost.
+        """
+        self.launch(kernel_name, [list(batch)], geometry, cost)
+
     def synchronize(self) -> None:
         """Block until queued work completes (no-op: launches are eager)."""
 

@@ -238,6 +238,14 @@ def kernelStatesStatesNoScale(dest, states1, matrices1_ext,
     np.multiply(a, b, out=dest)
 
 
+def kernelPartialsLevelNoScale(batch, geom):
+    """Fused dispatch of one dependency level: every entry is an
+    independent partials operation, so the whole batch shares one launch
+    (no {KW_THREAD_FENCE} needed between entries)."""
+    for kind, args in batch:
+        KERNELS[kind](*args, geom)
+
+
 def kernelPartialsDynamicScaling(partials, scale_factors_log, threshold, geom):
     """Divide out the per-pattern maximum where it fell below threshold;
     store log factors (zero for comfortable patterns)."""
@@ -286,6 +294,7 @@ KERNELS = {{
     "kernelPartialsPartialsNoScale": kernelPartialsPartialsNoScale,
     "kernelStatesPartialsNoScale": kernelStatesPartialsNoScale,
     "kernelStatesStatesNoScale": kernelStatesStatesNoScale,
+    "kernelPartialsLevelNoScale": kernelPartialsLevelNoScale,
     "kernelPartialsDynamicScaling": kernelPartialsDynamicScaling,
     "kernelAccumulateFactorsScale": kernelAccumulateFactorsScale,
     "kernelIntegrateLikelihoods": kernelIntegrateLikelihoods,

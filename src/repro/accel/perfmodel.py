@@ -63,6 +63,7 @@ class SimulatedClock:
         self.elapsed = 0.0
         self.events = 0
         self.by_label: Dict[str, float] = {}
+        self.calls_by_label: Dict[str, int] = {}
 
     def advance(self, seconds: float, label: Optional[str] = None) -> None:
         if seconds < 0:
@@ -71,11 +72,24 @@ class SimulatedClock:
         self.events += 1
         if label is not None:
             self.by_label[label] = self.by_label.get(label, 0.0) + seconds
+            self.calls_by_label[label] = (
+                self.calls_by_label.get(label, 0) + 1
+            )
+
+    @property
+    def kernel_launches(self) -> int:
+        """Total kernel launches recorded (labels starting "kernel")."""
+        return sum(
+            n
+            for label, n in self.calls_by_label.items()
+            if label.startswith("kernel")
+        )
 
     def reset(self) -> None:
         self.elapsed = 0.0
         self.events = 0
         self.by_label = {}
+        self.calls_by_label = {}
 
 
 @dataclass(frozen=True)

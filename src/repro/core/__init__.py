@@ -5,6 +5,12 @@ from repro.core.highlevel import TreeLikelihood
 from repro.core.upper import UpperPartials
 from repro.core.instance import BeagleInstance, create_instance
 from repro.core.manager import ResourceManager, default_manager
+from repro.core.plan import (
+    EdgeLikelihoodRequest,
+    ExecutionPlan,
+    MatrixUpdate,
+    RootLikelihoodRequest,
+)
 from repro.core.types import (
     InstanceConfig,
     InstanceDetails,
@@ -27,4 +33,8 @@ __all__ = [
     "create_instance",
     "TreeLikelihood",
     "UpperPartials",
+    "ExecutionPlan",
+    "MatrixUpdate",
+    "RootLikelihoodRequest",
+    "EdgeLikelihoodRequest",
 ]

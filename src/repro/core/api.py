@@ -22,17 +22,37 @@ from repro.util.errors import BeagleError
 _instances: Dict[int, BeagleInstance] = {}
 _next_handle = 0
 
+#: Message of the most recent failed ``beagle_*`` call (cleared on the
+#: next success).  The C API only returns integer codes; this mirrors
+#: the debugging workflow of inspecting BEAGLE's stderr diagnostics.
+_last_error_message: Optional[str] = None
+
+
+def beagle_get_last_error_message() -> Optional[str]:
+    """Message of the most recent failed call, or ``None`` after success.
+
+    Error codes alone discard the exception detail (which buffer index,
+    what shape mismatch); this recovers it without changing the C-style
+    return-code contract.
+    """
+    return _last_error_message
+
 
 def _wrap(fn) -> int:
     """Run ``fn`` and translate exceptions to BEAGLE error codes."""
+    global _last_error_message
     try:
         fn()
     except BeagleError as exc:
+        _last_error_message = f"{type(exc).__name__}: {exc}"
         return int(exc.code)
-    except (ValueError, IndexError, KeyError):
+    except (ValueError, IndexError, KeyError) as exc:
+        _last_error_message = f"{type(exc).__name__}: {exc}"
         return int(ReturnCode.ERROR_OUT_OF_RANGE)
-    except Exception:
+    except Exception as exc:
+        _last_error_message = f"{type(exc).__name__}: {exc}"
         return int(ReturnCode.ERROR_UNIDENTIFIED_EXCEPTION)
+    _last_error_message = None
     return int(ReturnCode.SUCCESS)
 
 
@@ -66,7 +86,7 @@ def beagle_create_instance(
 
     A negative handle is an error code, as in the C API.
     """
-    global _next_handle
+    global _next_handle, _last_error_message
     precision = (
         "single"
         if (requirement_flags & Flag.PRECISION_SINGLE)
@@ -92,9 +112,12 @@ def beagle_create_instance(
             precision=precision,
         )
     except BeagleError as exc:
+        _last_error_message = f"{type(exc).__name__}: {exc}"
         return int(exc.code), None
-    except (ValueError, IndexError):
+    except (ValueError, IndexError) as exc:
+        _last_error_message = f"{type(exc).__name__}: {exc}"
         return int(ReturnCode.ERROR_OUT_OF_RANGE), None
+    _last_error_message = None
     handle = _next_handle
     _next_handle += 1
     _instances[handle] = inst
@@ -338,3 +361,18 @@ def beagle_get_site_log_likelihoods(instance: int, out: np.ndarray) -> int:
         out[...] = _get(instance).get_site_log_likelihoods()
 
     return _wrap(go)
+
+
+def beagle_set_execution_mode(instance: int, deferred: bool) -> int:
+    """Opt in to (or out of) deferred plan recording for an instance.
+
+    In deferred mode, matrix updates and partials operations accumulate
+    into an execution plan that runs at the next likelihood call or
+    :func:`beagle_flush`; results are bit-identical to eager mode.
+    """
+    return _wrap(lambda: _get(instance).set_execution_mode(deferred))
+
+
+def beagle_flush(instance: int) -> int:
+    """Execute any recorded deferred work (no-op in eager mode)."""
+    return _wrap(lambda: _get(instance).flush())

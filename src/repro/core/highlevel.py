@@ -55,6 +55,12 @@ class TreeLikelihood:
         :class:`repro.core.upper.UpperPartials` (edge likelihoods and
         Newton derivatives on every branch).  Costs ~3x the partials
         memory.
+    deferred:
+        Record matrix updates and partials operations into an execution
+        plan instead of running them eagerly; the plan executes at each
+        likelihood call.  Results are bit-identical to eager mode, but
+        backends may batch or reorder independent work within a level
+        (see :mod:`repro.core.plan`).
     instance_kwargs:
         Passed through to instance creation (``preference_flags``,
         ``resource_ids``, ``precision``, ...).
@@ -69,6 +75,7 @@ class TreeLikelihood:
         use_tip_states: bool = True,
         use_scaling=False,
         enable_upper_partials: bool = False,
+        deferred: bool = False,
         **instance_kwargs,
     ) -> None:
         site_model = site_model or SiteModel.uniform()
@@ -128,7 +135,7 @@ class TreeLikelihood:
         )
         self.derivative_matrix_indices = (n_nodes, n_nodes + 1)
         self.enable_upper_partials = enable_upper_partials
-        self.instance = BeagleInstance(config, **instance_kwargs)
+        self.instance = BeagleInstance(config, deferred=deferred, **instance_kwargs)
         self._upper = None
 
         # Load tip data, pairing by name for real alignments and by row

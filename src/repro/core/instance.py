@@ -8,12 +8,13 @@ pointers).  The C-style functional facade lives in :mod:`repro.core.api`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.flags import OP_NONE, Flag
 from repro.core.manager import ResourceManager, default_manager
+from repro.core.plan import ExecutionPlan
 from repro.core.types import InstanceConfig, InstanceDetails, Operation
 from repro.impl.base import BaseImplementation
 from repro.model.ratematrix import EigenSystem, SubstitutionModel
@@ -26,6 +27,13 @@ class BeagleInstance:
     Create directly (dimensions as keyword arguments) or via
     :func:`create_instance`, which mirrors ``beagleCreateInstance``.
     Instances are context managers; exiting finalizes the implementation.
+
+    With ``deferred=True`` the instance records matrix updates and
+    partials operations into an :class:`~repro.core.plan.ExecutionPlan`
+    instead of executing them; the plan runs at :meth:`flush`, which
+    likelihood calls (and any access to buffer state) trigger
+    automatically.  Results are bit-identical to eager mode — deferral
+    only changes *when* and *how concurrently* the work runs.
     """
 
     def __init__(
@@ -36,6 +44,7 @@ class BeagleInstance:
         requirement_flags: Flag = Flag(0),
         resource_ids: Optional[Sequence[int]] = None,
         manager: Optional[ResourceManager] = None,
+        deferred: bool = False,
         **factory_kwargs,
     ) -> None:
         manager = manager or default_manager()
@@ -50,6 +59,9 @@ class BeagleInstance:
         )
         self._impl: Optional[BaseImplementation] = impl
         self.details: InstanceDetails = details
+        self._plan: Optional[ExecutionPlan] = (
+            ExecutionPlan() if deferred else None
+        )
 
     @property
     def impl(self) -> BaseImplementation:
@@ -57,18 +69,58 @@ class BeagleInstance:
             raise UninitializedInstanceError("instance was finalized")
         return self._impl
 
+    # -- execution mode ----------------------------------------------------
+
+    @property
+    def deferred(self) -> bool:
+        """Whether operations are being recorded rather than executed."""
+        return self._plan is not None
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        """Switch between eager and deferred dispatch.
+
+        Leaving deferred mode flushes any recorded work first, so buffer
+        state is identical either way.
+        """
+        if deferred and self._plan is None:
+            self._plan = ExecutionPlan()
+        elif not deferred and self._plan is not None:
+            self.flush()
+            self._plan = None
+
+    def flush(self) -> Dict[int, float]:
+        """Execute the recorded plan; returns node-index -> log-likelihood.
+
+        A no-op (empty mapping) in eager mode or with nothing recorded.
+        """
+        if self._plan is None or self._plan.is_empty:
+            return {}
+        plan, self._plan = self._plan, ExecutionPlan()
+        return self.impl.execute_plan(plan)
+
+    def _sync(self) -> None:
+        """Flush pending deferred work before any non-deferrable access."""
+        if self._plan is not None and not self._plan.is_empty:
+            self.flush()
+
     # -- data entry (thin delegation, see BaseImplementation for semantics) --
+    # Every data-entry or state-inspection call syncs first: recorded
+    # operations must observe the data as it was when they were recorded.
 
     def set_tip_states(self, tip_index: int, states: np.ndarray) -> None:
+        self._sync()
         self.impl.set_tip_states(tip_index, states)
 
     def set_tip_partials(self, tip_index: int, partials: np.ndarray) -> None:
+        self._sync()
         self.impl.set_tip_partials(tip_index, partials)
 
     def set_partials(self, index: int, partials: np.ndarray) -> None:
+        self._sync()
         self.impl.set_partials(index, partials)
 
     def get_partials(self, index: int) -> np.ndarray:
+        self._sync()
         return self.impl.get_partials(index)
 
     def set_eigen_decomposition(
@@ -78,6 +130,7 @@ class BeagleInstance:
         inverse_eigenvectors: np.ndarray,
         eigenvalues: np.ndarray,
     ) -> None:
+        self._sync()
         self.impl.set_eigen_decomposition(
             eigen_index, eigenvectors, inverse_eigenvectors, eigenvalues
         )
@@ -97,23 +150,29 @@ class BeagleInstance:
         self.set_state_frequencies(frequencies_index, model.frequencies)
 
     def set_category_rates(self, rates: Sequence[float]) -> None:
+        self._sync()
         self.impl.set_category_rates(rates)
 
     def set_category_weights(self, index: int, weights: Sequence[float]) -> None:
+        self._sync()
         self.impl.set_category_weights(index, weights)
 
     def set_state_frequencies(
         self, index: int, frequencies: Sequence[float]
     ) -> None:
+        self._sync()
         self.impl.set_state_frequencies(index, frequencies)
 
     def set_pattern_weights(self, weights: Sequence[float]) -> None:
+        self._sync()
         self.impl.set_pattern_weights(weights)
 
     def set_transition_matrix(self, index: int, matrix: np.ndarray) -> None:
+        self._sync()
         self.impl.set_transition_matrix(index, matrix)
 
     def get_transition_matrix(self, index: int) -> np.ndarray:
+        self._sync()
         return self.impl.get_transition_matrix(index)
 
     # -- compute ----------------------------------------------------------
@@ -126,6 +185,21 @@ class BeagleInstance:
         first_derivative_indices: Optional[Sequence[int]] = None,
         second_derivative_indices: Optional[Sequence[int]] = None,
     ) -> None:
+        if self._plan is not None:
+            # Validate now so errors surface at the call site, exactly
+            # as they would in eager mode; execution waits for flush.
+            self.impl._validate_matrix_update(
+                eigen_index,
+                list(matrix_indices),
+                np.asarray(branch_lengths, dtype=float),
+                first_derivative_indices,
+                second_derivative_indices,
+            )
+            self._plan.record_matrix_update(
+                eigen_index, matrix_indices, branch_lengths,
+                first_derivative_indices, second_derivative_indices,
+            )
+            return
         self.impl.update_transition_matrices(
             eigen_index, matrix_indices, branch_lengths,
             first_derivative_indices, second_derivative_indices,
@@ -143,6 +217,7 @@ class BeagleInstance:
         cumulative_scale_index: int = OP_NONE,
     ):
         """``(logL, d logL/dt, d^2 logL/dt^2)`` across one branch."""
+        self._sync()
         return self.impl.calculate_edge_derivatives(
             parent_index, child_index, matrix_index,
             first_derivative_index, second_derivative_index,
@@ -151,14 +226,21 @@ class BeagleInstance:
         )
 
     def update_partials(self, operations: Sequence[Operation]) -> None:
+        if self._plan is not None:
+            for op in operations:
+                self.impl._validate_operation(op)
+            self._plan.record_operations(operations)
+            return
         self.impl.update_partials(operations)
 
     def accumulate_scale_factors(
         self, scale_indices: Sequence[int], cumulative_index: int
     ) -> None:
+        self._sync()
         self.impl.accumulate_scale_factors(scale_indices, cumulative_index)
 
     def reset_scale_factors(self, index: int) -> None:
+        self._sync()
         self.impl.reset_scale_factors(index)
 
     def calculate_root_log_likelihoods(
@@ -168,6 +250,14 @@ class BeagleInstance:
         state_frequencies_index: int = 0,
         cumulative_scale_index: int = OP_NONE,
     ) -> float:
+        if self._plan is not None:
+            node = self._plan.record_root_likelihood(
+                buffer_index,
+                category_weights_index,
+                state_frequencies_index,
+                cumulative_scale_index,
+            )
+            return self.flush()[node.index]
         return self.impl.calculate_root_log_likelihoods(
             buffer_index,
             category_weights_index,
@@ -184,6 +274,16 @@ class BeagleInstance:
         state_frequencies_index: int = 0,
         cumulative_scale_index: int = OP_NONE,
     ) -> float:
+        if self._plan is not None:
+            node = self._plan.record_edge_likelihood(
+                parent_index,
+                child_index,
+                matrix_index,
+                category_weights_index,
+                state_frequencies_index,
+                cumulative_scale_index,
+            )
+            return self.flush()[node.index]
         return self.impl.calculate_edge_log_likelihoods(
             parent_index,
             child_index,
@@ -194,13 +294,19 @@ class BeagleInstance:
         )
 
     def get_site_log_likelihoods(self) -> np.ndarray:
+        self._sync()
         return self.impl.get_site_log_likelihoods()
+
+    def matrix_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counters for the transition-matrix memo cache."""
+        return self.impl.matrix_cache_stats()
 
     # -- lifecycle -------------------------------------------------------------
 
     def finalize(self) -> None:
         """Release the implementation (``beagleFinalizeInstance``)."""
         if self._impl is not None:
+            self._sync()
             self._impl.finalize()
             self._impl = None
 
@@ -233,6 +339,7 @@ def create_instance(
     requirement_flags: Flag = Flag(0),
     precision: str = "double",
     manager: Optional[ResourceManager] = None,
+    deferred: bool = False,
     **factory_kwargs,
 ) -> BeagleInstance:
     """Create an instance with ``beagleCreateInstance``'s argument list."""
@@ -254,5 +361,6 @@ def create_instance(
         requirement_flags=requirement_flags,
         resource_ids=resource_ids,
         manager=manager,
+        deferred=deferred,
         **factory_kwargs,
     )

@@ -146,6 +146,11 @@ class AcceleratedImplementation(BaseImplementation):
         """Modelled device seconds consumed so far."""
         return self.interface.clock.elapsed
 
+    @property
+    def kernel_launch_count(self) -> int:
+        """Simulated kernel launches so far (excludes memory transfers)."""
+        return self.interface.clock.kernel_launches
+
     def reset_simulated_time(self) -> None:
         self.interface.clock.reset()
 
@@ -286,52 +291,49 @@ class AcceleratedImplementation(BaseImplementation):
                     self._matrices[idx],
                 )
 
-    def _compute_operation(self, op: Operation) -> None:
-        geom, block = self._partials_geometry()
-        cost = self._partials_cost(block)
+    def _operation_kernel_args(self, op: Operation) -> Tuple[str, list]:
+        """Kernel name and handle arguments for one partials operation."""
         dest = self.interface.slot(self._d_partials, op.destination)
         s1 = op.child1 in self._d_tip_states
         s2 = op.child2 in self._d_tip_states
-
         if s1 and s2:
-            self.interface.launch(
-                "kernelStatesStatesNoScale",
-                [dest,
-                 self._d_tip_states[op.child1],
-                 self.interface.slot(self._d_matrices_ext, op.child1_matrix),
-                 self._d_tip_states[op.child2],
-                 self.interface.slot(self._d_matrices_ext, op.child2_matrix)],
-                geom,
-                cost,
-            )
-        elif s1 or s2:
+            return "kernelStatesStatesNoScale", [
+                dest,
+                self._d_tip_states[op.child1],
+                self.interface.slot(self._d_matrices_ext, op.child1_matrix),
+                self._d_tip_states[op.child2],
+                self.interface.slot(self._d_matrices_ext, op.child2_matrix),
+            ]
+        if s1 or s2:
             states_child, states_matrix, part_child, part_matrix = (
                 (op.child1, op.child1_matrix, op.child2, op.child2_matrix)
                 if s1
                 else (op.child2, op.child2_matrix, op.child1, op.child1_matrix)
             )
-            self.interface.launch(
-                "kernelStatesPartialsNoScale",
-                [dest,
-                 self._d_tip_states[states_child],
-                 self.interface.slot(self._d_matrices_ext, states_matrix),
-                 self.interface.slot(self._d_partials, part_child),
-                 self.interface.slot(self._d_matrices, part_matrix)],
-                geom,
-                cost,
-            )
-        else:
-            self.interface.launch(
-                "kernelPartialsPartialsNoScale",
-                [dest,
-                 self.interface.slot(self._d_partials, op.child1),
-                 self.interface.slot(self._d_matrices, op.child1_matrix),
-                 self.interface.slot(self._d_partials, op.child2),
-                 self.interface.slot(self._d_matrices, op.child2_matrix)],
-                geom,
-                cost,
-            )
+            return "kernelStatesPartialsNoScale", [
+                dest,
+                self._d_tip_states[states_child],
+                self.interface.slot(self._d_matrices_ext, states_matrix),
+                self.interface.slot(self._d_partials, part_child),
+                self.interface.slot(self._d_matrices, part_matrix),
+            ]
+        return "kernelPartialsPartialsNoScale", [
+            dest,
+            self.interface.slot(self._d_partials, op.child1),
+            self.interface.slot(self._d_matrices, op.child1_matrix),
+            self.interface.slot(self._d_partials, op.child2),
+            self.interface.slot(self._d_matrices, op.child2_matrix),
+        ]
 
+    def _compute_operation(self, op: Operation) -> None:
+        geom, block = self._partials_geometry()
+        cost = self._partials_cost(block)
+        kernel_name, args = self._operation_kernel_args(op)
+        self.interface.launch(kernel_name, args, geom, cost)
+        self._apply_device_scaling(op, geom)
+
+    def _apply_device_scaling(self, op: Operation, geom) -> None:
+        dest = self.interface.slot(self._d_partials, op.destination)
         if op.read_scale != OP_NONE:
             # Rare path: re-apply previously stored factors on device.
             view = self.interface.view(dest)
@@ -355,6 +357,71 @@ class AcceleratedImplementation(BaseImplementation):
                 geom,
                 scale_cost,
             )
+
+    def _execute_level(self, operations: List[Operation]) -> None:
+        """One batched kernel launch per dependency level.
+
+        All of a level's partials operations are independent, so the
+        fused ``kernelPartialsLevelNoScale`` dispatches them inside a
+        single launch: the per-launch overhead is paid once and the
+        work-group dispatch accounting covers the combined grid.  Scaling
+        tails (rare) still launch per operation afterwards, which is
+        valid for the same independence reason.
+        """
+        if len(operations) == 1:
+            self._compute_operation(operations[0])
+            return
+        geom, block = self._partials_geometry()
+        per_cost = self._partials_cost(block)
+        n = len(operations)
+        # Nested batch arguments are not resolved by the frameworks'
+        # launch paths, so device handles become views here (the same
+        # convention as accumulate_scale_factors' factor list).
+        batch = []
+        for op in operations:
+            kernel_name, args = self._operation_kernel_args(op)
+            batch.append(
+                (
+                    kernel_name,
+                    [
+                        self.interface.view(a)
+                        if not isinstance(a, np.ndarray)
+                        else a
+                        for a in args
+                    ],
+                )
+            )
+        if self.interface.kernel_config.variant == "gpu":
+            g_pat, g_state = geom.global_size
+            l_pat, l_state = geom.local_size
+            level_geom = LaunchGeometry(
+                (g_pat, g_state * n), (l_pat, l_state)
+            )
+        else:
+            (g_pat,), (l_pat,) = geom.global_size, geom.local_size
+            level_geom = LaunchGeometry((g_pat * n,), (l_pat,))
+        level_cost = KernelCost(
+            flops=per_cost.flops * n,
+            bytes_moved=per_cost.bytes_moved * n,
+            n_workgroups=per_cost.n_workgroups * n,
+            working_set_bytes=per_cost.working_set_bytes * n,
+        )
+        self.interface.launch_batch(
+            "kernelPartialsLevelNoScale", batch, level_geom, level_cost
+        )
+        for op in operations:
+            self._apply_device_scaling(op, geom)
+
+    def _install_matrix(self, index: int, matrices: np.ndarray) -> None:
+        """Cache-hit install: mirror to host and upload, no matrix kernel."""
+        super()._install_matrix(index, matrices)
+        self.interface.upload(
+            self.interface.slot(self._d_matrices, index), matrices
+        )
+        self.interface.upload(
+            self.interface.slot(self._d_matrices_ext, index),
+            compute.extend_matrices_for_gaps(matrices),
+        )
 
     def accumulate_scale_factors(self, scale_indices, cumulative_index) -> None:
         self._check_scale(cumulative_index)

@@ -12,18 +12,74 @@ hardware-specific leaves (paper Figs. 1 and 3).
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import compute
 from repro.core.flags import OP_NONE, Flag
+from repro.core.plan import (
+    EdgeLikelihoodRequest,
+    ExecutionPlan,
+    MatrixUpdate,
+    RootLikelihoodRequest,
+)
 from repro.core.types import InstanceConfig, Operation
 from repro.util.errors import (
     BeagleError,
     InvalidIndexError,
     UnsupportedOperationError,
 )
+
+
+class TransitionMatrixCache:
+    """LRU memo of eigen-derived transition matrices.
+
+    MCMC samplers repeatedly propose and reject branch lengths, so the
+    same ``P(r_c * t)`` is requested many times per eigen system.  The
+    cache keys on ``(eigen index, eigen version, rates version, t)`` —
+    the version counters are bumped whenever the eigen decomposition or
+    the category rates change, so stale entries can never be served and
+    hits are bit-identical to recomputation.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[np.ndarray]:
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, matrices: np.ndarray) -> None:
+        self._store[key] = matrices
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._store),
+            "capacity": self.capacity,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
 
 
 class BaseImplementation(abc.ABC):
@@ -46,6 +102,9 @@ class BaseImplementation(abc.ABC):
     #: this are rescaled; the rest keep factor one.  Set per precision to
     #: sit far above the underflow boundary.
     DYNAMIC_SCALING_THRESHOLDS = {"single": 1e-10, "double": 1e-200}
+
+    #: Transition-matrix memo capacity (entries); 0 disables the cache.
+    MATRIX_CACHE_CAPACITY = 256
 
     def __init__(
         self,
@@ -92,6 +151,12 @@ class BaseImplementation(abc.ABC):
         self._pattern_weights = np.ones(c.pattern_count)
         self._scale_factors = np.zeros((max(c.scale_buffer_count, 0), c.pattern_count))
         self._site_log_likelihoods: Optional[np.ndarray] = None
+
+        # Transition-matrix memoisation.  Version counters invalidate
+        # entries when the eigen system or category rates change.
+        self._matrix_cache = TransitionMatrixCache(self.MATRIX_CACHE_CAPACITY)
+        self._eigen_versions = [0] * max(c.eigen_buffer_count, 0)
+        self._rates_version = 0
 
     # -- index validation ---------------------------------------------------
 
@@ -203,6 +268,7 @@ class BaseImplementation(abc.ABC):
             inverse_eigenvectors,
             eigenvalues,
         )
+        self._eigen_versions[eigen_index] += 1
 
     def set_category_rates(self, rates: Sequence[float]) -> None:
         rates = np.asarray(rates, dtype=float)
@@ -214,6 +280,7 @@ class BaseImplementation(abc.ABC):
         if np.any(rates < 0):
             raise ValueError("category rates must be non-negative")
         self._category_rates = rates
+        self._rates_version += 1
 
     def set_category_weights(self, index: int, weights: Sequence[float]) -> None:
         weights = np.asarray(weights, dtype=float)
@@ -277,11 +344,44 @@ class BaseImplementation(abc.ABC):
         :meth:`calculate_edge_derivatives` consumes for Newton-style
         branch-length optimisation.
         """
+        matrix_indices = list(matrix_indices)
+        branch_lengths = np.asarray(branch_lengths, dtype=float)
+        eigen = self._validate_matrix_update(
+            eigen_index,
+            matrix_indices,
+            branch_lengths,
+            first_derivative_indices,
+            second_derivative_indices,
+        )
+        self._compute_matrices_cached(
+            eigen_index, eigen, matrix_indices, branch_lengths
+        )
+        if first_derivative_indices or second_derivative_indices:
+            self._compute_derivative_matrices(
+                eigen,
+                matrix_indices,
+                branch_lengths,
+                first_derivative_indices,
+                second_derivative_indices,
+            )
+
+    def _validate_matrix_update(
+        self,
+        eigen_index: int,
+        matrix_indices: Sequence[int],
+        branch_lengths: np.ndarray,
+        first_derivative_indices: Optional[Sequence[int]],
+        second_derivative_indices: Optional[Sequence[int]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate a matrix-update request; returns the eigen system.
+
+        Shared between the eager path and deferred recording so errors
+        surface at call time in both modes.
+        """
         self._check_eigen(eigen_index)
         eigen = self._eigen[eigen_index]
         if eigen is None:
             raise BeagleError(f"eigen buffer {eigen_index} was never set")
-        matrix_indices = list(matrix_indices)
         branch_lengths = np.asarray(branch_lengths, dtype=float)
         if len(matrix_indices) != branch_lengths.size:
             raise ValueError("matrix index and branch length counts differ")
@@ -297,15 +397,63 @@ class BaseImplementation(abc.ABC):
                     )
                 for idx in deriv:
                     self._check_matrix(idx)
-        self._compute_matrices(eigen, matrix_indices, branch_lengths)
-        if first_derivative_indices or second_derivative_indices:
-            self._compute_derivative_matrices(
+        return eigen
+
+    def _compute_matrices_cached(
+        self,
+        eigen_index: int,
+        eigen: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        matrix_indices: List[int],
+        branch_lengths: np.ndarray,
+    ) -> None:
+        """Serve matrices from the memo cache, computing only the misses.
+
+        Duplicate target indices within one call bypass the cache: the
+        eager semantics are last-write-wins per buffer, and interleaving
+        hits with misses would reorder the installs.
+        """
+        cache = self._matrix_cache
+        if cache.capacity <= 0 or len(set(matrix_indices)) != len(
+            matrix_indices
+        ):
+            self._compute_matrices(eigen, matrix_indices, branch_lengths)
+            return
+        eigen_version = self._eigen_versions[eigen_index]
+
+        def cache_key(t: float) -> tuple:
+            return (eigen_index, eigen_version, self._rates_version, t)
+
+        missing: List[int] = []
+        for pos, idx in enumerate(matrix_indices):
+            cached = cache.get(cache_key(float(branch_lengths[pos])))
+            if cached is not None:
+                self._install_matrix(idx, cached)
+            else:
+                missing.append(pos)
+        if missing:
+            self._compute_matrices(
                 eigen,
-                matrix_indices,
-                branch_lengths,
-                first_derivative_indices,
-                second_derivative_indices,
+                [matrix_indices[p] for p in missing],
+                np.asarray([float(branch_lengths[p]) for p in missing]),
             )
+            for pos in missing:
+                idx = matrix_indices[pos]
+                cache.put(
+                    cache_key(float(branch_lengths[pos])),
+                    np.array(self._matrices[idx]),
+                )
+
+    def _install_matrix(self, index: int, matrices: np.ndarray) -> None:
+        """Install precomputed matrices into a buffer (cache-hit path).
+
+        Accelerated backends override to mirror the host copy onto the
+        device without re-running the matrix kernel.
+        """
+        self._matrices[index] = matrices
+
+    def matrix_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counters for the transition-matrix memo cache."""
+        return self._matrix_cache.stats()
 
     def _compute_derivative_matrices(
         self,
@@ -339,6 +487,62 @@ class BaseImplementation(abc.ABC):
         for op in ops:
             self._validate_operation(op)
         self._execute_operations(ops)
+
+    def execute_plan(self, plan: ExecutionPlan) -> Dict[int, float]:
+        """Replay a recorded :class:`ExecutionPlan` level by level.
+
+        Nodes within one level are mutually independent, so each level's
+        partials operations go through :meth:`_execute_level` as a
+        single batch — the hook threaded and accelerated backends
+        override to exploit tree-level concurrency.  Returns a mapping
+        of plan-node index to log-likelihood for every recorded root or
+        edge likelihood request.
+        """
+        results: Dict[int, float] = {}
+        for level in plan.levels():
+            level_ops: List[Operation] = []
+            for node in level:
+                payload = node.payload
+                if isinstance(payload, MatrixUpdate):
+                    self.update_transition_matrices(
+                        payload.eigen_index,
+                        list(payload.matrix_indices),
+                        list(payload.branch_lengths),
+                        payload.first_derivative_indices,
+                        payload.second_derivative_indices,
+                    )
+                elif isinstance(payload, Operation):
+                    self._validate_operation(payload)
+                    level_ops.append(payload)
+            if level_ops:
+                self._execute_level(level_ops)
+            for node in level:
+                payload = node.payload
+                if isinstance(payload, RootLikelihoodRequest):
+                    results[node.index] = self.calculate_root_log_likelihoods(
+                        payload.buffer_index,
+                        payload.category_weights_index,
+                        payload.state_frequencies_index,
+                        payload.cumulative_scale_index,
+                    )
+                elif isinstance(payload, EdgeLikelihoodRequest):
+                    results[node.index] = self.calculate_edge_log_likelihoods(
+                        payload.parent_index,
+                        payload.child_index,
+                        payload.matrix_index,
+                        payload.category_weights_index,
+                        payload.state_frequencies_index,
+                        payload.cumulative_scale_index,
+                    )
+        return results
+
+    def _execute_level(self, operations: List[Operation]) -> None:
+        """Run one level of mutually independent, validated operations.
+
+        The default replays the existing per-call path; backends with
+        real concurrency override this to fan the whole level out.
+        """
+        self._execute_operations(list(operations))
 
     def _validate_operation(self, op: Operation) -> None:
         self._check_buffer(op.destination)

@@ -55,6 +55,22 @@ def operations_use_scaling(operations: Sequence[Operation]) -> bool:
     )
 
 
+def apply_level_scaling(impl, operations: Sequence[Operation]) -> None:
+    """Apply each operation's scaling after a level's raw partials exist.
+
+    Operations in one :class:`~repro.core.plan.ExecutionPlan` level are
+    mutually independent — no operation reads another's destination or
+    scale buffer — so the raw pattern-sliced results can be computed with
+    no barriers and the scaling post-pass applied per destination
+    afterwards, exactly reproducing the eager per-operation ordering.
+    """
+    for op in operations:
+        if op.write_scale != OP_NONE or op.read_scale != OP_NONE:
+            impl._partials[op.destination] = impl._apply_scaling(
+                op, impl._partials[op.destination]
+            )
+
+
 def dependency_levels(operations: Sequence[Operation]) -> List[List[Operation]]:
     """Group an ordered operation list into independence levels.
 

@@ -68,3 +68,20 @@ class CPUFuturesImplementation(BaseImplementation):
                 done, _ = wait(futures)
                 for f in done:
                     f.result()  # re-raise worker exceptions
+
+    def _execute_level(self, operations: List[Operation]) -> None:
+        """One asynchronous task per operation of an already-level-grouped
+        batch — the plan layer has done the dependency analysis, so no
+        further level computation is needed here."""
+        if len(operations) == 1 or self.thread_count == 1:
+            for op in operations:
+                self._compute_operation(op)
+            return
+        with ThreadPoolExecutor(max_workers=self.thread_count) as pool:
+            futures = [
+                pool.submit(self._compute_operation, op)
+                for op in operations
+            ]
+            done, _ = wait(futures)
+            for f in done:
+                f.result()

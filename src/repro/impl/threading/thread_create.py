@@ -28,6 +28,7 @@ from repro.impl.base import BaseImplementation
 from repro.impl.cpu_sse import compute_operation_slice
 from repro.impl.threading.common import (
     MIN_PATTERNS_FOR_THREADING,
+    apply_level_scaling,
     default_thread_count,
     operations_use_scaling,
     pattern_slices,
@@ -113,3 +114,29 @@ class CPUThreadCreateImplementation(BaseImplementation):
                 )
 
         self._run_in_fresh_threads(worker, len(slices), slices)
+
+    def _execute_level(self, operations: List[Operation]) -> None:
+        """Run one plan level with a single spawn/join of fresh threads.
+
+        Level operations are mutually independent, so each worker can
+        stream its pattern slice through the whole level with no
+        barriers — even when scaling is in play, since no operation
+        reads another level-mate's destination or scale buffer; the
+        scaling post-pass runs after the join.
+        """
+        if (
+            self.config.pattern_count < MIN_PATTERNS_FOR_THREADING
+            or self.thread_count == 1
+        ):
+            self._execute_operations(list(operations))
+            return
+        slices = pattern_slices(self.config.pattern_count, self.thread_count)
+
+        def worker(sl):
+            for op in operations:
+                self._partials[op.destination][:, sl] = (
+                    compute_operation_slice(self, op, sl)
+                )
+
+        self._run_in_fresh_threads(worker, len(slices), slices)
+        apply_level_scaling(self, operations)

@@ -31,6 +31,7 @@ from repro.impl.base import BaseImplementation
 from repro.impl.cpu_sse import compute_operation_slice
 from repro.impl.threading.common import (
     MIN_PATTERNS_FOR_THREADING,
+    apply_level_scaling,
     default_thread_count,
     operations_use_scaling,
     pattern_slices,
@@ -116,6 +117,33 @@ class CPUThreadPoolImplementation(BaseImplementation):
                 )
 
         self._map_slices(worker, slices)
+
+    def _execute_level(self, operations: List[Operation]) -> None:
+        """Fan a whole plan level across the pool: op × pattern-slice.
+
+        This is the paper's futures + thread-pool hybrid — tree-level
+        concurrency (the level's operations are mutually independent)
+        multiplied by pattern-level concurrency (each operation split
+        into slices), all submitted as one wave with a single join.
+        """
+        if not self._threading_active or len(operations) == 1:
+            self._execute_operations(list(operations))
+            return
+        slices = pattern_slices(self.config.pattern_count, self.thread_count)
+
+        def worker(op, sl):
+            self._partials[op.destination][:, sl] = (
+                compute_operation_slice(self, op, sl)
+            )
+
+        futures = [
+            self.pool.submit(worker, op, sl)
+            for op in operations
+            for sl in slices
+        ]
+        for f in futures:
+            f.result()
+        apply_level_scaling(self, operations)
 
     def _compute_root(
         self,

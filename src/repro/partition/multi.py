@@ -42,6 +42,7 @@ class PartitionedLikelihood:
         alignment: Alignment,
         partitions: Sequence[Partition],
         require_cover: bool = True,
+        deferred: bool = False,
         **shared_instance_kwargs,
     ) -> None:
         validate_partitions(partitions, alignment.n_sites, require_cover)
@@ -52,11 +53,29 @@ class PartitionedLikelihood:
             data = part.extract(alignment)
             kwargs = dict(shared_instance_kwargs)
             kwargs.update(part.instance_kwargs)
+            kwargs.setdefault("deferred", deferred)
             self.components.append(
                 TreeLikelihood(
                     tree, data, part.model, part.site_model, **kwargs
                 )
             )
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        """Switch every partition's instance between eager and deferred."""
+        for component in self.components:
+            component.instance.set_execution_mode(deferred)
+
+    def flush(self) -> None:
+        """Execute any recorded deferred work on every partition."""
+        for component in self.components:
+            component.instance.flush()
+
+    def matrix_cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-partition transition-matrix cache statistics."""
+        return {
+            part.name: component.instance.matrix_cache_stats()
+            for part, component in zip(self.partitions, self.components)
+        }
 
     def log_likelihood(self) -> float:
         return float(sum(c.log_likelihood() for c in self.components))
@@ -139,6 +158,7 @@ class MultiDeviceLikelihood:
         site_model=None,
         device_requests: Optional[Dict[str, Dict]] = None,
         proportions: Optional[Sequence[float]] = None,
+        deferred: bool = False,
     ) -> None:
         if not device_requests:
             raise ValueError("need at least one device request")
@@ -149,12 +169,18 @@ class MultiDeviceLikelihood:
             raise ValueError("one proportion per device request")
         self.labels = labels
         self.chunks = split_pattern_set(data, proportions)
-        self.components = [
-            TreeLikelihood(
-                tree, chunk, model, site_model, **device_requests[label]
+        self.components = []
+        for label, chunk in zip(labels, self.chunks):
+            kwargs = dict(device_requests[label])
+            kwargs.setdefault("deferred", deferred)
+            self.components.append(
+                TreeLikelihood(tree, chunk, model, site_model, **kwargs)
             )
-            for label, chunk in zip(labels, self.chunks)
-        ]
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        """Switch every device instance between eager and deferred."""
+        for component in self.components:
+            component.instance.set_execution_mode(deferred)
 
     def log_likelihood(self) -> float:
         return float(sum(c.log_likelihood() for c in self.components))

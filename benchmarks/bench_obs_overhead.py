@@ -1,0 +1,159 @@
+"""Observability overhead guard: disabled tracing must be free.
+
+The obs subsystem's contract is that an uninstrumented evaluation and an
+instrumented-but-disabled one take the same time — every instrumented
+call path checks ``tracer.enabled`` once and falls through to the plain
+body.  This module measures three configurations of the same workload:
+
+* **baseline** — a :class:`TreeLikelihood` that was never instrumented
+  (the shared ``NULL_TRACER`` singleton);
+* **disabled** — a :class:`repro.Session`, which always attaches a real
+  tracer + registry, with tracing off;
+* **enabled** — the same session with tracing on (spans + metrics).
+
+Run standalone for CI (exits non-zero when the guard fails)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --assert \
+        --jsonl trace-sample.jsonl --metrics-jsonl metrics-sample.jsonl
+
+The JSONL exports come from a traced deferred CUDA evaluation and serve
+as the sample trace artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.core.flags import Flag
+from repro.core.highlevel import TreeLikelihood
+from repro.model import HKY85, SiteModel
+from repro.seq import synthetic_pattern_set
+from repro.session import Session
+from repro.tree import balanced_tree
+from repro.util.tables import format_table
+
+#: Disabled-vs-baseline budget.  The true cost is one attribute load and
+#: one boolean test per API call; the margin absorbs timer noise on
+#: shared CI machines, not real work.
+DISABLED_OVERHEAD_BUDGET = 1.25
+
+
+def _workload(tips: int = 16, patterns: int = 1000, seed: int = 5):
+    tree = balanced_tree(tips, rng=1)
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(tips, patterns, 4, rng=seed)
+    return tree, model, site_model, data
+
+
+def _time_calls(fn, reps: int) -> float:
+    """Median seconds per call over ``reps`` calls (after one warmup)."""
+    fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def measure(reps: int = 15, tips: int = 16, patterns: int = 1000):
+    """Return ``{configuration: median_seconds_per_call}``."""
+    tree, model, site_model, data = _workload(tips, patterns)
+
+    results = {}
+    with TreeLikelihood(
+        tree, data, model, site_model,
+        requirement_flags=Flag.VECTOR_NONE,
+    ) as tl:
+        results["baseline"] = _time_calls(tl.log_likelihood, reps)
+
+    with Session(
+        data, tree, model, site_model, backend="cpu-serial", trace=False
+    ) as s:
+        results["disabled"] = _time_calls(s.log_likelihood, reps)
+
+    with Session(
+        data, tree, model, site_model, backend="cpu-serial", trace=True
+    ) as s:
+        results["enabled"] = _time_calls(s.log_likelihood, reps)
+
+    return results
+
+
+def export_sample_trace(jsonl_path: str, metrics_path: str = None) -> int:
+    """Write a traced deferred CUDA evaluation's spans (and metrics)."""
+    tree, model, site_model, data = _workload()
+    with Session(
+        data, tree, model, site_model,
+        backend="cuda", deferred=True, trace=True,
+    ) as s:
+        s.log_likelihood()
+        n = s.tracer.to_jsonl(jsonl_path)
+        if metrics_path:
+            s.metrics.to_jsonl(metrics_path)
+    return n
+
+
+def overhead_table(results) -> str:
+    base = results["baseline"]
+    rows = [
+        [name, f"{seconds * 1e3:.3f}", f"{seconds / base:.3f}x"]
+        for name, seconds in results.items()
+    ]
+    return format_table(
+        ["configuration", "ms/call", "vs baseline"], rows,
+        title="Observability overhead (CPU-serial log-likelihood)",
+    )
+
+
+def test_disabled_tracing_overhead(record):
+    """Tier-2 guard: the disabled-tracer path stays within budget."""
+    results = measure(reps=9, patterns=500)
+    record("obs_overhead", overhead_table(results))
+    ratio = results["disabled"] / results["baseline"]
+    assert ratio < DISABLED_OVERHEAD_BUDGET, (
+        f"disabled tracing costs {ratio:.2f}x baseline "
+        f"(budget {DISABLED_OVERHEAD_BUDGET}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure observability overhead and export sample traces"
+    )
+    parser.add_argument("--reps", type=int, default=15)
+    parser.add_argument("--patterns", type=int, default=1000)
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 if disabled tracing exceeds the overhead budget",
+    )
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="export a sample span stream (deferred CUDA run)")
+    parser.add_argument("--metrics-jsonl", metavar="PATH",
+                        help="export the matching metrics snapshot")
+    args = parser.parse_args(argv)
+
+    results = measure(reps=args.reps, patterns=args.patterns)
+    print(overhead_table(results))
+    ratio = results["disabled"] / results["baseline"]
+    print(f"\ndisabled/baseline ratio: {ratio:.3f} "
+          f"(budget {DISABLED_OVERHEAD_BUDGET})")
+
+    if args.jsonl:
+        n = export_sample_trace(args.jsonl, args.metrics_jsonl)
+        print(f"wrote {n} sample spans to {args.jsonl}")
+        if args.metrics_jsonl:
+            print(f"wrote metrics snapshot to {args.metrics_jsonl}")
+
+    if args.check and ratio >= DISABLED_OVERHEAD_BUDGET:
+        print("FAIL: disabled tracing is not free", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ Run:  python examples/partitioned_analysis.py
 
 import numpy as np
 
-from repro import Flag, HKY85, SiteModel, TreeLikelihood
+from repro import Flag, HKY85, Session, SiteModel
 from repro.model import GTR, JC69
 from repro.partition import (
     MultiDeviceLikelihood,
@@ -78,8 +78,8 @@ def main() -> None:
             title="2. subsets on different hardware",
         ))
         joint = pl.log_likelihood()
-    with TreeLikelihood(tree, compress_patterns(aln), shared, sm) as tl:
-        single = tl.log_likelihood()
+    with Session(aln, tree, shared, sm) as s:
+        single = s.log_likelihood()
     assert np.isclose(joint, single, rtol=1e-9)
     print(f"joint = {joint:.4f} == single instance = {single:.4f}\n")
 

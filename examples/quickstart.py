@@ -1,28 +1,26 @@
 """Quickstart: compute a phylogenetic likelihood on several backends.
 
 Simulates a nucleotide alignment down a random tree, evaluates its
-log-likelihood through the high-level API, and shows that every
-implementation — serial, vectorised, threaded, and the simulated
-CUDA/OpenCL accelerators — returns the same answer.
+log-likelihood through the :class:`repro.Session` façade on every
+backend — serial, vectorised, threaded, and the simulated CUDA/OpenCL
+accelerators — and shows that they all return the same answer.  The
+final (CUDA) session runs with tracing enabled to show the span tree
+and metrics the observability layer records.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Flag, HKY85, SiteModel, TreeLikelihood
+from repro import HKY85, Session, SiteModel
 from repro.seq import simulate_patterns
 from repro.tree import yule_tree
 
 BACKENDS = [
-    ("CPU serial", dict(requirement_flags=Flag.VECTOR_NONE)),
-    ("CPU vectorised", dict(requirement_flags=Flag.VECTOR_SSE,
-                            preference_flags=Flag.THREADING_NONE)),
-    ("C++-style threads", dict(requirement_flags=Flag.THREADING_CPP)),
-    ("CUDA (simulated Quadro P5000)",
-     dict(requirement_flags=Flag.FRAMEWORK_CUDA)),
-    ("OpenCL GPU (simulated)",
-     dict(requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU)),
-    ("OpenCL x86 (simulated dual Xeon)",
-     dict(requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU)),
+    ("CPU serial", "cpu-serial"),
+    ("CPU vectorised", "cpu-sse"),
+    ("C++-style threads", "cpp-threads"),
+    ("OpenCL GPU (simulated)", "opencl-gpu"),
+    ("OpenCL x86 (simulated dual Xeon)", "opencl-x86"),
+    ("CUDA (simulated Quadro P5000)", "cuda"),
 ]
 
 
@@ -38,10 +36,14 @@ def main() -> None:
     )
 
     reference = None
-    for label, flags in BACKENDS:
-        with TreeLikelihood(tree, data, model, site_model, **flags) as tl:
-            value = tl.log_likelihood()
-            details = tl.instance.details
+    for label, backend in BACKENDS:
+        trace = backend == "cuda"  # profile the last one
+        with Session(
+            data, tree, model, site_model, backend=backend,
+            deferred=trace, trace=trace,
+        ) as session:
+            value = session.log_likelihood()
+            details = session.resource
             print(
                 f"{label:<34} {details.implementation_name:<14} "
                 f"on {details.resource_name:<26} logL = {value:.6f}"
@@ -50,7 +52,13 @@ def main() -> None:
                 reference = value
             else:
                 assert abs(value - reference) < 1e-6 * abs(reference)
-    print("\nall backends agree.")
+            if trace:
+                print("\nall backends agree.\n")
+                print("— traced CUDA evaluation (deferred plan) —")
+                print(session.span_tree())
+                launches = session.metrics.get("kernel.launches")
+                fused = session.metrics.get("accel.fused_level_size")
+                print(f"{launches!r}\n{fused!r}")
 
 
 if __name__ == "__main__":

@@ -7,15 +7,17 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 Quick start::
 
-    from repro import TreeLikelihood, HKY85, SiteModel
+    from repro import Session, HKY85, SiteModel
     from repro.tree import yule_tree
     from repro.seq import simulate_patterns
 
     tree = yule_tree(16, rng=1)
     model = HKY85(kappa=2.0)
     data = simulate_patterns(tree, model, 1000, rng=2)
-    with TreeLikelihood(tree, data, model, SiteModel.gamma(0.5)) as tl:
-        print(tl.log_likelihood())
+    with Session(data, tree, model, SiteModel.gamma(0.5),
+                 backend="cuda", trace=True) as s:
+        print(s.log_likelihood())
+        print(s.span_tree())
 """
 
 from repro.core import (
@@ -29,6 +31,7 @@ from repro.core import (
     create_instance,
     default_manager,
 )
+from repro.core.plan import ExecutionPlan
 from repro.model import (
     GTR,
     GY94,
@@ -39,6 +42,8 @@ from repro.model import (
     SiteModel,
     SubstitutionModel,
 )
+from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
+from repro.session import BACKEND_FLAGS, Session, backend_flags
 
 __version__ = "1.0.0"
 
@@ -46,7 +51,15 @@ __all__ = [
     "__version__",
     "BeagleInstance",
     "create_instance",
+    "Session",
+    "BACKEND_FLAGS",
+    "backend_flags",
     "TreeLikelihood",
+    "ExecutionPlan",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "MetricsRegistry",
     "Flag",
     "ReturnCode",
     "Operation",

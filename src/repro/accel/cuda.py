@@ -354,7 +354,7 @@ class CudaInterface(HardwareInterface):
     def view(self, handle: CudaBuffer) -> np.ndarray:
         return self.ctx.device_view(handle.dptr, handle.shape, handle.dtype)
 
-    def launch(self, kernel_name, args, geometry, cost) -> None:
+    def _launch_impl(self, kernel_name, args, geometry, cost) -> None:
         config = self.kernel_config
         resolved = [
             self.view(a) if isinstance(a, CudaBuffer) else a for a in args

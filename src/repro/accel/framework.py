@@ -27,6 +27,7 @@ import numpy as np
 from repro.accel.device import DeviceSpec
 from repro.accel.kernelgen import KernelConfig
 from repro.accel.perfmodel import KernelCost, SimulatedClock
+from repro.obs import NULL_TRACER
 
 #: Host-device interconnect model (PCIe gen3 x16 effective).
 PCIE_BANDWIDTH_GBS = 12.0
@@ -73,6 +74,11 @@ class HardwareInterface(abc.ABC):
         self.device = device
         self.clock = SimulatedClock()
         self._kernel_config: Optional[KernelConfig] = None
+        # Observability: set by AcceleratedImplementation.instrument so
+        # every kernel launch emits a "launch" span and counters.  The
+        # null tracer keeps the uninstrumented cost to one branch.
+        self.tracer = NULL_TRACER
+        self.metrics = None
 
     # -- program management ------------------------------------------------
 
@@ -120,7 +126,6 @@ class HardwareInterface(abc.ABC):
 
     # -- execution -----------------------------------------------------------
 
-    @abc.abstractmethod
     def launch(
         self,
         kernel_name: str,
@@ -128,7 +133,44 @@ class HardwareInterface(abc.ABC):
         geometry: LaunchGeometry,
         cost: KernelCost,
     ) -> None:
-        """Execute a kernel and advance the simulated clock."""
+        """Execute a kernel and advance the simulated clock.
+
+        This is the single instrumented choke point for accelerator
+        work: when a tracer is attached, every launch emits a ``launch``
+        span (the leaves of the plan -> level -> launch tree) with the
+        kernel name, geometry, modelled flops, and simulated device time,
+        and bumps the launch counters.  Framework-specific dispatch lives
+        in :meth:`_launch_impl`.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._launch_impl(kernel_name, args, geometry, cost)
+            return
+        t0 = self.clock.elapsed
+        with tracer.span(
+            kernel_name,
+            kind="launch",
+            framework=self.framework_name,
+            flops=cost.flops,
+            n_workgroups=geometry.n_workgroups,
+        ) as span:
+            self._launch_impl(kernel_name, args, geometry, cost)
+            span.attrs["simulated_s"] = self.clock.elapsed - t0
+        if self.metrics is not None:
+            self.metrics.counter("kernel.launches").inc()
+            self.metrics.counter("kernel.simulated_seconds").inc(
+                self.clock.elapsed - t0
+            )
+
+    @abc.abstractmethod
+    def _launch_impl(
+        self,
+        kernel_name: str,
+        args: Sequence[Any],
+        geometry: LaunchGeometry,
+        cost: KernelCost,
+    ) -> None:
+        """Framework-specific kernel dispatch (advances the clock)."""
 
     def launch_batch(
         self,

@@ -432,7 +432,7 @@ class OpenCLInterface(HardwareInterface):
     def view(self, handle: CLMem) -> np.ndarray:
         return handle.array()
 
-    def launch(self, kernel_name, args, geometry, cost) -> None:
+    def _launch_impl(self, kernel_name, args, geometry, cost) -> None:
         config = self.kernel_config
         self.queue.enqueueNDRangeKernel(
             self._kernel(kernel_name),

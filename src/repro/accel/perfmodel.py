@@ -51,6 +51,30 @@ SOFTMAX_P = 2.0
 FIG4_SERIAL_BASELINE_GFLOPS = {4: 7.67, 61: 5.23}
 
 
+def effective_gflops(
+    n_operations: int,
+    pattern_count: int,
+    state_count: int,
+    category_count: int,
+    seconds: float,
+) -> float:
+    """Effective partials throughput per the paper's section V-A accounting.
+
+    The genomictest methodology rates a run by useful partials arithmetic
+    only — ``n_ops * patterns * categories * partials_flops(states)`` —
+    divided by wall time, so the number is comparable across backends
+    regardless of launch overheads or padding.  Returns 0 for
+    non-positive durations (an un-timed or clock-resolution-limited call).
+    """
+    if seconds <= 0.0:
+        return 0.0
+    flops = (
+        n_operations * pattern_count * category_count
+        * partials_flops(state_count)
+    )
+    return flops / seconds / 1e9
+
+
 class SimulatedClock:
     """Accumulates simulated device time, in seconds.
 

@@ -1,4 +1,4 @@
-"""Command-line tools: resource survey and experiment regeneration.
+"""Command-line tools: resource survey, experiments, and tracing.
 
 ``pybeagle-info`` mirrors BEAGLE's resource-listing utility: it
 enumerates the simulated hardware catalog with capability flags, shows
@@ -7,6 +7,11 @@ dump a generated kernel program.
 
 ``pybeagle-experiments`` regenerates every paper table/figure through
 :mod:`repro.bench.harness` (the same code the benchmark suite runs).
+
+``pybeagle-trace`` runs a synthetic likelihood workload with the
+:mod:`repro.obs` tracer enabled and prints the span tree, the hottest
+operations, and the metrics snapshot — the quickest way to see where a
+configuration spends its time.
 """
 
 from __future__ import annotations
@@ -144,6 +149,106 @@ def experiments_main(argv: Optional[List[str]] = None) -> int:
                     result, log_x=not linear, log_y=not linear,
                 ))
         print()
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-trace",
+        description="Run a traced likelihood workload and profile it",
+    )
+    parser.add_argument(
+        "--backend", default="auto",
+        help="backend name (auto, cpu-serial, cpu-sse, cpp-threads, "
+             "opencl-x86, opencl-gpu, cuda)",
+    )
+    parser.add_argument("--taxa", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=1000)
+    parser.add_argument("--states", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="likelihood evaluations to run")
+    parser.add_argument(
+        "--deferred", action="store_true",
+        help="record operations into an execution plan (fused levels)",
+    )
+    parser.add_argument("--top", type=int, default=5,
+                        help="hottest span names to list")
+    parser.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also export the span stream as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-jsonl", metavar="PATH",
+        help="also export the metrics snapshot as JSON lines",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.model import GTR, HKY85
+    from repro.seq.simulate import synthetic_pattern_set
+    from repro.session import Session, backend_flags
+    from repro.tree.generate import yule_tree
+
+    try:
+        backend_flags(args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    tree = yule_tree(args.taxa, rng=args.seed)
+    data = synthetic_pattern_set(
+        args.taxa, args.patterns, args.states, rng=args.seed + 1
+    )
+    if args.states == 4:
+        model = HKY85(kappa=2.0)
+    else:
+        import numpy as np
+
+        rng = np.random.default_rng(args.seed)
+        n = args.states
+        rates = rng.uniform(0.5, 2.0, n * (n - 1) // 2)
+        freqs = rng.dirichlet(np.full(n, 10.0))
+        model = GTR(rates, freqs) if n == 4 else None
+    if model is None:
+        print("only --states 4 is supported", file=sys.stderr)
+        return 2
+
+    backend = None if args.backend == "auto" else args.backend
+    with Session(
+        data, tree, model, backend=backend,
+        deferred=args.deferred, trace=True,
+    ) as session:
+        for rep in range(args.reps):
+            if rep == args.reps - 1:
+                # Show (and export) only the final evaluation's spans;
+                # metrics keep accumulating across all reps.
+                session.tracer.clear()
+            logl = session.log_likelihood()
+
+        print(f"backend:        {session.resource.implementation_name}")
+        print(f"resource:       {session.resource.resource_name}")
+        print(f"log-likelihood: {logl:.6f}")
+        print()
+        print("— span tree (last evaluation) —")
+        print(session.span_tree())
+        print("— hottest operations —")
+        for row in session.hottest(args.top):
+            print(
+                f"  {row['name']:<28s} {row['kind']:<7s} "
+                f"calls={row['calls']:<5d} total={row['total_s'] * 1e3:9.3f} ms "
+                f"mean={row['mean_s'] * 1e3:9.3f} ms"
+            )
+        print()
+        print("— metrics —")
+        for name in session.metrics.names():
+            print(f"  {session.metrics.get(name)!r}")
+
+        if args.jsonl:
+            n = session.tracer.to_jsonl(args.jsonl)
+            print(f"\nwrote {n} spans to {args.jsonl}")
+        if args.metrics_jsonl:
+            session.metrics.to_jsonl(args.metrics_jsonl)
+            print(f"wrote metrics snapshot to {args.metrics_jsonl}")
     return 0
 
 

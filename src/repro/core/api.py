@@ -9,6 +9,8 @@ in a process-wide handle table.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +23,9 @@ from repro.util.errors import BeagleError
 
 _instances: Dict[int, BeagleInstance] = {}
 _next_handle = 0
+#: Guards the handle counter and table: ``beagle_create_instance`` /
+#: ``beagle_finalize_instance`` may race from concurrent client threads.
+_handle_lock = threading.Lock()
 
 #: Message of the most recent failed ``beagle_*`` call (cleared on the
 #: next success).  The C API only returns integer codes; this mirrors
@@ -38,20 +43,32 @@ def beagle_get_last_error_message() -> Optional[str]:
     return _last_error_message
 
 
-def _wrap(fn) -> int:
-    """Run ``fn`` and translate exceptions to BEAGLE error codes."""
+def _record_failure(name: str, exc: BaseException) -> int:
+    """Record a failed ``beagle_*`` call and map it to an error code.
+
+    Every error funnels through here so the message format — which call
+    failed, the exception class, the detail — is uniform across the API.
+    """
+    global _last_error_message
+    _last_error_message = f"{name}: {type(exc).__name__}: {exc}"
+    if isinstance(exc, BeagleError):
+        return int(exc.code)
+    if isinstance(exc, (ValueError, IndexError, KeyError)):
+        return int(ReturnCode.ERROR_OUT_OF_RANGE)
+    return int(ReturnCode.ERROR_UNIDENTIFIED_EXCEPTION)
+
+
+def _wrap(name: str, fn) -> int:
+    """Run ``fn`` and translate exceptions to BEAGLE error codes.
+
+    ``name`` is the ``beagle_*`` call being serviced; it is recorded in
+    :func:`beagle_get_last_error_message` on failure.
+    """
     global _last_error_message
     try:
         fn()
-    except BeagleError as exc:
-        _last_error_message = f"{type(exc).__name__}: {exc}"
-        return int(exc.code)
-    except (ValueError, IndexError, KeyError) as exc:
-        _last_error_message = f"{type(exc).__name__}: {exc}"
-        return int(ReturnCode.ERROR_OUT_OF_RANGE)
     except Exception as exc:
-        _last_error_message = f"{type(exc).__name__}: {exc}"
-        return int(ReturnCode.ERROR_UNIDENTIFIED_EXCEPTION)
+        return _record_failure(name, exc)
     _last_error_message = None
     return int(ReturnCode.SUCCESS)
 
@@ -81,12 +98,27 @@ def beagle_create_instance(
     resource_list: Optional[Sequence[int]] = None,
     preference_flags: Flag = Flag(0),
     requirement_flags: Flag = Flag(0),
+    resource_ids: Optional[Sequence[int]] = None,
 ) -> Tuple[int, Optional[InstanceDetails]]:
     """``beagleCreateInstance``: returns ``(handle, details)``.
 
-    A negative handle is an error code, as in the C API.
+    A negative handle is an error code, as in the C API.  The canonical
+    spelling for the resource selection here is ``resource_list`` (as in
+    ``beagle.h``); ``resource_ids`` is a deprecated alias kept for
+    symmetry with :func:`repro.core.instance.create_instance`.
     """
     global _next_handle, _last_error_message
+    if resource_ids is not None:
+        if resource_list is not None:
+            exc = ValueError("pass resource_list or resource_ids, not both")
+            return _record_failure("beagle_create_instance", exc), None
+        warnings.warn(
+            "beagle_create_instance(resource_ids=...) is deprecated; "
+            "use resource_list=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        resource_list = resource_ids
     precision = (
         "single"
         if (requirement_flags & Flag.PRECISION_SINGLE)
@@ -111,16 +143,13 @@ def beagle_create_instance(
             ),
             precision=precision,
         )
-    except BeagleError as exc:
-        _last_error_message = f"{type(exc).__name__}: {exc}"
-        return int(exc.code), None
-    except (ValueError, IndexError) as exc:
-        _last_error_message = f"{type(exc).__name__}: {exc}"
-        return int(ReturnCode.ERROR_OUT_OF_RANGE), None
+    except (BeagleError, ValueError, IndexError) as exc:
+        return _record_failure("beagle_create_instance", exc), None
     _last_error_message = None
-    handle = _next_handle
-    _next_handle += 1
-    _instances[handle] = inst
+    with _handle_lock:
+        handle = _next_handle
+        _next_handle += 1
+        _instances[handle] = inst
     return handle, inst.details
 
 
@@ -128,24 +157,26 @@ def beagle_finalize_instance(instance: int) -> int:
     """``beagleFinalizeInstance``."""
 
     def go():
-        _get(instance).finalize()
-        del _instances[instance]
+        with _handle_lock:
+            inst = _get(instance)
+            del _instances[instance]
+        inst.finalize()
 
-    return _wrap(go)
+    return _wrap("beagle_finalize_instance", go)
 
 
 def beagle_set_tip_states(instance: int, tip_index: int, states) -> int:
-    return _wrap(lambda: _get(instance).set_tip_states(
+    return _wrap("beagle_set_tip_states", lambda: _get(instance).set_tip_states(
         tip_index, np.asarray(states, dtype=np.int32)))
 
 
 def beagle_set_tip_partials(instance: int, tip_index: int, partials) -> int:
-    return _wrap(lambda: _get(instance).set_tip_partials(
+    return _wrap("beagle_set_tip_partials", lambda: _get(instance).set_tip_partials(
         tip_index, np.asarray(partials)))
 
 
 def beagle_set_partials(instance: int, buffer_index: int, partials) -> int:
-    return _wrap(lambda: _get(instance).set_partials(
+    return _wrap("beagle_set_partials", lambda: _get(instance).set_partials(
         buffer_index, np.asarray(partials)))
 
 
@@ -153,7 +184,7 @@ def beagle_get_partials(instance: int, buffer_index: int, out: np.ndarray) -> in
     def go():
         out[...] = _get(instance).get_partials(buffer_index)
 
-    return _wrap(go)
+    return _wrap("beagle_get_partials", go)
 
 
 def beagle_set_eigen_decomposition(
@@ -163,7 +194,7 @@ def beagle_set_eigen_decomposition(
     inverse_eigenvectors,
     eigenvalues,
 ) -> int:
-    return _wrap(lambda: _get(instance).set_eigen_decomposition(
+    return _wrap("beagle_set_eigen_decomposition", lambda: _get(instance).set_eigen_decomposition(
         eigen_index,
         np.asarray(eigenvectors),
         np.asarray(inverse_eigenvectors),
@@ -172,24 +203,24 @@ def beagle_set_eigen_decomposition(
 
 
 def beagle_set_category_rates(instance: int, rates) -> int:
-    return _wrap(lambda: _get(instance).set_category_rates(rates))
+    return _wrap("beagle_set_category_rates", lambda: _get(instance).set_category_rates(rates))
 
 
 def beagle_set_category_weights(instance: int, index: int, weights) -> int:
-    return _wrap(lambda: _get(instance).set_category_weights(index, weights))
+    return _wrap("beagle_set_category_weights", lambda: _get(instance).set_category_weights(index, weights))
 
 
 def beagle_set_state_frequencies(instance: int, index: int, frequencies) -> int:
-    return _wrap(lambda: _get(instance).set_state_frequencies(
+    return _wrap("beagle_set_state_frequencies", lambda: _get(instance).set_state_frequencies(
         index, frequencies))
 
 
 def beagle_set_pattern_weights(instance: int, weights) -> int:
-    return _wrap(lambda: _get(instance).set_pattern_weights(weights))
+    return _wrap("beagle_set_pattern_weights", lambda: _get(instance).set_pattern_weights(weights))
 
 
 def beagle_set_transition_matrix(instance: int, index: int, matrix) -> int:
-    return _wrap(lambda: _get(instance).set_transition_matrix(
+    return _wrap("beagle_set_transition_matrix", lambda: _get(instance).set_transition_matrix(
         index, np.asarray(matrix)))
 
 
@@ -201,7 +232,7 @@ def beagle_update_transition_matrices(
     first_derivative_indices: Optional[Sequence[int]] = None,
     second_derivative_indices: Optional[Sequence[int]] = None,
 ) -> int:
-    return _wrap(lambda: _get(instance).update_transition_matrices(
+    return _wrap("beagle_update_transition_matrices", lambda: _get(instance).update_transition_matrices(
         eigen_index, probability_indices, edge_lengths,
         first_derivative_indices, second_derivative_indices))
 
@@ -210,7 +241,7 @@ def beagle_get_transition_matrix(instance: int, index: int, out: np.ndarray) -> 
     def go():
         out[...] = _get(instance).get_transition_matrix(index)
 
-    return _wrap(go)
+    return _wrap("beagle_get_transition_matrix", go)
 
 
 def beagle_get_scale_factors(instance: int, index: int, out: np.ndarray) -> int:
@@ -219,7 +250,7 @@ def beagle_get_scale_factors(instance: int, index: int, out: np.ndarray) -> int:
     def go():
         out[...] = _get(instance).impl.get_scale_factors(index)
 
-    return _wrap(go)
+    return _wrap("beagle_get_scale_factors", go)
 
 
 def beagle_calculate_edge_derivatives(
@@ -255,7 +286,7 @@ def beagle_calculate_edge_derivatives(
         out_sum_first_derivative[0] = d1
         out_sum_second_derivative[0] = d2
 
-    return _wrap(go)
+    return _wrap("beagle_calculate_edge_derivatives", go)
 
 
 def beagle_update_partials(
@@ -289,18 +320,18 @@ def beagle_update_partials(
             )
         _get(instance).update_partials(ops)
 
-    return _wrap(go)
+    return _wrap("beagle_update_partials", go)
 
 
 def beagle_accumulate_scale_factors(
     instance: int, scale_indices: Sequence[int], cumulative_scale_index: int
 ) -> int:
-    return _wrap(lambda: _get(instance).accumulate_scale_factors(
+    return _wrap("beagle_accumulate_scale_factors", lambda: _get(instance).accumulate_scale_factors(
         scale_indices, cumulative_scale_index))
 
 
 def beagle_reset_scale_factors(instance: int, cumulative_scale_index: int) -> int:
-    return _wrap(lambda: _get(instance).reset_scale_factors(
+    return _wrap("beagle_reset_scale_factors", lambda: _get(instance).reset_scale_factors(
         cumulative_scale_index))
 
 
@@ -328,7 +359,7 @@ def beagle_calculate_root_log_likelihoods(
             cumulative_scale_indices[0],
         )
 
-    return _wrap(go)
+    return _wrap("beagle_calculate_root_log_likelihoods", go)
 
 
 def beagle_calculate_edge_log_likelihoods(
@@ -353,14 +384,14 @@ def beagle_calculate_edge_log_likelihoods(
             cumulative_scale_indices[0],
         )
 
-    return _wrap(go)
+    return _wrap("beagle_calculate_edge_log_likelihoods", go)
 
 
 def beagle_get_site_log_likelihoods(instance: int, out: np.ndarray) -> int:
     def go():
         out[...] = _get(instance).get_site_log_likelihoods()
 
-    return _wrap(go)
+    return _wrap("beagle_get_site_log_likelihoods", go)
 
 
 def beagle_set_execution_mode(instance: int, deferred: bool) -> int:
@@ -370,9 +401,9 @@ def beagle_set_execution_mode(instance: int, deferred: bool) -> int:
     into an execution plan that runs at the next likelihood call or
     :func:`beagle_flush`; results are bit-identical to eager mode.
     """
-    return _wrap(lambda: _get(instance).set_execution_mode(deferred))
+    return _wrap("beagle_set_execution_mode", lambda: _get(instance).set_execution_mode(deferred))
 
 
 def beagle_flush(instance: int) -> int:
     """Execute any recorded deferred work (no-op in eager mode)."""
-    return _wrap(lambda: _get(instance).flush())
+    return _wrap("beagle_flush", lambda: _get(instance).flush())

@@ -177,6 +177,26 @@ class TreeLikelihood:
         self.instance.set_substitution_model(0, model)
         self._matrices_current = False
 
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The instance's tracer (the null tracer until instrumented)."""
+        return self.instance.tracer
+
+    @property
+    def metrics(self):
+        """The instance's metrics registry (``None`` until instrumented)."""
+        return self.instance.metrics
+
+    def instrument(self, tracer=None, metrics=None):
+        """Attach a tracer + metrics registry to the underlying instance."""
+        return self.instance.instrument(tracer, metrics)
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        """Switch the underlying instance between eager and deferred mode."""
+        self.instance.set_execution_mode(deferred)
+
     # -- evaluation ----------------------------------------------------------
 
     def _refresh_matrices(self) -> None:

@@ -8,6 +8,7 @@ pointers).  The C-style functional facade lives in :mod:`repro.core.api`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -68,6 +69,23 @@ class BeagleInstance:
         if self._impl is None:
             raise UninitializedInstanceError("instance was finalized")
         return self._impl
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The implementation's tracer (null until :meth:`instrument`)."""
+        return self.impl.tracer
+
+    @property
+    def metrics(self):
+        """The implementation's metrics registry (``None`` until instrumented)."""
+        return self.impl.metrics
+
+    def instrument(self, tracer=None, metrics=None):
+        """Attach a tracer + metrics registry; see
+        :meth:`repro.impl.base.BaseImplementation.instrument`."""
+        return self.impl.instrument(tracer, metrics)
 
     # -- execution mode ----------------------------------------------------
 
@@ -250,6 +268,35 @@ class BeagleInstance:
         state_frequencies_index: int = 0,
         cumulative_scale_index: int = OP_NONE,
     ) -> float:
+        tracer = self.impl.tracer
+        if not tracer.enabled:
+            return self._root_log_likelihoods_body(
+                buffer_index, category_weights_index,
+                state_frequencies_index, cumulative_scale_index,
+            )
+        c = self.config
+        with tracer.span(
+            "root_log_likelihood",
+            kind="call",
+            backend=self.impl.name,
+            buffer_index=buffer_index,
+            pattern_count=c.pattern_count,
+            deferred=self.deferred,
+        ) as span:
+            value = self._root_log_likelihoods_body(
+                buffer_index, category_weights_index,
+                state_frequencies_index, cumulative_scale_index,
+            )
+        self._record_likelihood_call(span)
+        return value
+
+    def _root_log_likelihoods_body(
+        self,
+        buffer_index: int,
+        category_weights_index: int,
+        state_frequencies_index: int,
+        cumulative_scale_index: int,
+    ) -> float:
         if self._plan is not None:
             node = self._plan.record_root_likelihood(
                 buffer_index,
@@ -265,6 +312,14 @@ class BeagleInstance:
             cumulative_scale_index,
         )
 
+    def _record_likelihood_call(self, span) -> None:
+        metrics = self.impl.metrics
+        metrics.counter("likelihood.calls").inc()
+        if span.duration > 0:
+            metrics.gauge("likelihood.patterns_per_s").set(
+                self.config.pattern_count / span.duration
+            )
+
     def calculate_edge_log_likelihoods(
         self,
         parent_index: int,
@@ -273,6 +328,39 @@ class BeagleInstance:
         category_weights_index: int = 0,
         state_frequencies_index: int = 0,
         cumulative_scale_index: int = OP_NONE,
+    ) -> float:
+        tracer = self.impl.tracer
+        if not tracer.enabled:
+            return self._edge_log_likelihoods_body(
+                parent_index, child_index, matrix_index,
+                category_weights_index, state_frequencies_index,
+                cumulative_scale_index,
+            )
+        with tracer.span(
+            "edge_log_likelihood",
+            kind="call",
+            backend=self.impl.name,
+            parent_index=parent_index,
+            child_index=child_index,
+            pattern_count=self.config.pattern_count,
+            deferred=self.deferred,
+        ) as span:
+            value = self._edge_log_likelihoods_body(
+                parent_index, child_index, matrix_index,
+                category_weights_index, state_frequencies_index,
+                cumulative_scale_index,
+            )
+        self._record_likelihood_call(span)
+        return value
+
+    def _edge_log_likelihoods_body(
+        self,
+        parent_index: int,
+        child_index: int,
+        matrix_index: int,
+        category_weights_index: int,
+        state_frequencies_index: int,
+        cumulative_scale_index: int,
     ) -> float:
         if self._plan is not None:
             node = self._plan.record_edge_likelihood(
@@ -340,9 +428,27 @@ def create_instance(
     precision: str = "double",
     manager: Optional[ResourceManager] = None,
     deferred: bool = False,
+    resource_list: Optional[Sequence[int]] = None,
     **factory_kwargs,
 ) -> BeagleInstance:
-    """Create an instance with ``beagleCreateInstance``'s argument list."""
+    """Create an instance with ``beagleCreateInstance``'s argument list.
+
+    ``resource_list`` is a deprecated alias for ``resource_ids`` (the
+    C-style :func:`repro.core.api.beagle_create_instance` spelling); it
+    still works but warns.
+    """
+    if resource_list is not None:
+        warnings.warn(
+            "create_instance(resource_list=...) is deprecated; use "
+            "resource_ids=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if resource_ids is not None:
+            raise ValueError(
+                "pass only one of resource_ids and resource_list"
+            )
+        resource_ids = resource_list
     config = InstanceConfig(
         tip_count=tip_count,
         partials_buffer_count=partials_buffer_count,

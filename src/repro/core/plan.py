@@ -319,6 +319,24 @@ class ExecutionPlan:
                 out.append(ops)
         return out
 
+    def stats(self) -> Dict[str, object]:
+        """Structured description of the plan, as traced by ``execute_plan``.
+
+        ``level_widths`` counts only partials operations per level (the
+        quantity the fused accelerator launches and the level-width
+        histogram care about); empty levels are omitted from it.
+        """
+        return {
+            "n_nodes": self.n_nodes,
+            "n_operations": self.n_operations,
+            "n_matrix_updates": self.n_matrix_updates,
+            "n_likelihood_requests": self.n_likelihood_requests,
+            "n_levels": len(self.levels()),
+            "level_widths": [
+                len(ops) for ops in self.operation_levels()
+            ],
+        }
+
     def summary(self) -> str:
         """One-line description for logging and progress displays."""
         return (

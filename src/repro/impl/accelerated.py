@@ -112,6 +112,14 @@ class AcceleratedImplementation(BaseImplementation):
         self.name = self._backend_name()
         self.flags = self._backend_flags()
 
+    def instrument(self, tracer=None, metrics=None):
+        """Attach observability and mirror it onto the hardware interface,
+        so every simulated kernel launch emits a ``launch`` span leaf."""
+        tracer, metrics = super().instrument(tracer, metrics)
+        self.interface.tracer = tracer
+        self.interface.metrics = metrics
+        return tracer, metrics
+
     def _backend_name(self) -> str:
         if self.interface.framework_name == "CUDA":
             return "CUDA"
@@ -368,6 +376,10 @@ class AcceleratedImplementation(BaseImplementation):
         tails (rare) still launch per operation afterwards, which is
         valid for the same independence reason.
         """
+        if self._tracer.enabled:
+            self._metrics.histogram("accel.fused_level_size").observe(
+                len(operations)
+            )
         if len(operations) == 1:
             self._compute_operation(operations[0])
             return

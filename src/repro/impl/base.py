@@ -26,6 +26,8 @@ from repro.core.plan import (
     RootLikelihoodRequest,
 )
 from repro.core.types import InstanceConfig, Operation
+from repro.accel.perfmodel import effective_gflops
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.util.errors import (
     BeagleError,
     InvalidIndexError,
@@ -157,6 +159,38 @@ class BaseImplementation(abc.ABC):
         self._matrix_cache = TransitionMatrixCache(self.MATRIX_CACHE_CAPACITY)
         self._eigen_versions = [0] * max(c.eigen_buffer_count, 0)
         self._rates_version = 0
+
+        # Observability: hot paths check `self._tracer.enabled` exactly
+        # once per call, so the default null tracer costs one branch.
+        self._tracer: Tracer = NULL_TRACER
+        self._metrics: Optional[MetricsRegistry] = None
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The attached tracer (the shared null tracer until instrumented)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached metrics registry, or ``None`` until instrumented."""
+        return self._metrics
+
+    def instrument(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> Tuple[Tracer, MetricsRegistry]:
+        """Attach (or create) a tracer and metrics registry.
+
+        Spans and metrics are recorded only while ``tracer.enabled`` is
+        true; toggle it freely to bracket regions of interest.  Returns
+        the attached pair so callers can share them across instances.
+        """
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        return self._tracer, self._metrics
 
     # -- index validation ---------------------------------------------------
 
@@ -353,6 +387,40 @@ class BaseImplementation(abc.ABC):
             first_derivative_indices,
             second_derivative_indices,
         )
+        tracer = self._tracer
+        if not tracer.enabled:
+            self._update_matrices_body(
+                eigen_index, eigen, matrix_indices, branch_lengths,
+                first_derivative_indices, second_derivative_indices,
+            )
+            return
+        cache = self._matrix_cache
+        hits0, misses0 = cache.hits, cache.misses
+        with tracer.span(
+            "update_transition_matrices",
+            kind="call",
+            backend=self.name,
+            eigen_index=eigen_index,
+            n_matrices=len(matrix_indices),
+        ):
+            self._update_matrices_body(
+                eigen_index, eigen, matrix_indices, branch_lengths,
+                first_derivative_indices, second_derivative_indices,
+            )
+        metrics = self._metrics
+        metrics.counter("matrix.updates").inc(len(matrix_indices))
+        metrics.counter("matrix.cache.hits").inc(cache.hits - hits0)
+        metrics.counter("matrix.cache.misses").inc(cache.misses - misses0)
+
+    def _update_matrices_body(
+        self,
+        eigen_index: int,
+        eigen: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        matrix_indices: List[int],
+        branch_lengths: np.ndarray,
+        first_derivative_indices: Optional[Sequence[int]],
+        second_derivative_indices: Optional[Sequence[int]],
+    ) -> None:
         self._compute_matrices_cached(
             eigen_index, eigen, matrix_indices, branch_lengths
         )
@@ -486,7 +554,32 @@ class BaseImplementation(abc.ABC):
         ops = list(operations)
         for op in ops:
             self._validate_operation(op)
-        self._execute_operations(ops)
+        tracer = self._tracer
+        if not tracer.enabled:
+            self._execute_operations(ops)
+            return
+        c = self.config
+        with tracer.span(
+            "update_partials",
+            kind="call",
+            backend=self.name,
+            n_operations=len(ops),
+            pattern_count=c.pattern_count,
+        ) as span:
+            self._execute_operations(ops)
+        metrics = self._metrics
+        metrics.counter("partials.calls").inc()
+        metrics.counter("partials.operations").inc(len(ops))
+        if span.duration > 0 and ops:
+            metrics.gauge("partials.patterns_per_s").set(
+                len(ops) * c.pattern_count / span.duration
+            )
+            metrics.gauge("partials.effective_gflops").set(
+                effective_gflops(
+                    len(ops), c.pattern_count, c.state_count,
+                    c.category_count, span.duration,
+                )
+            )
 
     def execute_plan(self, plan: ExecutionPlan) -> Dict[int, float]:
         """Replay a recorded :class:`ExecutionPlan` level by level.
@@ -498,43 +591,88 @@ class BaseImplementation(abc.ABC):
         of plan-node index to log-likelihood for every recorded root or
         edge likelihood request.
         """
-        results: Dict[int, float] = {}
-        for level in plan.levels():
-            level_ops: List[Operation] = []
-            for node in level:
-                payload = node.payload
-                if isinstance(payload, MatrixUpdate):
-                    self.update_transition_matrices(
-                        payload.eigen_index,
-                        list(payload.matrix_indices),
-                        list(payload.branch_lengths),
-                        payload.first_derivative_indices,
-                        payload.second_derivative_indices,
-                    )
-                elif isinstance(payload, Operation):
-                    self._validate_operation(payload)
-                    level_ops.append(payload)
-            if level_ops:
-                self._execute_level(level_ops)
-            for node in level:
-                payload = node.payload
-                if isinstance(payload, RootLikelihoodRequest):
-                    results[node.index] = self.calculate_root_log_likelihoods(
-                        payload.buffer_index,
-                        payload.category_weights_index,
-                        payload.state_frequencies_index,
-                        payload.cumulative_scale_index,
-                    )
-                elif isinstance(payload, EdgeLikelihoodRequest):
-                    results[node.index] = self.calculate_edge_log_likelihoods(
-                        payload.parent_index,
-                        payload.child_index,
-                        payload.matrix_index,
-                        payload.category_weights_index,
-                        payload.state_frequencies_index,
-                        payload.cumulative_scale_index,
-                    )
+        tracer = self._tracer
+        if not tracer.enabled:
+            results: Dict[int, float] = {}
+            for level in plan.levels():
+                self._run_plan_level(level, results)
+            return results
+        stats = plan.stats()
+        c = self.config
+        with tracer.span(
+            "execute_plan",
+            kind="plan",
+            backend=self.name,
+            n_nodes=stats["n_nodes"],
+            n_operations=stats["n_operations"],
+            n_matrix_updates=stats["n_matrix_updates"],
+            n_levels=stats["n_levels"],
+        ) as span:
+            results = {}
+            for level_id, level in enumerate(plan.levels()):
+                level_ops = sum(
+                    1 for n in level if isinstance(n.payload, Operation)
+                )
+                with tracer.span(
+                    "plan_level",
+                    kind="level",
+                    level_id=level_id,
+                    width=len(level),
+                    n_operations=level_ops,
+                ):
+                    self._run_plan_level(level, results)
+        metrics = self._metrics
+        metrics.counter("plan.executions").inc()
+        metrics.counter("plan.nodes").inc(stats["n_nodes"])
+        metrics.counter("partials.operations").inc(stats["n_operations"])
+        level_width = metrics.histogram("plan.level_width")
+        for width in stats["level_widths"]:
+            level_width.observe(width)
+        if span.duration > 0 and stats["n_operations"]:
+            metrics.gauge("plan.effective_gflops").set(
+                effective_gflops(
+                    stats["n_operations"], c.pattern_count, c.state_count,
+                    c.category_count, span.duration,
+                )
+            )
         return results
+
+    def _run_plan_level(self, level, results: Dict[int, float]) -> None:
+        """Execute one already-grouped plan level into ``results``."""
+        level_ops: List[Operation] = []
+        for node in level:
+            payload = node.payload
+            if isinstance(payload, MatrixUpdate):
+                self.update_transition_matrices(
+                    payload.eigen_index,
+                    list(payload.matrix_indices),
+                    list(payload.branch_lengths),
+                    payload.first_derivative_indices,
+                    payload.second_derivative_indices,
+                )
+            elif isinstance(payload, Operation):
+                self._validate_operation(payload)
+                level_ops.append(payload)
+        if level_ops:
+            self._execute_level(level_ops)
+        for node in level:
+            payload = node.payload
+            if isinstance(payload, RootLikelihoodRequest):
+                results[node.index] = self.calculate_root_log_likelihoods(
+                    payload.buffer_index,
+                    payload.category_weights_index,
+                    payload.state_frequencies_index,
+                    payload.cumulative_scale_index,
+                )
+            elif isinstance(payload, EdgeLikelihoodRequest):
+                results[node.index] = self.calculate_edge_log_likelihoods(
+                    payload.parent_index,
+                    payload.child_index,
+                    payload.matrix_index,
+                    payload.category_weights_index,
+                    payload.state_frequencies_index,
+                    payload.cumulative_scale_index,
+                )
 
     def _execute_level(self, operations: List[Operation]) -> None:
         """Run one level of mutually independent, validated operations.
@@ -739,8 +877,20 @@ class BaseImplementation(abc.ABC):
 
     def _execute_operations(self, operations: List[Operation]) -> None:
         """Run validated operations in order.  Override for concurrency."""
+        tracer = self._tracer
+        if not tracer.enabled:
+            for op in operations:
+                self._compute_operation(op)
+            return
         for op in operations:
-            self._compute_operation(op)
+            with tracer.span(
+                "partials_operation",
+                kind="op",
+                destination=op.destination,
+                child1=op.child1,
+                child2=op.child2,
+            ):
+                self._compute_operation(op)
 
     @abc.abstractmethod
     def _compute_operation(self, op: Operation) -> None:

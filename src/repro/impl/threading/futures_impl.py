@@ -53,21 +53,36 @@ class CPUFuturesImplementation(BaseImplementation):
         dest = compute_operation_slice(self, op, slice(None))
         self._partials[op.destination] = self._apply_scaling(op, dest)
 
+    def _submit_level(self, pool: ThreadPoolExecutor,
+                      operations: List[Operation]) -> None:
+        """Fan one independent operation set across futures and join it."""
+        futures = [
+            pool.submit(self._compute_operation, op) for op in operations
+        ]
+        if self._tracer.enabled:
+            self._metrics.counter("futures.created").inc(len(futures))
+        done, _ = wait(futures)
+        for f in done:
+            f.result()  # re-raise worker exceptions
+
     def _execute_operations(self, operations: List[Operation]) -> None:
         levels = dependency_levels(operations)
         # Executor per call: the futures design creates its asynchronous
         # work on demand rather than keeping a pool alive.
+        tracer = self._tracer
         with ThreadPoolExecutor(max_workers=self.thread_count) as pool:
             for level in levels:
                 if len(level) == 1:
                     self._compute_operation(level[0])
                     continue
-                futures = [
-                    pool.submit(self._compute_operation, op) for op in level
-                ]
-                done, _ = wait(futures)
-                for f in done:
-                    f.result()  # re-raise worker exceptions
+                if not tracer.enabled:
+                    self._submit_level(pool, level)
+                    continue
+                with tracer.span(
+                    "futures_wave", kind="wave", backend=self.name,
+                    n_operations=len(level),
+                ):
+                    self._submit_level(pool, level)
 
     def _execute_level(self, operations: List[Operation]) -> None:
         """One asynchronous task per operation of an already-level-grouped
@@ -77,11 +92,13 @@ class CPUFuturesImplementation(BaseImplementation):
             for op in operations:
                 self._compute_operation(op)
             return
+        tracer = self._tracer
         with ThreadPoolExecutor(max_workers=self.thread_count) as pool:
-            futures = [
-                pool.submit(self._compute_operation, op)
-                for op in operations
-            ]
-            done, _ = wait(futures)
-            for f in done:
-                f.result()
+            if not tracer.enabled:
+                self._submit_level(pool, operations)
+                return
+            with tracer.span(
+                "futures_wave", kind="wave", backend=self.name,
+                n_operations=len(operations),
+            ):
+                self._submit_level(pool, operations)

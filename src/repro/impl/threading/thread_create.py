@@ -76,12 +76,24 @@ class CPUThreadCreateImplementation(BaseImplementation):
             threading.Thread(target=guarded, args=(sl,), daemon=True)
             for sl in slices
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise errors[0]
+        def run_wave():
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+
+        tracer = self._tracer
+        if not tracer.enabled:
+            run_wave()
+            return
+        self._metrics.counter("threads.created").inc(len(threads))
+        with tracer.span(
+            "thread_wave", kind="wave", backend=self.name,
+            n_threads=len(threads),
+        ):
+            run_wave()
 
     def _execute_operations(self, operations: List[Operation]) -> None:
         if (

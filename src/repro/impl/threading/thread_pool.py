@@ -85,7 +85,13 @@ class CPUThreadPoolImplementation(BaseImplementation):
 
     def _map_slices(self, fn, slices) -> List:
         futures = [self.pool.submit(fn, sl) for sl in slices]
+        if self._tracer.enabled:
+            self._record_queue_depth(len(futures))
         return [f.result() for f in futures]
+
+    def _record_queue_depth(self, depth: int) -> None:
+        self._metrics.gauge("threadpool.queue_depth").set(depth)
+        self._metrics.counter("threadpool.tasks").inc(depth)
 
     def _compute_operation(self, op: Operation) -> None:
         dest = compute_operation_slice(self, op, slice(None))
@@ -116,7 +122,15 @@ class CPUThreadPoolImplementation(BaseImplementation):
                     compute_operation_slice(self, op, sl)
                 )
 
-        self._map_slices(worker, slices)
+        tracer = self._tracer
+        if not tracer.enabled:
+            self._map_slices(worker, slices)
+            return
+        with tracer.span(
+            "level_wave", kind="wave", backend=self.name,
+            n_operations=len(operations), n_slices=len(slices),
+        ):
+            self._map_slices(worker, slices)
 
     def _execute_level(self, operations: List[Operation]) -> None:
         """Fan a whole plan level across the pool: op × pattern-slice.
@@ -136,13 +150,29 @@ class CPUThreadPoolImplementation(BaseImplementation):
                 compute_operation_slice(self, op, sl)
             )
 
-        futures = [
-            self.pool.submit(worker, op, sl)
-            for op in operations
-            for sl in slices
-        ]
-        for f in futures:
-            f.result()
+        def submit_wave():
+            futures = [
+                self.pool.submit(worker, op, sl)
+                for op in operations
+                for sl in slices
+            ]
+            for f in futures:
+                f.result()
+            return len(futures)
+
+        tracer = self._tracer
+        if not tracer.enabled:
+            submit_wave()
+        else:
+            with tracer.span(
+                "level_wave",
+                kind="wave",
+                backend=self.name,
+                n_operations=len(operations),
+                n_slices=len(slices),
+            ):
+                depth = submit_wave()
+            self._record_queue_depth(depth)
         apply_level_scaling(self, operations)
 
     def _compute_root(

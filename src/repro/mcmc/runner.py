@@ -39,6 +39,8 @@ from repro.mcmc.mc3 import MC3Result, MetropolisCoupledMCMC, run_mc3_distributed
 from repro.mcmc.priors import ExponentialPrior, GammaPrior, Prior, UniformPrior
 from repro.mcmc.proposals import PhyloState, default_mix
 from repro.model.codon import GY94
+from repro.obs import MetricsRegistry, Tracer
+from repro.session import backend_flags
 from repro.model.nucleotide import HKY85
 from repro.model.sitemodel import SiteModel
 from repro.seq.patterns import PatternSet
@@ -134,23 +136,9 @@ def _backend_factory(
                 state, spec.data, spec.model_factory, precision=precision
             )
         kwargs: Dict[str, object] = {"precision": precision}
-        if backend == "cpu-serial":
-            kwargs["requirement_flags"] = Flag.VECTOR_NONE
-        elif backend == "cpu-sse":
-            kwargs["requirement_flags"] = Flag.VECTOR_SSE
-            kwargs["preference_flags"] = Flag.THREADING_NONE
-        elif backend == "cpp-threads":
-            kwargs["requirement_flags"] = Flag.THREADING_CPP
-        elif backend == "opencl-x86":
-            kwargs["requirement_flags"] = (
-                Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
-            )
-        elif backend == "opencl-gpu":
-            kwargs["requirement_flags"] = (
-                Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
-            )
-        elif backend == "cuda":
-            kwargs["requirement_flags"] = Flag.FRAMEWORK_CUDA
+        # Flag selection is shared with repro.Session so the runner's
+        # backend names stay in lockstep with the public API's.
+        kwargs.update(backend_flags(backend))
         return BeagleBackend(state, spec.data, spec.model_factory, **kwargs)
 
     return make
@@ -164,10 +152,18 @@ class MrBayesRun:
     wall_seconds: float
     backend: str
     precision: str
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
 
 class MrBayesRunner:
-    """Configure and execute an MC^3 analysis, MrBayes style."""
+    """Configure and execute an MC^3 analysis, MrBayes style.
+
+    With ``trace=True`` every BEAGLE-backed chain shares one tracer and
+    one metrics registry, so a run's span stream interleaves all chains
+    (spans carry the backend name) and counters aggregate across them.
+    The native backend has no BEAGLE instance and records nothing.
+    """
 
     def __init__(
         self,
@@ -177,6 +173,7 @@ class MrBayesRunner:
         n_chains: int = 4,
         delta_t: float = 0.1,
         rng: SeedLike = None,
+        trace: bool = False,
     ) -> None:
         self.spec = spec
         self.backend = backend
@@ -185,6 +182,8 @@ class MrBayesRunner:
         self.delta_t = delta_t
         self.rng = spawn_rng(rng)
         self._make_backend = _backend_factory(backend, spec, precision)
+        self.tracer = Tracer(enabled=trace) if trace else None
+        self.metrics = MetricsRegistry() if trace else None
 
     def _chain_factory(self, index: int, heat: float) -> MarkovChain:
         state = PhyloState(
@@ -192,6 +191,8 @@ class MrBayesRunner:
             parameters=dict(self.spec.initial_parameters),
         )
         backend = self._make_backend(state)
+        if self.tracer is not None and hasattr(backend, "tl"):
+            backend.tl.instrument(self.tracer, self.metrics)
         seed = int(self.rng.integers(2**62))
         return MarkovChain(
             state=state,
@@ -237,4 +238,6 @@ class MrBayesRunner:
             wall_seconds=time.perf_counter() - start,
             backend=self.backend,
             precision=self.precision,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )

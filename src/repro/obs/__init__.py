@@ -1,0 +1,32 @@
+"""Observability: tracing, metrics, and profiling hooks.
+
+The subsystem BEAGLE 4.1 and OCCA expose at the host-device seam,
+reproduced at ours: every :class:`~repro.impl.base.BaseImplementation`
+carries a tracer and a metrics registry (no-op / absent until
+:meth:`~repro.impl.base.BaseImplementation.instrument` attaches real
+ones), and the instance, session, plan, and accelerator layers emit
+nested spans and counters through them.
+
+* :class:`Tracer` — structured span events with plan -> level -> launch
+  nesting, a bounded ring buffer, JSONL export, span-tree / top-k
+  analysis, and ``on_span_start`` / ``on_span_end`` subscriber hooks.
+* :class:`MetricsRegistry` — counters, gauges, and histograms with
+  snapshot and JSONL round-trip.
+* :data:`NULL_TRACER` — the shared disabled tracer; instrumented hot
+  paths check ``tracer.enabled`` exactly once per call, so uninstrumented
+  instances pay a single branch.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

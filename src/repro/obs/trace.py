@@ -1,0 +1,396 @@
+"""Structured tracing: nestable spans over the execution pipeline.
+
+The observability layer records what a backend *actually did* — which
+kernels launched, how wide each plan level was, how long each call took —
+as a tree of spans: ``plan -> level -> kernel-launch`` (or
+``call -> operation`` on the eager path).  Spans carry structured
+attributes (operation kind, buffer indices, pattern count, level id,
+backend name) and wall-clock durations, land in a bounded in-memory ring
+buffer, and export to JSONL for offline analysis.
+
+Zero-cost-when-disabled contract
+--------------------------------
+Instrumented hot paths perform exactly **one** check per call::
+
+    tr = self._tracer
+    if tr.enabled:
+        with tr.span(...):
+            work()
+    else:
+        work()
+
+The default tracer is :data:`NULL_TRACER`, whose ``enabled`` is ``False``,
+so uninstrumented instances pay one attribute load and one branch — no
+span objects, no clock reads, no allocation.  A real :class:`Tracer` can
+also be toggled off via :attr:`Tracer.enabled` without detaching it.
+
+Profiling hooks
+---------------
+Benchmarks and MCMC drivers subscribe with :meth:`Tracer.subscribe`
+(``on_span_start`` / ``on_span_end`` callbacks) instead of patching
+library internals; callbacks receive the live :class:`Span` object.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+SpanCallback = Callable[["Span"], None]
+
+
+class Span:
+    """One traced interval: name, kind, parent linkage, attrs, duration.
+
+    Used both as the context manager handed out by :meth:`Tracer.span`
+    and as the record stored in the tracer's ring buffer.  Attributes may
+    be added while the span is open (``span.attrs["key"] = value``).
+    """
+
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "name", "kind",
+        "attrs", "t_start", "duration", "thread_name",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        kind: str,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.span_id: Optional[int] = None
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.attrs = attrs
+        self.t_start = 0.0
+        self.duration = 0.0
+        self.thread_name = ""
+
+    def __enter__(self) -> "Span":
+        self.tracer._start_span(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.tracer._end_span(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "t_start": self.t_start,
+            "duration": self.duration,
+            "thread": self.thread_name,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Span {self.span_id} {self.kind}:{self.name} "
+            f"{self.duration * 1e3:.3f}ms>"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Span recorder with a bounded ring buffer and subscriber hooks.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state of the per-call guard; mutable at any time.
+    capacity:
+        Ring-buffer size in spans.  When full, the oldest spans are
+        evicted (the usual tracing trade-off: recent detail over ancient
+        history).
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int = 65536) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: "deque[Span]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+        self._on_start: List[SpanCallback] = []
+        self._on_end: List[SpanCallback] = []
+        self._clock = time.perf_counter
+
+    # -- recording -----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        kind: str = "call",
+        parent_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a nestable span (use as a context manager).
+
+        The parent defaults to the innermost open span *on the calling
+        thread*; pass ``parent_id`` to link work submitted to worker
+        threads back to its logical parent.
+        """
+        return Span(self, name, kind, parent_id, attrs)
+
+    def event(self, name: str, kind: str = "event", **attrs: Any) -> None:
+        """Record an instantaneous (zero-duration) span."""
+        span = Span(self, name, kind, None, attrs)
+        self._start_span(span)
+        self._end_span(span)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _start_span(self, span: Span) -> None:
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        if span.parent_id is None and stack:
+            span.parent_id = stack[-1].span_id
+        span.thread_name = threading.current_thread().name
+        stack.append(span)
+        for cb in self._on_start:
+            cb(span)
+        span.t_start = self._clock()
+
+    def _end_span(self, span: Span) -> None:
+        span.duration = self._clock() - span.t_start
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit
+            stack.remove(span)
+        with self._lock:
+            self._ring.append(span)
+        for cb in self._on_end:
+            cb(span)
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span on this thread (or ``None``)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    # -- profiling hooks -----------------------------------------------------
+
+    def subscribe(
+        self,
+        on_span_start: Optional[SpanCallback] = None,
+        on_span_end: Optional[SpanCallback] = None,
+    ) -> Callable[[], None]:
+        """Register callbacks; returns an unsubscribe function."""
+        if on_span_start is not None:
+            self._on_start.append(on_span_start)
+        if on_span_end is not None:
+            self._on_end.append(on_span_end)
+
+        def unsubscribe() -> None:
+            if on_span_start is not None and on_span_start in self._on_start:
+                self._on_start.remove(on_span_start)
+            if on_span_end is not None and on_span_end in self._on_end:
+                self._on_end.remove(on_span_end)
+
+        return unsubscribe
+
+    # -- access & export -----------------------------------------------------
+
+    def records(self) -> List[Span]:
+        """Completed spans, oldest first (a snapshot of the ring)."""
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def to_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write one JSON object per span; returns the span count."""
+        records = self.records()
+        if hasattr(destination, "write"):
+            for span in records:
+                destination.write(json.dumps(span.to_dict()) + "\n")
+        else:
+            with open(destination, "w", encoding="utf-8") as fh:
+                for span in records:
+                    fh.write(json.dumps(span.to_dict()) + "\n")
+        return len(records)
+
+    # -- analysis ------------------------------------------------------------
+
+    def span_tree(self) -> List[Tuple[Span, list]]:
+        """Nest recorded spans into ``(span, children)`` forests.
+
+        Spans whose parent was evicted from the ring (or that ran on a
+        worker thread with no linked parent) become roots.  Siblings are
+        ordered by start time.
+        """
+        records = sorted(self.records(), key=lambda s: s.t_start)
+        nodes: Dict[int, Tuple[Span, list]] = {
+            s.span_id: (s, []) for s in records if s.span_id is not None
+        }
+        roots: List[Tuple[Span, list]] = []
+        for span in records:
+            node = nodes[span.span_id]
+            parent = (
+                nodes.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if parent is not None:
+                parent[1].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def format_tree(self, max_depth: Optional[int] = None) -> str:
+        """Render the span forest as an indented text tree."""
+        lines: List[str] = []
+
+        def walk(node: Tuple[Span, list], depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            span, children = node
+            extras = ""
+            if span.attrs:
+                parts = [
+                    f"{k}={v}"
+                    for k, v in span.attrs.items()
+                    if isinstance(v, (int, float, str, bool))
+                ]
+                if parts:
+                    extras = "  [" + " ".join(parts) + "]"
+            lines.append(
+                f"{'  ' * depth}{span.name} ({span.kind}) "
+                f"{span.duration * 1e3:.3f} ms{extras}"
+            )
+            for child in children:
+                walk(child, depth + 1)
+
+        for root in self.span_tree():
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def hottest(self, k: int = 10) -> List[Dict[str, Any]]:
+        """Top-``k`` span names by total wall time.
+
+        Returns dicts with ``name``, ``kind``, ``calls``, ``total_s``,
+        and ``mean_s``, hottest first.
+        """
+        agg: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        for span in self.records():
+            key = (span.name, span.kind)
+            entry = agg.get(key)
+            if entry is None:
+                entry = agg[key] = {
+                    "name": span.name,
+                    "kind": span.kind,
+                    "calls": 0,
+                    "total_s": 0.0,
+                }
+            entry["calls"] += 1
+            entry["total_s"] += span.duration
+        ranked = sorted(agg.values(), key=lambda e: -e["total_s"])[:k]
+        for entry in ranked:
+            entry["mean_s"] = entry["total_s"] / entry["calls"]
+        return ranked
+
+    def count(self, kind: Optional[str] = None,
+              name_prefix: Optional[str] = None) -> int:
+        """Number of recorded spans matching the given filters."""
+        n = 0
+        for span in self.records():
+            if kind is not None and span.kind != kind:
+                continue
+            if name_prefix is not None and not span.name.startswith(
+                name_prefix
+            ):
+                continue
+            n += 1
+        return n
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code never reaches the span
+    machinery; the methods exist only so that accidental calls on the
+    disabled path are harmless rather than crashes.
+    """
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "call",
+             parent_id: Optional[int] = None, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, kind: str = "event", **attrs: Any) -> None:
+        pass
+
+    def subscribe(self, on_span_start=None, on_span_end=None):
+        return lambda: None
+
+    def records(self) -> List[Span]:
+        return []
+
+    def span_tree(self) -> list:
+        return []
+
+    def format_tree(self, max_depth: Optional[int] = None) -> str:
+        return ""
+
+    def hottest(self, k: int = 10) -> list:
+        return []
+
+    def count(self, kind: Optional[str] = None,
+              name_prefix: Optional[str] = None) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def to_jsonl(self, destination) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Process-wide no-op tracer; the default on every implementation.
+NULL_TRACER = NullTracer()

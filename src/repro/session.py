@@ -1,0 +1,189 @@
+"""One-object entry point: data + tree + model -> instrumented likelihood.
+
+:class:`Session` is the recommended front door for interactive use and
+scripts.  It folds together the pieces a caller otherwise wires by hand —
+pattern compression, backend flag selection, :class:`TreeLikelihood`
+construction, and the observability plumbing of :mod:`repro.obs` — behind
+a context manager::
+
+    with repro.Session(alignment, tree, model, backend="cuda",
+                       trace=True) as s:
+        logl = s.log_likelihood()
+        print(s.tracer.format_tree())
+        print(s.metrics.snapshot())
+
+Every session carries a :class:`~repro.obs.trace.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`.  The tracer starts disabled
+unless ``trace=True``, which keeps the per-call cost to a single boolean
+check (the zero-overhead contract of the obs subsystem); metrics that are
+fed only under tracing stay empty until tracing is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.flags import Flag
+from repro.core.highlevel import TreeLikelihood
+from repro.model.ratematrix import SubstitutionModel
+from repro.model.sitemodel import SiteModel
+from repro.obs import MetricsRegistry, Tracer
+from repro.seq.alignment import Alignment
+from repro.seq.patterns import PatternSet, compress_patterns
+from repro.seq.simulate import SyntheticPatterns
+from repro.tree.tree import Tree
+
+#: Backend name -> instance flag keywords.  The names match the paper's
+#: benchmark configurations and the ``--backend`` options of the CLI and
+#: MCMC runner.  ``None`` / ``"auto"`` lets the resource manager pick.
+BACKEND_FLAGS = {
+    "cpu-serial": dict(requirement_flags=Flag.VECTOR_NONE),
+    "cpu-sse": dict(
+        requirement_flags=Flag.VECTOR_SSE,
+        preference_flags=Flag.THREADING_NONE,
+    ),
+    "cpp-threads": dict(requirement_flags=Flag.THREADING_CPP),
+    "opencl-x86": dict(
+        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
+    ),
+    "opencl-gpu": dict(
+        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
+    ),
+    "cuda": dict(requirement_flags=Flag.FRAMEWORK_CUDA),
+}
+
+
+def backend_flags(backend: Optional[str]) -> dict:
+    """Instance flag keywords for a named backend.
+
+    ``None`` or ``"auto"`` returns no constraints (manager's choice).
+    Raises ``ValueError`` for unknown names, listing the valid ones.
+    """
+    if backend is None or backend == "auto":
+        return {}
+    try:
+        return dict(BACKEND_FLAGS[backend])
+    except KeyError:
+        choices = ", ".join(sorted(BACKEND_FLAGS) + ["auto"])
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {choices}"
+        ) from None
+
+
+class Session:
+    """A configured, observable likelihood evaluation session.
+
+    Parameters
+    ----------
+    data:
+        An :class:`Alignment` (compressed to unique patterns here), a
+        :class:`PatternSet`, or :class:`SyntheticPatterns`.
+    tree:
+        Rooted binary tree; tip names must match the data.
+    model:
+        Substitution model.
+    site_model:
+        Rate-heterogeneity categories; default single rate.
+    backend:
+        One of :data:`BACKEND_FLAGS` (``"cpu-serial"``, ``"cpu-sse"``,
+        ``"cpp-threads"``, ``"opencl-x86"``, ``"opencl-gpu"``,
+        ``"cuda"``) or ``None``/``"auto"`` for the manager's choice.
+    deferred:
+        Start in deferred (plan-recording) execution mode.
+    trace:
+        Enable span tracing from the start.  Tracing can also be toggled
+        later via ``session.tracer.enabled``.
+    kwargs:
+        Extra :class:`TreeLikelihood` / instance keywords
+        (``use_scaling``, ``precision``, ``thread_count``, ...).
+    """
+
+    def __init__(
+        self,
+        data: Union[Alignment, PatternSet, SyntheticPatterns],
+        tree: Tree,
+        model: SubstitutionModel,
+        site_model: Optional[SiteModel] = None,
+        *,
+        backend: Optional[str] = None,
+        deferred: bool = False,
+        trace: bool = False,
+        **kwargs,
+    ) -> None:
+        if isinstance(data, Alignment):
+            data = compress_patterns(data)
+        flag_kwargs = backend_flags(backend)
+        for key, value in flag_kwargs.items():
+            kwargs.setdefault(key, value)
+        self.backend = backend or "auto"
+        self.likelihood = TreeLikelihood(
+            tree, data, model, site_model, deferred=deferred, **kwargs
+        )
+        self._tracer, self._metrics = self.likelihood.instrument(
+            Tracer(enabled=trace), MetricsRegistry()
+        )
+        self._closed = False
+
+    # -- core operations ---------------------------------------------------
+
+    def log_likelihood(self) -> float:
+        """Full post-order evaluation of the tree."""
+        return self.likelihood.log_likelihood()
+
+    def site_log_likelihoods(self):
+        """Per-pattern log-likelihoods of the last evaluation."""
+        return self.likelihood.site_log_likelihoods()
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        """Switch between eager and deferred (plan-batched) execution."""
+        self.likelihood.set_execution_mode(deferred)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The session's span tracer (toggle with ``tracer.enabled``)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The session's metrics registry."""
+        return self._metrics
+
+    @property
+    def instance(self):
+        """The underlying :class:`~repro.core.instance.BeagleInstance`."""
+        return self.likelihood.instance
+
+    @property
+    def resource(self):
+        """Details of the resource the manager selected."""
+        return self.likelihood.instance.details
+
+    def span_tree(self) -> str:
+        """The recorded spans rendered as an indented tree."""
+        return self._tracer.format_tree()
+
+    def hottest(self, k: int = 10):
+        """The ``k`` most expensive span names by total wall time."""
+        return self._tracer.hottest(k)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self.likelihood.finalize()
+            self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Session(backend={self.backend!r}, "
+            f"resource={self.resource.resource_name!r}, "
+            f"tracing={'on' if self._tracer.enabled else 'off'})"
+        )

@@ -282,7 +282,10 @@ class CudaInterface(HardwareInterface):
         self._functions: Dict[str, CudaFunction] = {}
 
     def build_program(self, config: KernelConfig) -> None:
-        from repro.accel.kernelgen import fits_local_memory
+        from repro.accel.kernelgen import (
+            fit_workgroup_block,
+            fits_local_memory,
+        )
 
         block = fit_pattern_block_size(
             config.state_count,
@@ -290,6 +293,10 @@ class CudaInterface(HardwareInterface):
             self.device.local_mem_kb,
             preferred=config.pattern_block_size,
         )
+        if config.variant == "gpu":
+            block = fit_workgroup_block(
+                block, config.state_count, self.device.max_workgroup_size
+            )
         use_local = fits_local_memory(
             config.state_count, config.precision,
             self.device.local_mem_kb, block,
@@ -298,12 +305,15 @@ class CudaInterface(HardwareInterface):
             state_count=config.state_count,
             precision=config.precision,
             variant=config.variant,
-            use_fma=config.use_fma,
+            use_fma=config.use_fma and self.device.supports_fma,
             pattern_block_size=block,
-            workgroup_patterns=config.workgroup_patterns,
+            workgroup_patterns=min(
+                config.workgroup_patterns, self.device.max_workgroup_size
+            ),
             category_count=config.category_count,
             use_local_memory=use_local,
         )
+        self._validate_config(config)
         source = generate_kernel_source(config, CUDA_MACROS)
         self._module = self.ctx.cuModuleLoadData(source)
         self._functions = {}

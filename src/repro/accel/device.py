@@ -37,6 +37,10 @@ class DeviceSpec:
     dp_ratio: float                 # DP peak = sp_gflops * dp_ratio
     local_mem_kb: float = 48.0      # per-work-group local/shared memory
     supports_fma: bool = True
+    #: Largest work-group (thread block) a kernel launch may request.
+    #: 1024 on NVIDIA GPUs; 256 on AMD GCN; CPU OpenCL runtimes accept
+    #: large logical work-groups (they serialise within a core).
+    max_workgroup_size: int = 1024
 
     # ---- performance-model calibration (see EXPERIMENTS.md) ----
     #: Fraction of peak compute achievable by the partials kernels.
@@ -105,6 +109,7 @@ QUADRO_P5000 = DeviceSpec(
     sp_gflops=8900.0,
     dp_ratio=1.0 / 32.0,            # Pascal GP104: 1/32 DP rate
     local_mem_kb=48.0,
+    max_workgroup_size=1024,
     compute_efficiency=0.14,
     dp_compute_efficiency=0.85,     # DP peak is tiny (1/32); easy to hit
     memory_efficiency=0.92,
@@ -125,6 +130,7 @@ RADEON_R9_NANO = DeviceSpec(
     sp_gflops=8192.0,
     dp_ratio=1.0 / 16.0,            # Fiji: 1/16 DP rate
     local_mem_kb=32.0,              # GCN LDS: less than NVIDIA's 48 KB
+    max_workgroup_size=256,         # GCN: 256 work-items per work-group
     compute_efficiency=0.15,
     dp_compute_efficiency=0.5,
     memory_efficiency=0.66,
@@ -145,6 +151,7 @@ FIREPRO_S9170 = DeviceSpec(
     sp_gflops=5240.0,
     dp_ratio=0.5,                   # Hawaii FirePro: 1/2 DP rate
     local_mem_kb=32.0,
+    max_workgroup_size=256,         # GCN: 256 work-items per work-group
     compute_efficiency=0.21,
     dp_compute_efficiency=0.052,    # fit to Fig. 6 codon-DP bar
     memory_efficiency=0.66,
@@ -165,6 +172,7 @@ XEON_E5_2680V4_X2 = DeviceSpec(
     sp_gflops=2150.0,               # 28 cores x 2.4 GHz x 32 SP FLOP/cyc
     dp_ratio=0.5,
     local_mem_kb=0.0,               # no explicit local memory (paper VII-B.2)
+    max_workgroup_size=8192,        # CPU runtime serialises within a core
     compute_efficiency=0.20,
     memory_efficiency=0.80,
     saturation_threads=56,
@@ -186,6 +194,7 @@ XEON_PHI_7210 = DeviceSpec(
     sp_gflops=5324.0,               # 64 x 1.3 GHz x 64 SP FLOP/cyc
     dp_ratio=0.5,
     local_mem_kb=0.0,
+    max_workgroup_size=8192,
     compute_efficiency=0.035,       # paper: "we have not done optimization
                                     # work specific to this platform"
     memory_efficiency=0.35,
@@ -208,6 +217,7 @@ CORE_I7_930 = DeviceSpec(
     sp_gflops=89.6,                 # 4 x 2.8 GHz x 8 SP FLOP/cyc (SSE)
     dp_ratio=0.5,
     local_mem_kb=0.0,
+    max_workgroup_size=8192,
     compute_efficiency=0.25,
     memory_efficiency=0.70,
     saturation_threads=8,

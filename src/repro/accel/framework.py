@@ -92,6 +92,30 @@ class HardwareInterface(abc.ABC):
             raise RuntimeError("no kernel program has been built")
         return self._kernel_config
 
+    def _validate_config(self, config: KernelConfig) -> None:
+        """Cross-check a fitted config against the device before compiling.
+
+        The fitting helpers (`fit_pattern_block_size`,
+        `fit_workgroup_block`) should always produce a feasible config;
+        this is the static-analysis backstop that turns any residual
+        infeasibility — work-group over the device cap, local-memory
+        overflow, FMA on unsupported hardware — into an error *before*
+        kernel generation instead of a silent mis-simulation.
+        """
+        from repro.analysis.kernelcheck import validate_kernel_config
+        from repro.util.errors import UnsupportedOperationError
+
+        errors = [
+            d for d in validate_kernel_config(config, self.device)
+            if d.severity.name == "ERROR"
+        ]
+        if errors:
+            raise UnsupportedOperationError(
+                "kernel config infeasible for device "
+                f"{self.device.name}: "
+                + "; ".join(d.message for d in errors)
+            )
+
     # -- memory ------------------------------------------------------------
 
     @abc.abstractmethod

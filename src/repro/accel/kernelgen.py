@@ -157,6 +157,23 @@ def fit_pattern_block_size(
     return 1
 
 
+def fit_workgroup_block(
+    block: int, state_count: int, max_workgroup_size: int
+) -> int:
+    """Halve a GPU pattern block until ``block × states`` fits the device.
+
+    The gpu-variant work-group runs one work-item per state of each
+    staged pattern, so its size is ``pattern_block_size × state_count``;
+    AMD GCN caps work-groups at 256 work-items where NVIDIA allows
+    1024, which bites codon models (61 states) first.
+    """
+    if max_workgroup_size <= 0:
+        return block
+    while block > 1 and block * state_count > max_workgroup_size:
+        block //= 2
+    return block
+
+
 def fits_local_memory(
     state_count: int, precision: str, local_mem_kb: float, block: int
 ) -> bool:

@@ -367,7 +367,10 @@ class OpenCLInterface(HardwareInterface):
         self._kernels: Dict[str, CLKernel] = {}
 
     def build_program(self, config: KernelConfig) -> None:
-        from repro.accel.kernelgen import fits_local_memory
+        from repro.accel.kernelgen import (
+            fit_workgroup_block,
+            fits_local_memory,
+        )
 
         variant = (
             "x86" if self.device.processor == ProcessorType.CPU else "gpu"
@@ -378,6 +381,10 @@ class OpenCLInterface(HardwareInterface):
             self.device.local_mem_kb,
             preferred=config.pattern_block_size,
         )
+        if variant == "gpu":
+            block = fit_workgroup_block(
+                block, config.state_count, self.device.max_workgroup_size
+            )
         use_fma = config.use_fma and self.device.supports_fma
         use_local = variant == "gpu" and fits_local_memory(
             config.state_count, config.precision,
@@ -389,10 +396,13 @@ class OpenCLInterface(HardwareInterface):
             variant=variant,
             use_fma=use_fma,
             pattern_block_size=block,
-            workgroup_patterns=config.workgroup_patterns,
+            workgroup_patterns=min(
+                config.workgroup_patterns, self.device.max_workgroup_size
+            ),
             category_count=config.category_count,
             use_local_memory=use_local,
         )
+        self._validate_config(config)
         source = generate_kernel_source(config, OPENCL_MACROS)
         self._program = clCreateProgramWithSource(self.ctx, source)
         options = []

@@ -1,0 +1,51 @@
+"""Static verification: analyse configurations *before* anything runs.
+
+The paper's heterogeneous design hinges on per-device validation — codon
+models need reduced patterns-per-work-group on AMD (Table IV), the
+OpenCL-x86 kernels want 256-pattern work-groups and no local memory
+(Table V) — and on the threaded backends never racing on shared buffers.
+This package turns those constraints into checkable rules that run
+without executing a single kernel:
+
+* :mod:`repro.analysis.planverify` — hazard/cycle/range/liveness checks
+  over :class:`~repro.core.plan.ExecutionPlan` DAGs;
+* :mod:`repro.analysis.kernelcheck` — kernel-config limits against the
+  :mod:`repro.accel.device` catalog;
+* :mod:`repro.analysis.astlint` — AST lock-discipline and error-surface
+  lint over the source tree itself.
+
+All three speak :class:`~repro.analysis.diagnostics.Diagnostic`, so the
+CLI (``pybeagle-verify``), :meth:`repro.session.Session.verify`, and CI
+consume one uniform record type.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    format_diagnostics,
+    has_errors,
+    max_severity,
+)
+from repro.analysis.astlint import lint_file, lint_paths, lint_source
+from repro.analysis.kernelcheck import (
+    KernelConfigValidator,
+    suggest_kernel_config,
+    validate_kernel_config,
+)
+from repro.analysis.planverify import PlanVerifier, verify_plan
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "format_diagnostics",
+    "has_errors",
+    "max_severity",
+    "PlanVerifier",
+    "verify_plan",
+    "KernelConfigValidator",
+    "validate_kernel_config",
+    "suggest_kernel_config",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,334 @@
+"""AST lint: lock discipline and error-surface coverage.
+
+Two rule families, both motivated by invariants PR 1/PR 2 introduced
+but nothing previously enforced:
+
+* **unlocked-mutation** — inside a class, any instance attribute that is
+  ever mutated under ``with self._lock`` (or any ``self.*lock``
+  attribute) is *lock-guarded*; mutating a guarded attribute outside a
+  lock block (``__init__`` excepted — the object is not yet shared) is
+  a race waiting for a threaded backend to hit it.  The same rule runs
+  at module scope for globals guarded by a module-level lock (the
+  ``beagle_*`` handle table).
+
+* **unwrapped-api** — in a module that defines the ``_wrap`` error
+  surface, every ``beagle_*`` function must route through ``_wrap`` or
+  ``_record_failure`` so failures land in
+  ``beagle_get_last_error_message`` with a uniform format.  (The
+  message getter itself is exempt: reading the error must not clear
+  it.)
+
+The lint is purely syntactic — it never imports the linted code — so it
+runs on any tree, is immune to import side effects, and is safe in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+_SOURCE = "lint"
+
+#: ``beagle_*`` functions allowed to bypass the ``_wrap`` error surface.
+WRAP_EXEMPT = frozenset({"beagle_get_last_error_message"})
+
+
+def _is_lock_name(name: str) -> bool:
+    return name.lower().endswith("lock")
+
+
+def _is_self_lock(expr: ast.expr) -> bool:
+    """``self._lock`` (any attribute of self whose name ends in lock)."""
+    return (
+        isinstance(expr, ast.Attribute)
+        and _is_lock_name(expr.attr)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    )
+
+
+def _is_module_lock(expr: ast.expr) -> bool:
+    """A bare name ending in lock (module-level lock object)."""
+    return isinstance(expr, ast.Name) and _is_lock_name(expr.id)
+
+
+def _self_attr_target(expr: ast.expr) -> Optional[str]:
+    """Attribute of ``self`` a store/delete target mutates, if any.
+
+    Unwraps subscript chains so ``self._partials[i][:, sl] = ...``
+    reports ``_partials``.
+    """
+    while isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return expr.attr
+    return None
+
+
+def _global_target(expr: ast.expr, global_names: Set[str]) -> Optional[str]:
+    """Module-level name a store target mutates (via item assignment)."""
+    while isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if isinstance(expr, ast.Name) and expr.id in global_names:
+        return expr.id
+    return None
+
+
+def _mutation_targets(stmt: ast.stmt) -> List[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.target]
+    if isinstance(stmt, ast.AnnAssign):
+        return [] if stmt.value is None else [stmt.target]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    return []
+
+
+class _MutationCollector(ast.NodeVisitor):
+    """Collect (attr, lineno, under_lock) mutations within one function.
+
+    ``lock_test`` decides whether a ``with`` item takes a relevant lock;
+    ``target_fn`` maps a store target to the tracked name (or ``None``).
+    """
+
+    def __init__(
+        self,
+        lock_test: Callable[[ast.expr], bool],
+        target_fn: Callable[[ast.expr], Optional[str]],
+    ) -> None:
+        self._lock_test = lock_test
+        self._target_fn = target_fn
+        self._lock_depth = 0
+        self.mutations: List[Tuple[str, int, bool]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        locked = any(
+            self._lock_test(item.context_expr) for item in node.items
+        )
+        if locked:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if locked:
+            self._lock_depth -= 1
+
+    def _record(self, stmt: ast.stmt) -> None:
+        for target in _mutation_targets(stmt):
+            name = self._target_fn(target)
+            if name is not None:
+                self.mutations.append(
+                    (name, stmt.lineno, self._lock_depth > 0)
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+
+_AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _iter_methods(cls: ast.ClassDef) -> Iterable[_AnyFunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _lint_class(cls: ast.ClassDef, filename: str) -> List[Diagnostic]:
+    per_method: Dict[str, List[Tuple[str, int, bool]]] = {}
+    for method in _iter_methods(cls):
+        collector = _MutationCollector(_is_self_lock, _self_attr_target)
+        collector.visit(method)
+        per_method[method.name] = collector.mutations
+
+    guarded: Set[str] = set()
+    for name, mutations in per_method.items():
+        if name == "__init__":
+            continue
+        guarded.update(attr for attr, _, locked in mutations if locked)
+
+    out: List[Diagnostic] = []
+    for name, mutations in per_method.items():
+        if name == "__init__":
+            continue
+        for attr, lineno, locked in mutations:
+            if locked or attr not in guarded:
+                continue
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="unlocked-mutation",
+                message=(
+                    f"{cls.name}.{name} mutates self.{attr} outside a "
+                    f"lock block, but other {cls.name} methods guard it "
+                    "with `with self._lock`"
+                ),
+                source=_SOURCE,
+                location=f"{filename}:{lineno}",
+            ))
+    return out
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        for target in _mutation_targets(stmt):
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _iter_functions(tree: ast.Module) -> Iterable[_AnyFunctionDef]:
+    """Top-level functions of the module (not methods)."""
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _lint_module_globals(
+    tree: ast.Module, filename: str
+) -> List[Diagnostic]:
+    global_names = _module_level_names(tree)
+    if not global_names:
+        return []
+    per_function: Dict[str, List[Tuple[str, int, bool]]] = {}
+    for fn in _iter_functions(tree):
+        collector = _MutationCollector(
+            _is_module_lock,
+            lambda expr: _global_target(expr, global_names),
+        )
+        collector.visit(fn)
+        per_function[fn.name] = collector.mutations
+
+    guarded: Set[str] = set()
+    for mutations in per_function.values():
+        guarded.update(name for name, _, locked in mutations if locked)
+
+    out: List[Diagnostic] = []
+    for fn_name, mutations in per_function.items():
+        for name, lineno, locked in mutations:
+            if locked or name not in guarded:
+                continue
+            out.append(Diagnostic(
+                severity=Severity.ERROR,
+                code="unlocked-mutation",
+                message=(
+                    f"{fn_name} mutates module global {name!r} outside "
+                    "a lock block, but other functions guard it with a "
+                    "module lock"
+                ),
+                source=_SOURCE,
+                location=f"{filename}:{lineno}",
+            ))
+    return out
+
+
+def _lint_api_wrapping(
+    tree: ast.Module, filename: str
+) -> List[Diagnostic]:
+    defined = {
+        fn.name for fn in _iter_functions(tree)
+    }
+    if "_wrap" not in defined:
+        return []
+    out: List[Diagnostic] = []
+    for fn in _iter_functions(tree):
+        if not fn.name.startswith("beagle_") or fn.name in WRAP_EXEMPT:
+            continue
+        referenced = {
+            node.id for node in ast.walk(fn)
+            if isinstance(node, ast.Name)
+        }
+        if referenced & {"_wrap", "_record_failure"}:
+            continue
+        out.append(Diagnostic(
+            severity=Severity.ERROR,
+            code="unwrapped-api",
+            message=(
+                f"{fn.name} never routes through _wrap or "
+                "_record_failure, so its failures bypass "
+                "beagle_get_last_error_message"
+            ),
+            source=_SOURCE,
+            location=f"{filename}:{fn.lineno}",
+        ))
+    return out
+
+
+def lint_source(
+    source: str, filename: str = "<string>"
+) -> List[Diagnostic]:
+    """Lint one module's source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            severity=Severity.ERROR,
+            code="syntax-error",
+            message=f"cannot parse: {exc.msg}",
+            source=_SOURCE,
+            location=f"{filename}:{exc.lineno or 0}",
+        )]
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            out.extend(_lint_class(node, filename))
+    out.extend(_lint_module_globals(tree, filename))
+    out.extend(_lint_api_wrapping(tree, filename))
+    return out
+
+
+def lint_file(path: str) -> List[Diagnostic]:
+    """Lint one ``.py`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), filename=path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Lint files and (recursively) directories of ``.py`` files."""
+    out: List[Diagnostic] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.extend(
+                            lint_file(os.path.join(dirpath, filename))
+                        )
+        else:
+            out.extend(lint_file(path))
+    return out

@@ -1,0 +1,136 @@
+"""Structured findings shared by every analyzer.
+
+A :class:`Diagnostic` is one finding: severity, a stable rule code, a
+human-readable message, and enough structure (plan nodes, buffer
+resource, suggested fix) for tooling to act on it without parsing the
+message.  Analyzers return plain lists of these; :func:`has_errors`
+defines the fail-fast contract used by the ``strict`` flags, and
+:func:`emit` forwards a batch through the :mod:`repro.obs` tracer and
+metrics so verification cost and findings are observable like any other
+library work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is meaningful (ERROR is the largest)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Parameters
+    ----------
+    severity:
+        How bad: ``ERROR`` findings fail strict verification, warnings
+        and infos never do.
+    code:
+        Stable kebab-case rule identifier (e.g. ``plan-hazard``,
+        ``local-memory-overflow``, ``unlocked-mutation``); tests and CI
+        match on this, not the message.
+    message:
+        Human-readable description of the specific finding.
+    source:
+        Which analyzer produced it: ``"plan"``, ``"kernel"``, or
+        ``"lint"``.
+    location:
+        Where: ``"node 5"``, ``"src/x.py:123"``, or a device name.
+    nodes:
+        Plan-node indices involved (plan analyzer only).
+    resource:
+        The contested buffer as ``(kind, index)`` (plan analyzer only).
+    suggestion:
+        A concrete fix, when the analyzer can compute one.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    source: str
+    location: Optional[str] = None
+    nodes: Tuple[int, ...] = field(default=())
+    resource: Optional[Tuple[str, int]] = None
+    suggestion: Optional[str] = None
+
+    def format(self) -> str:
+        """One-line rendering: ``severity [code] location: message``."""
+        where = f" {self.location}:" if self.location else ""
+        text = f"{self.severity} [{self.code}]{where} {self.message}"
+        if self.suggestion:
+            text += f" (fix: {self.suggestion})"
+        return text
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The worst severity present, or ``None`` for an empty batch."""
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    """Whether any finding is ``ERROR`` severity (the strict-fail test)."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def format_diagnostics(
+    diagnostics: Sequence[Diagnostic], header: Optional[str] = None
+) -> str:
+    """Multi-line report, worst findings first; empty batch reads clean."""
+    lines: List[str] = []
+    if header is not None:
+        lines.append(header)
+    if not diagnostics:
+        lines.append("  no findings")
+        return "\n".join(lines)
+    ordered = sorted(
+        diagnostics, key=lambda d: (-int(d.severity), d.source, d.code)
+    )
+    lines.extend(f"  {d.format()}" for d in ordered)
+    return "\n".join(lines)
+
+
+def emit(diagnostics: Sequence[Diagnostic], tracer: object = None,
+         metrics: object = None, analyzer: str = "verify") -> None:
+    """Feed a finished batch through the observability layer.
+
+    Increments ``verify.runs`` / ``verify.findings`` / per-severity
+    counters on ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) and, when ``tracer`` is
+    enabled, records one ``verify`` span carrying the counts.  Both
+    arguments are optional so analyzers stay importable without obs.
+    """
+    if metrics is not None:
+        metrics.counter("verify.runs").inc()
+        metrics.counter("verify.findings").inc(len(diagnostics))
+        for severity in Severity:
+            n = sum(1 for d in diagnostics if d.severity is severity)
+            if n:
+                metrics.counter(f"verify.{severity}").inc(n)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        with tracer.span(
+            "verify",
+            kind="analysis",
+            analyzer=analyzer,
+            n_findings=len(diagnostics),
+            n_errors=sum(
+                1 for d in diagnostics if d.severity is Severity.ERROR
+            ),
+        ):
+            pass

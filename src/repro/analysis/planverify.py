@@ -1,0 +1,442 @@
+"""Static verification of :class:`~repro.core.plan.ExecutionPlan` DAGs.
+
+``ExecutionPlan`` builds its dependency edges at record time, so a plan
+produced through the recording API is correct by construction.  But the
+plan object is mutable and client-visible — node ``deps`` sets can be
+edited, plans can be assembled by other front-ends, and future scheduler
+changes could introduce bugs that silently corrupt likelihoods (two
+same-level operations racing on one buffer *look* fine; they just
+compute the wrong tree).  :class:`PlanVerifier` re-derives what must be
+true of a sound schedule and reports every violation as a structured
+:class:`~repro.analysis.diagnostics.Diagnostic`:
+
+* ``plan-cycle`` — the dependency graph is not a DAG (execution would
+  deadlock or crash);
+* ``plan-foreign-dep`` — a node depends on a node that is not part of
+  the plan;
+* ``index-out-of-range`` — a buffer index falls outside the instance
+  allocation (needs an :class:`~repro.core.types.InstanceConfig`);
+* ``plan-hazard`` — two nodes scheduled into the same independence
+  level touch one resource with at least one writer: a missing
+  RAW/WAR/WAW edge, the exact race the threaded and fused-level
+  backends would hit;
+* ``uninitialized-read`` / ``maybe-uninitialized-read`` — a read with
+  no in-plan writer that the instance state cannot satisfy either
+  (error when the initialized-buffer sets are known, warning when only
+  the config is);
+* ``dead-node`` — a partials operation whose result no likelihood
+  request ever (transitively) consumes: wasted work, usually a wiring
+  bug in the client's traversal.
+
+The resource model is shared with the recorder via
+:func:`repro.core.plan.node_resources`, so the verifier can never drift
+from what ``_add`` actually tracks.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.plan import (
+    _MATRIX,
+    _PARTIALS,
+    _SCALE,
+    EdgeLikelihoodRequest,
+    ExecutionPlan,
+    MatrixUpdate,
+    Operation,
+    PlanNode,
+    Resource,
+    RootLikelihoodRequest,
+    node_resources,
+)
+from repro.core.types import InstanceConfig
+
+_SOURCE = "plan"
+
+#: Resource kinds whose indices are bounded by the instance config,
+#: mapped to the config attribute holding the exclusive upper bound.
+_RANGE_ATTRS = {
+    _PARTIALS: "total_buffer_count",
+    _MATRIX: "matrix_buffer_count",
+    _SCALE: "scale_buffer_count",
+}
+
+
+def _payload_name(node: PlanNode) -> str:
+    return type(node.payload).__name__
+
+
+class PlanVerifier:
+    """Checks one plan against structural and (optionally) instance state.
+
+    Parameters
+    ----------
+    config:
+        Instance dimensions; enables the out-of-range checks and lets
+        the never-written-read check treat tip-range partials buffers
+        (``index < tip_count``) as inputs rather than suspects.
+    initialized_partials / initialized_matrices:
+        Buffer indices known to hold data before the plan runs (e.g.
+        from :attr:`repro.impl.base.BaseImplementation.initialized_partials`).
+        With these supplied, an unsatisfiable read is an ``ERROR``;
+        without them it can only be a ``WARNING`` (the data may have
+        been computed by an earlier plan the verifier cannot see).
+    """
+
+    def __init__(
+        self,
+        config: Optional[InstanceConfig] = None,
+        initialized_partials: Optional[AbstractSet[int]] = None,
+        initialized_matrices: Optional[AbstractSet[int]] = None,
+    ) -> None:
+        self.config = config
+        self.initialized_partials = initialized_partials
+        self.initialized_matrices = initialized_matrices
+
+    # -- public API --------------------------------------------------------
+
+    def verify(self, plan: ExecutionPlan) -> List[Diagnostic]:
+        """All findings for ``plan``; an empty list means fully clean."""
+        nodes = plan.nodes
+        diagnostics: List[Diagnostic] = []
+        diagnostics.extend(self._check_ranges(nodes))
+        members = set(id(n) for n in nodes)
+        diagnostics.extend(self._check_foreign_deps(nodes, members))
+        order = self._topological_order(nodes, members)
+        if order is None:
+            diagnostics.append(self._cycle_diagnostic(nodes, members))
+            # Level and dataflow analyses are meaningless on a cyclic
+            # graph; report the cycle and stop.
+            return diagnostics
+        diagnostics.extend(self._check_hazards(nodes, order, members))
+        diagnostics.extend(self._check_reads(order))
+        diagnostics.extend(self._check_dead_nodes(order))
+        return diagnostics
+
+    # -- individual checks -------------------------------------------------
+
+    def _check_ranges(self, nodes: Sequence[PlanNode]) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for node in nodes:
+            reads, writes = node_resources(node.payload)
+            for kind, index in set(reads) | set(writes):
+                bound = self._range_bound(kind)
+                if index < 0 or (bound is not None and index >= bound):
+                    limit = "" if bound is None else f" [0, {bound})"
+                    out.append(Diagnostic(
+                        severity=Severity.ERROR,
+                        code="index-out-of-range",
+                        message=(
+                            f"{_payload_name(node)} at node {node.index} "
+                            f"references {kind} buffer {index}, outside "
+                            f"the instance allocation{limit}"
+                        ),
+                        source=_SOURCE,
+                        location=f"node {node.index}",
+                        nodes=(node.index,),
+                        resource=(kind, index),
+                    ))
+        return out
+
+    def _range_bound(self, kind: str) -> Optional[int]:
+        if self.config is None:
+            return None
+        attr = _RANGE_ATTRS.get(kind)
+        if attr is None:
+            return None
+        return int(getattr(self.config, attr))
+
+    def _check_foreign_deps(
+        self, nodes: Sequence[PlanNode], members: Set[int]
+    ) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for node in nodes:
+            for dep in node.deps:
+                if id(dep) not in members:
+                    out.append(Diagnostic(
+                        severity=Severity.ERROR,
+                        code="plan-foreign-dep",
+                        message=(
+                            f"node {node.index} depends on node "
+                            f"{dep.index}, which is not part of this plan"
+                        ),
+                        source=_SOURCE,
+                        location=f"node {node.index}",
+                        nodes=(node.index, dep.index),
+                    ))
+        return out
+
+    def _topological_order(
+        self, nodes: Sequence[PlanNode], members: Set[int]
+    ) -> Optional[List[PlanNode]]:
+        """Kahn's algorithm; ``None`` when the graph has a cycle.
+
+        Runs on the raw ``deps`` sets rather than ``plan.levels()``,
+        which assumes a recorded (already dependency-respecting) node
+        order and raises on the very graphs this verifier must catch.
+        """
+        indegree: Dict[int, int] = {}
+        dependents: Dict[int, List[PlanNode]] = {}
+        for node in nodes:
+            deps = [d for d in node.deps if id(d) in members]
+            indegree[id(node)] = len(deps)
+            for dep in deps:
+                dependents.setdefault(id(dep), []).append(node)
+        ready = [n for n in nodes if indegree[id(n)] == 0]
+        order: List[PlanNode] = []
+        while ready:
+            # Pop smallest recorded index first for deterministic output.
+            ready.sort(key=lambda n: n.index)
+            node = ready.pop(0)
+            order.append(node)
+            for dependent in dependents.get(id(node), ()):
+                indegree[id(dependent)] -= 1
+                if indegree[id(dependent)] == 0:
+                    ready.append(dependent)
+        if len(order) != len(nodes):
+            return None
+        return order
+
+    def _cycle_diagnostic(
+        self, nodes: Sequence[PlanNode], members: Set[int]
+    ) -> Diagnostic:
+        # Everything Kahn could not pop participates in (or depends on) a
+        # cycle; report that residue as the offending node set.
+        settled: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if id(node) in settled:
+                    continue
+                deps = [d for d in node.deps if id(d) in members]
+                if all(id(d) in settled for d in deps):
+                    settled.add(id(node))
+                    changed = True
+        cyclic = tuple(
+            sorted(n.index for n in nodes if id(n) not in settled)
+        )
+        return Diagnostic(
+            severity=Severity.ERROR,
+            code="plan-cycle",
+            message=(
+                "dependency graph is not a DAG; nodes "
+                f"{list(cyclic)} form or depend on a cycle"
+            ),
+            source=_SOURCE,
+            nodes=cyclic,
+        )
+
+    def _levels(
+        self, order: Sequence[PlanNode], members: Set[int]
+    ) -> List[List[PlanNode]]:
+        level_of: Dict[int, int] = {}
+        levels: List[List[PlanNode]] = []
+        for node in order:
+            lv = 0
+            for dep in node.deps:
+                if id(dep) in members:
+                    lv = max(lv, level_of[id(dep)] + 1)
+            level_of[id(node)] = lv
+            while len(levels) <= lv:
+                levels.append([])
+            levels[lv].append(node)
+        return levels
+
+    def _check_hazards(
+        self,
+        nodes: Sequence[PlanNode],
+        order: Sequence[PlanNode],
+        members: Set[int],
+    ) -> List[Diagnostic]:
+        """Two same-level nodes touching one resource with a writer.
+
+        Levels are exactly what ``execute_plan`` hands to the concurrent
+        backends, so a conflict here is a real data race, not a style
+        issue: the hazard edge that should have serialised the pair is
+        missing.
+        """
+        out: List[Diagnostic] = []
+        for level_id, level in enumerate(self._levels(order, members)):
+            touches: Dict[Resource, List[Tuple[PlanNode, bool]]] = {}
+            for node in level:
+                reads, writes = node_resources(node.payload)
+                for key in set(writes):
+                    touches.setdefault(key, []).append((node, True))
+                for key in set(reads) - set(writes):
+                    touches.setdefault(key, []).append((node, False))
+            for (kind, index), users in sorted(
+                touches.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            ):
+                writers = [n for n, is_write in users if is_write]
+                if not writers or len(users) < 2:
+                    continue
+                involved = tuple(sorted(n.index for n, _ in users))
+                readers = [n for n, is_write in users if not is_write]
+                kinds = (
+                    "write/write" if len(writers) > 1 and not readers
+                    else "read/write" if len(writers) == 1
+                    else "read/write/write"
+                )
+                out.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="plan-hazard",
+                    message=(
+                        f"missing hazard edge: nodes {list(involved)} "
+                        f"share level {level_id} but have a "
+                        f"{kinds} conflict on {kind} buffer {index}"
+                    ),
+                    source=_SOURCE,
+                    location=f"level {level_id}",
+                    nodes=involved,
+                    resource=(kind, index),
+                ))
+        return out
+
+    def _check_reads(self, order: Sequence[PlanNode]) -> List[Diagnostic]:
+        """Reads no in-plan write (or known instance state) satisfies.
+
+        Scale buffers are exempt: they are reset/accumulated through
+        non-plan calls between plans, so plan-local dataflow cannot see
+        their writers.
+        """
+        out: List[Diagnostic] = []
+        written: Set[Resource] = set()
+        tip_count = self.config.tip_count if self.config is not None else 0
+        for node in order:
+            reads, writes = node_resources(node.payload)
+            for kind, index in reads:
+                if kind == _SCALE or (kind, index) in written:
+                    continue
+                if kind == _PARTIALS and index < tip_count:
+                    # Tip buffers are inputs loaded before any plan runs
+                    # (set_tip_states / set_tip_partials).
+                    if self.initialized_partials is None \
+                            or index in self.initialized_partials:
+                        continue
+                known = (
+                    self.initialized_partials if kind == _PARTIALS
+                    else self.initialized_matrices if kind == _MATRIX
+                    else None
+                )
+                if known is not None:
+                    if index in known:
+                        continue
+                    out.append(Diagnostic(
+                        severity=Severity.ERROR,
+                        code="uninitialized-read",
+                        message=(
+                            f"{_payload_name(node)} at node {node.index} "
+                            f"reads {kind} buffer {index}, which no plan "
+                            "node writes and the instance never "
+                            "initialized"
+                        ),
+                        source=_SOURCE,
+                        location=f"node {node.index}",
+                        nodes=(node.index,),
+                        resource=(kind, index),
+                    ))
+                elif self.config is not None:
+                    out.append(Diagnostic(
+                        severity=Severity.WARNING,
+                        code="maybe-uninitialized-read",
+                        message=(
+                            f"{_payload_name(node)} at node {node.index} "
+                            f"reads {kind} buffer {index} with no in-plan "
+                            "writer; correct only if an earlier plan or "
+                            "data-entry call filled it"
+                        ),
+                        source=_SOURCE,
+                        location=f"node {node.index}",
+                        nodes=(node.index,),
+                        resource=(kind, index),
+                    ))
+            written.update(writes)
+        return out
+
+    def _check_dead_nodes(
+        self, order: Sequence[PlanNode]
+    ) -> List[Diagnostic]:
+        """Partials operations no likelihood request transitively needs.
+
+        Liveness seeds at the plan's likelihood requests and follows the
+        dependency edges backwards; anything those requests never reach
+        was computed for nothing.  Plans that carry no likelihood
+        request (e.g. a partials-only batch flushed before a separately
+        issued root call) are skipped — there is no consumer to anchor
+        the analysis.
+        """
+        roots = [
+            n for n in order
+            if isinstance(
+                n.payload, (RootLikelihoodRequest, EdgeLikelihoodRequest)
+            )
+        ]
+        if not roots:
+            return []
+        live: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in live:
+                continue
+            live.add(id(node))
+            stack.extend(node.deps)
+        out: List[Diagnostic] = []
+        for node in order:
+            if isinstance(node.payload, Operation) and id(node) not in live:
+                out.append(Diagnostic(
+                    severity=Severity.WARNING,
+                    code="dead-node",
+                    message=(
+                        f"operation at node {node.index} writes partials "
+                        f"buffer {node.payload.destination} but no "
+                        "likelihood request in this plan ever consumes it"
+                    ),
+                    source=_SOURCE,
+                    location=f"node {node.index}",
+                    nodes=(node.index,),
+                    resource=(_PARTIALS, node.payload.destination),
+                ))
+        return out
+
+
+def verify_plan(
+    plan: ExecutionPlan,
+    config: Optional[InstanceConfig] = None,
+    impl: Optional[object] = None,
+    initialized_partials: Optional[AbstractSet[int]] = None,
+    initialized_matrices: Optional[AbstractSet[int]] = None,
+) -> List[Diagnostic]:
+    """Convenience wrapper around :class:`PlanVerifier`.
+
+    Pass ``impl`` (a :class:`~repro.impl.base.BaseImplementation`) to
+    pull the config and initialized-buffer sets from live instance
+    state; explicit keyword arguments override what ``impl`` provides.
+    """
+    if impl is not None:
+        if config is None:
+            config = getattr(impl, "config", None)
+        if initialized_partials is None:
+            initialized_partials = getattr(
+                impl, "initialized_partials", None
+            )
+        if initialized_matrices is None:
+            initialized_matrices = getattr(
+                impl, "initialized_matrices", None
+            )
+    return PlanVerifier(
+        config=config,
+        initialized_partials=initialized_partials,
+        initialized_matrices=initialized_matrices,
+    ).verify(plan)

@@ -252,5 +252,134 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def verify_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-verify",
+        description="Static verification: plan hazards, kernel configs, "
+                    "and concurrency lint",
+    )
+    parser.add_argument(
+        "--plan", action="store_true",
+        help="verify the execution plan of a sample session",
+    )
+    parser.add_argument(
+        "--kernels", action="store_true",
+        help="validate kernel configs across the device catalog",
+    )
+    parser.add_argument(
+        "--lint", metavar="PATH", nargs="*",
+        help="run the concurrency/API lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any error-severity diagnostic remains",
+    )
+    parser.add_argument("--backend", default="auto")
+    parser.add_argument("--taxa", type=int, default=8)
+    parser.add_argument("--patterns", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.analysis import (
+        Severity,
+        format_diagnostics,
+        lint_paths,
+        suggest_kernel_config,
+        validate_kernel_config,
+    )
+
+    run_all = not (args.plan or args.kernels or args.lint is not None)
+    gating = []  # error diagnostics that should fail a strict run
+
+    if args.plan or run_all:
+        from repro.model import HKY85
+        from repro.seq.simulate import synthetic_pattern_set
+        from repro.session import Session, backend_flags
+        from repro.tree.generate import yule_tree
+
+        try:
+            backend_flags(args.backend)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        tree = yule_tree(args.taxa, rng=args.seed)
+        data = synthetic_pattern_set(
+            args.taxa, args.patterns, 4, rng=args.seed + 1
+        )
+        backend = None if args.backend == "auto" else args.backend
+        with Session(data, tree, HKY85(kappa=2.0), backend=backend) as s:
+            diags = s.verify()
+            print(format_diagnostics(
+                diags,
+                header=f"plan verification "
+                       f"({s.resource.implementation_name}, "
+                       f"{args.taxa} taxa, {args.patterns} patterns):",
+            ))
+            gating.extend(d for d in diags if d.severity is Severity.ERROR)
+        print()
+
+    if args.kernels or run_all:
+        from repro.accel.device import DEVICE_CATALOG, ProcessorType
+        from repro.accel.kernelgen import KernelConfig
+
+        print("kernel-config validation (device catalog sweep):")
+        for device in DEVICE_CATALOG.values():
+            is_gpu = device.processor == ProcessorType.GPU
+            for states in (4, 20, 61):
+                requested = KernelConfig(
+                    state_count=states,
+                    precision="single",
+                    variant="gpu" if is_gpu else "x86",
+                    use_fma=True,
+                    use_local_memory=is_gpu,
+                )
+                diags = validate_kernel_config(requested, device)
+                label = f"  {device.name:<24s} states={states:<3d}"
+                if not diags:
+                    print(f"{label} requested config OK")
+                else:
+                    print(f"{label} requested config rejected:")
+                    for d in sorted(
+                        diags, key=lambda d: d.severity, reverse=True
+                    ):
+                        print(f"    {d.format()}")
+                fitted = suggest_kernel_config(requested, device)
+                residual = validate_kernel_config(fitted, device)
+                residual_errors = [
+                    d for d in residual if d.severity is Severity.ERROR
+                ]
+                if residual_errors:
+                    print(f"{label} suggested config STILL INVALID:")
+                    for d in residual_errors:
+                        print(f"    {d.format()}")
+                    gating.extend(residual_errors)
+                elif diags:
+                    print(
+                        f"    fix: variant={fitted.variant} "
+                        f"block={fitted.pattern_block_size} "
+                        f"wg_patterns={fitted.workgroup_patterns} "
+                        f"fma={fitted.use_fma} "
+                        f"local={fitted.use_local_memory}"
+                    )
+        print()
+
+    if args.lint is not None or run_all:
+        import repro
+
+        paths = args.lint or [repro.__path__[0]]
+        diags = lint_paths(paths)
+        print(format_diagnostics(
+            diags, header=f"concurrency/API lint ({', '.join(paths)}):"
+        ))
+        gating.extend(d for d in diags if d.severity is Severity.ERROR)
+        print()
+
+    if gating:
+        print(f"{len(gating)} error-severity diagnostic(s)")
+        return 1 if args.strict else 0
+    print("all checks clean")
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(info_main())

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,20 +27,33 @@ _next_handle = 0
 #: ``beagle_finalize_instance`` may race from concurrent client threads.
 _handle_lock = threading.Lock()
 
-#: Message of the most recent failed ``beagle_*`` call (cleared on the
-#: next success).  The C API only returns integer codes; this mirrors
-#: the debugging workflow of inspecting BEAGLE's stderr diagnostics.
-_last_error_message: Optional[str] = None
+
+class _ErrorState(threading.local):
+    """Per-thread last-error message.
+
+    Message of the most recent failed ``beagle_*`` call on *this*
+    thread, cleared by the next successful call.  The C API only
+    returns integer codes; this mirrors the debugging workflow of
+    inspecting BEAGLE's stderr diagnostics.  Thread-local so a failure
+    on one client thread is never reported to (or clobbered by) calls
+    racing on another.
+    """
+
+    message: Optional[str] = None
+
+
+_error_state = _ErrorState()
 
 
 def beagle_get_last_error_message() -> Optional[str]:
-    """Message of the most recent failed call, or ``None`` after success.
+    """Message of this thread's most recent failed call, or ``None``.
 
     Error codes alone discard the exception detail (which buffer index,
     what shape mismatch); this recovers it without changing the C-style
-    return-code contract.
+    return-code contract.  Any successful ``beagle_*`` call clears it,
+    so a stale message from a recovered failure is never re-reported.
     """
-    return _last_error_message
+    return _error_state.message
 
 
 def _record_failure(name: str, exc: BaseException) -> int:
@@ -49,8 +62,7 @@ def _record_failure(name: str, exc: BaseException) -> int:
     Every error funnels through here so the message format — which call
     failed, the exception class, the detail — is uniform across the API.
     """
-    global _last_error_message
-    _last_error_message = f"{name}: {type(exc).__name__}: {exc}"
+    _error_state.message = f"{name}: {type(exc).__name__}: {exc}"
     if isinstance(exc, BeagleError):
         return int(exc.code)
     if isinstance(exc, (ValueError, IndexError, KeyError)):
@@ -58,18 +70,17 @@ def _record_failure(name: str, exc: BaseException) -> int:
     return int(ReturnCode.ERROR_UNIDENTIFIED_EXCEPTION)
 
 
-def _wrap(name: str, fn) -> int:
+def _wrap(name: str, fn: Callable[[], object]) -> int:
     """Run ``fn`` and translate exceptions to BEAGLE error codes.
 
     ``name`` is the ``beagle_*`` call being serviced; it is recorded in
     :func:`beagle_get_last_error_message` on failure.
     """
-    global _last_error_message
     try:
         fn()
     except Exception as exc:
         return _record_failure(name, exc)
-    _last_error_message = None
+    _error_state.message = None
     return int(ReturnCode.SUCCESS)
 
 
@@ -81,8 +92,18 @@ def _get(instance: int) -> BeagleInstance:
 
 
 def beagle_get_resource_list() -> List[ResourceDescription]:
-    """``beagleGetResourceList``."""
-    return default_manager().resources()
+    """``beagleGetResourceList``.
+
+    Routed through :func:`_wrap` like every other call so a successful
+    listing clears any stale error message.
+    """
+    resources: List[ResourceDescription] = []
+
+    def go() -> None:
+        resources.extend(default_manager().resources())
+
+    _wrap("beagle_get_resource_list", go)
+    return resources
 
 
 def beagle_create_instance(
@@ -107,7 +128,7 @@ def beagle_create_instance(
     ``beagle.h``); ``resource_ids`` is a deprecated alias kept for
     symmetry with :func:`repro.core.instance.create_instance`.
     """
-    global _next_handle, _last_error_message
+    global _next_handle
     if resource_ids is not None:
         if resource_list is not None:
             exc = ValueError("pass resource_list or resource_ids, not both")
@@ -145,7 +166,7 @@ def beagle_create_instance(
         )
     except (BeagleError, ValueError, IndexError) as exc:
         return _record_failure("beagle_create_instance", exc), None
-    _last_error_message = None
+    _error_state.message = None
     with _handle_lock:
         handle = _next_handle
         _next_handle += 1
@@ -156,7 +177,7 @@ def beagle_create_instance(
 def beagle_finalize_instance(instance: int) -> int:
     """``beagleFinalizeInstance``."""
 
-    def go():
+    def go() -> None:
         with _handle_lock:
             inst = _get(instance)
             del _instances[instance]
@@ -165,23 +186,23 @@ def beagle_finalize_instance(instance: int) -> int:
     return _wrap("beagle_finalize_instance", go)
 
 
-def beagle_set_tip_states(instance: int, tip_index: int, states) -> int:
+def beagle_set_tip_states(instance: int, tip_index: int, states: Any) -> int:
     return _wrap("beagle_set_tip_states", lambda: _get(instance).set_tip_states(
         tip_index, np.asarray(states, dtype=np.int32)))
 
 
-def beagle_set_tip_partials(instance: int, tip_index: int, partials) -> int:
+def beagle_set_tip_partials(instance: int, tip_index: int, partials: Any) -> int:
     return _wrap("beagle_set_tip_partials", lambda: _get(instance).set_tip_partials(
         tip_index, np.asarray(partials)))
 
 
-def beagle_set_partials(instance: int, buffer_index: int, partials) -> int:
+def beagle_set_partials(instance: int, buffer_index: int, partials: Any) -> int:
     return _wrap("beagle_set_partials", lambda: _get(instance).set_partials(
         buffer_index, np.asarray(partials)))
 
 
 def beagle_get_partials(instance: int, buffer_index: int, out: np.ndarray) -> int:
-    def go():
+    def go() -> None:
         out[...] = _get(instance).get_partials(buffer_index)
 
     return _wrap("beagle_get_partials", go)
@@ -190,9 +211,9 @@ def beagle_get_partials(instance: int, buffer_index: int, out: np.ndarray) -> in
 def beagle_set_eigen_decomposition(
     instance: int,
     eigen_index: int,
-    eigenvectors,
-    inverse_eigenvectors,
-    eigenvalues,
+    eigenvectors: Any,
+    inverse_eigenvectors: Any,
+    eigenvalues: Any,
 ) -> int:
     return _wrap("beagle_set_eigen_decomposition", lambda: _get(instance).set_eigen_decomposition(
         eigen_index,
@@ -202,24 +223,24 @@ def beagle_set_eigen_decomposition(
     ))
 
 
-def beagle_set_category_rates(instance: int, rates) -> int:
+def beagle_set_category_rates(instance: int, rates: Any) -> int:
     return _wrap("beagle_set_category_rates", lambda: _get(instance).set_category_rates(rates))
 
 
-def beagle_set_category_weights(instance: int, index: int, weights) -> int:
+def beagle_set_category_weights(instance: int, index: int, weights: Any) -> int:
     return _wrap("beagle_set_category_weights", lambda: _get(instance).set_category_weights(index, weights))
 
 
-def beagle_set_state_frequencies(instance: int, index: int, frequencies) -> int:
+def beagle_set_state_frequencies(instance: int, index: int, frequencies: Any) -> int:
     return _wrap("beagle_set_state_frequencies", lambda: _get(instance).set_state_frequencies(
         index, frequencies))
 
 
-def beagle_set_pattern_weights(instance: int, weights) -> int:
+def beagle_set_pattern_weights(instance: int, weights: Any) -> int:
     return _wrap("beagle_set_pattern_weights", lambda: _get(instance).set_pattern_weights(weights))
 
 
-def beagle_set_transition_matrix(instance: int, index: int, matrix) -> int:
+def beagle_set_transition_matrix(instance: int, index: int, matrix: Any) -> int:
     return _wrap("beagle_set_transition_matrix", lambda: _get(instance).set_transition_matrix(
         index, np.asarray(matrix)))
 
@@ -238,7 +259,7 @@ def beagle_update_transition_matrices(
 
 
 def beagle_get_transition_matrix(instance: int, index: int, out: np.ndarray) -> int:
-    def go():
+    def go() -> None:
         out[...] = _get(instance).get_transition_matrix(index)
 
     return _wrap("beagle_get_transition_matrix", go)
@@ -247,7 +268,7 @@ def beagle_get_transition_matrix(instance: int, index: int, out: np.ndarray) -> 
 def beagle_get_scale_factors(instance: int, index: int, out: np.ndarray) -> int:
     """Log-domain scale factors of one buffer (``SCALERS_LOG``)."""
 
-    def go():
+    def go() -> None:
         out[...] = _get(instance).impl.get_scale_factors(index)
 
     return _wrap("beagle_get_scale_factors", go)
@@ -269,7 +290,7 @@ def beagle_calculate_edge_derivatives(
 ) -> int:
     """``beagleCalculateEdgeLogLikelihoods`` with derivatives (one edge)."""
 
-    def go():
+    def go() -> None:
         if len(parent_buffer_indices) != 1:
             raise ValueError("exactly one edge evaluation per call")
         logl, d1, d2 = _get(instance).calculate_edge_derivatives(
@@ -298,7 +319,7 @@ def beagle_update_partials(
     readScale, child1, child1Matrix, child2, child2Matrix).
     """
 
-    def go():
+    def go() -> None:
         ops = []
         for row in operations:
             if isinstance(row, Operation):
@@ -345,7 +366,7 @@ def beagle_calculate_root_log_likelihoods(
 ) -> int:
     """``beagleCalculateRootLogLikelihoods`` (single root supported)."""
 
-    def go():
+    def go() -> None:
         if not (
             len(buffer_indices) == len(category_weights_indices)
             == len(state_frequencies_indices) == len(cumulative_scale_indices)
@@ -372,7 +393,7 @@ def beagle_calculate_edge_log_likelihoods(
     cumulative_scale_indices: Sequence[int],
     out_sum_log_likelihood: np.ndarray,
 ) -> int:
-    def go():
+    def go() -> None:
         if len(parent_buffer_indices) != 1:
             raise ValueError("exactly one edge evaluation per call")
         out_sum_log_likelihood[0] = _get(instance).calculate_edge_log_likelihoods(
@@ -388,7 +409,7 @@ def beagle_calculate_edge_log_likelihoods(
 
 
 def beagle_get_site_log_likelihoods(instance: int, out: np.ndarray) -> int:
-    def go():
+    def go() -> None:
         out[...] = _get(instance).get_site_log_likelihoods()
 
     return _wrap("beagle_get_site_log_likelihoods", go)
@@ -405,5 +426,28 @@ def beagle_set_execution_mode(instance: int, deferred: bool) -> int:
 
 
 def beagle_flush(instance: int) -> int:
-    """Execute any recorded deferred work (no-op in eager mode)."""
+    """Execute any recorded deferred work (no-op in eager mode).
+
+    With strict plan verification enabled (see
+    :func:`beagle_set_plan_verification`), a plan with error-severity
+    findings fails here with ``BEAGLE_ERROR_GENERAL`` before any node
+    executes; the diagnostics land in
+    :func:`beagle_get_last_error_message`.
+    """
     return _wrap("beagle_flush", lambda: _get(instance).flush())
+
+
+def beagle_set_plan_verification(instance: int, strict: bool) -> int:
+    """Toggle fail-fast static verification of deferred plans.
+
+    When strict, every flush first runs the
+    :class:`~repro.analysis.planverify.PlanVerifier` over the recorded
+    plan and refuses to execute one with error-severity diagnostics
+    (missing hazard edges, out-of-range indices, cycles, uninitialized
+    reads).  Off by default: verification walks the whole DAG, which is
+    measurable on large trees.
+    """
+    return _wrap(
+        "beagle_set_plan_verification",
+        lambda: _get(instance).set_plan_verification(strict),
+    )

@@ -19,7 +19,7 @@ from repro.core.plan import ExecutionPlan
 from repro.core.types import InstanceConfig, InstanceDetails, Operation
 from repro.impl.base import BaseImplementation
 from repro.model.ratematrix import EigenSystem, SubstitutionModel
-from repro.util.errors import UninitializedInstanceError
+from repro.util.errors import PlanVerificationError, UninitializedInstanceError
 
 
 class BeagleInstance:
@@ -46,6 +46,7 @@ class BeagleInstance:
         resource_ids: Optional[Sequence[int]] = None,
         manager: Optional[ResourceManager] = None,
         deferred: bool = False,
+        strict_plans: bool = False,
         **factory_kwargs,
     ) -> None:
         manager = manager or default_manager()
@@ -63,6 +64,7 @@ class BeagleInstance:
         self._plan: Optional[ExecutionPlan] = (
             ExecutionPlan() if deferred else None
         )
+        self._strict_plans = bool(strict_plans)
 
     @property
     def impl(self) -> BaseImplementation:
@@ -106,13 +108,62 @@ class BeagleInstance:
             self.flush()
             self._plan = None
 
+    @property
+    def strict_plans(self) -> bool:
+        """Whether :meth:`flush` statically verifies plans before running."""
+        return self._strict_plans
+
+    def set_plan_verification(self, strict: bool) -> None:
+        """Toggle fail-fast static plan verification (off by default).
+
+        When strict, :meth:`flush` runs the
+        :class:`~repro.analysis.planverify.PlanVerifier` over the
+        recorded plan and raises
+        :class:`~repro.util.errors.PlanVerificationError` — before
+        executing anything — if it finds error-severity diagnostics.
+        """
+        self._strict_plans = bool(strict)
+
+    def verify_plan(self):
+        """Statically verify the currently recorded (unflushed) plan.
+
+        Returns the list of
+        :class:`~repro.analysis.diagnostics.Diagnostic` findings
+        against this instance's allocation and initialized-buffer
+        state; empty when nothing is recorded or the plan is clean.
+        The plan stays recorded either way.
+        """
+        if self._plan is None or self._plan.is_empty:
+            return []
+        from repro.analysis.planverify import verify_plan as _verify
+
+        return _verify(self._plan, config=self.config, impl=self.impl)
+
     def flush(self) -> Dict[int, float]:
         """Execute the recorded plan; returns node-index -> log-likelihood.
 
         A no-op (empty mapping) in eager mode or with nothing recorded.
+        In strict mode (:meth:`set_plan_verification`) a plan with
+        error-severity diagnostics raises
+        :class:`~repro.util.errors.PlanVerificationError` and stays
+        recorded, so it can be inspected via :meth:`verify_plan`.
         """
         if self._plan is None or self._plan.is_empty:
             return {}
+        if self._strict_plans:
+            from repro.analysis.diagnostics import (
+                Severity,
+                format_diagnostics,
+            )
+
+            errors = [
+                d for d in self.verify_plan()
+                if d.severity is Severity.ERROR
+            ]
+            if errors:
+                raise PlanVerificationError(format_diagnostics(
+                    errors, header="plan verification failed:"
+                ))
         plan, self._plan = self._plan, ExecutionPlan()
         return self.impl.execute_plan(plan)
 

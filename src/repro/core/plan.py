@@ -33,7 +33,7 @@ output resource, which serialises them in recorded order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.flags import OP_NONE
 from repro.core.types import Operation
@@ -94,6 +94,9 @@ _MATRIX = "matrix"
 _SCALE = "scale"
 _SITE_OUTPUT = "site-log-likelihoods"
 
+#: A dependency resource: ``(kind tag, buffer index)``.
+Resource = Tuple[str, int]
+
 
 class PlanNode:
     """One DAG node: a payload plus the nodes it must run after."""
@@ -103,15 +106,17 @@ class PlanNode:
     def __init__(self, index: int, payload: PlanPayload) -> None:
         self.index = index
         self.payload = payload
-        self.deps: set = set()
+        self.deps: Set["PlanNode"] = set()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<PlanNode {self.index} {type(self.payload).__name__}>"
 
 
-def _matrix_update_resources(update: MatrixUpdate):
-    reads: List[Tuple[str, int]] = []
-    writes = [(_MATRIX, i) for i in update.matrix_indices]
+def _matrix_update_resources(
+    update: MatrixUpdate,
+) -> Tuple[List[Resource], List[Resource]]:
+    reads: List[Resource] = []
+    writes: List[Resource] = [(_MATRIX, i) for i in update.matrix_indices]
     for deriv in (update.first_derivative_indices,
                   update.second_derivative_indices):
         if deriv is not None:
@@ -119,8 +124,10 @@ def _matrix_update_resources(update: MatrixUpdate):
     return reads, writes
 
 
-def _operation_resources(op: Operation):
-    reads = [
+def _operation_resources(
+    op: Operation,
+) -> Tuple[List[Resource], List[Resource]]:
+    reads: List[Resource] = [
         (_PARTIALS, op.child1),
         (_PARTIALS, op.child2),
         (_MATRIX, op.child1_matrix),
@@ -128,21 +135,25 @@ def _operation_resources(op: Operation):
     ]
     if op.read_scale != OP_NONE:
         reads.append((_SCALE, op.read_scale))
-    writes = [(_PARTIALS, op.destination)]
+    writes: List[Resource] = [(_PARTIALS, op.destination)]
     if op.write_scale != OP_NONE:
         writes.append((_SCALE, op.write_scale))
     return reads, writes
 
 
-def _root_resources(req: RootLikelihoodRequest):
-    reads = [(_PARTIALS, req.buffer_index)]
+def _root_resources(
+    req: RootLikelihoodRequest,
+) -> Tuple[List[Resource], List[Resource]]:
+    reads: List[Resource] = [(_PARTIALS, req.buffer_index)]
     if req.cumulative_scale_index != OP_NONE:
         reads.append((_SCALE, req.cumulative_scale_index))
     return reads, [(_SITE_OUTPUT, 0)]
 
 
-def _edge_resources(req: EdgeLikelihoodRequest):
-    reads = [
+def _edge_resources(
+    req: EdgeLikelihoodRequest,
+) -> Tuple[List[Resource], List[Resource]]:
+    reads: List[Resource] = [
         (_PARTIALS, req.parent_index),
         (_PARTIALS, req.child_index),
         (_MATRIX, req.matrix_index),
@@ -150,6 +161,26 @@ def _edge_resources(req: EdgeLikelihoodRequest):
     if req.cumulative_scale_index != OP_NONE:
         reads.append((_SCALE, req.cumulative_scale_index))
     return reads, [(_SITE_OUTPUT, 0)]
+
+
+def node_resources(
+    payload: PlanPayload,
+) -> Tuple[List[Resource], List[Resource]]:
+    """``(reads, writes)`` of a payload, exactly as dependency analysis
+    sees them.
+
+    Public so static verifiers (:mod:`repro.analysis.planverify`) share
+    the recording-time resource model instead of re-deriving it.
+    """
+    if isinstance(payload, MatrixUpdate):
+        return _matrix_update_resources(payload)
+    if isinstance(payload, Operation):
+        return _operation_resources(payload)
+    if isinstance(payload, RootLikelihoodRequest):
+        return _root_resources(payload)
+    if isinstance(payload, EdgeLikelihoodRequest):
+        return _edge_resources(payload)
+    raise TypeError(f"not a plan payload: {payload!r}")
 
 
 class ExecutionPlan:
@@ -170,7 +201,12 @@ class ExecutionPlan:
 
     # -- recording -----------------------------------------------------------
 
-    def _add(self, payload: PlanPayload, reads, writes) -> PlanNode:
+    def _add(
+        self,
+        payload: PlanPayload,
+        reads: Sequence[Resource],
+        writes: Sequence[Resource],
+    ) -> PlanNode:
         node = PlanNode(len(self._nodes), payload)
         for key in reads:
             writer = self._last_writer.get(key)

@@ -165,6 +165,25 @@ class BaseImplementation(abc.ABC):
         self._tracer: Tracer = NULL_TRACER
         self._metrics: Optional[MetricsRegistry] = None
 
+        # Which partials/matrix buffers have actually been written (data
+        # entry or computation).  Static plan verification reads these to
+        # distinguish "filled by an earlier plan" from "never filled".
+        # Updated at write time, never at deferred record time.
+        self._written_partials: set = set()
+        self._written_matrices: set = set()
+
+    # -- write tracking ------------------------------------------------------
+
+    @property
+    def initialized_partials(self) -> frozenset:
+        """Indices of partials buffers that hold data (tips included)."""
+        return frozenset(self._written_partials)
+
+    @property
+    def initialized_matrices(self) -> frozenset:
+        """Indices of matrix buffers that hold data."""
+        return frozenset(self._written_matrices)
+
     # -- observability -------------------------------------------------------
 
     @property
@@ -240,6 +259,7 @@ class BaseImplementation(abc.ABC):
                 f"(gap = {self.config.state_count})"
             )
         self._tip_states[tip_index] = states
+        self._written_partials.add(tip_index)
 
     def set_tip_partials(self, tip_index: int, partials: np.ndarray) -> None:
         """Store per-state partials for a tip (supports partial ambiguity).
@@ -258,6 +278,7 @@ class BaseImplementation(abc.ABC):
             raise ValueError(f"tip partials shape {partials.shape} invalid")
         self._tip_states.pop(tip_index, None)
         self._partials[tip_index] = partials
+        self._written_partials.add(tip_index)
 
     def set_partials(self, index: int, partials: np.ndarray) -> None:
         """Directly set any partials buffer (mainly used by tests)."""
@@ -268,6 +289,7 @@ class BaseImplementation(abc.ABC):
             raise ValueError(f"partials shape {partials.shape} invalid")
         self._tip_states.pop(index, None)
         self._partials[index] = partials
+        self._written_partials.add(index)
 
     def get_partials(self, index: int) -> np.ndarray:
         self._check_buffer(index)
@@ -354,6 +376,7 @@ class BaseImplementation(abc.ABC):
         if matrix.shape != (c.category_count, c.state_count, c.state_count):
             raise ValueError(f"matrix shape {matrix.shape} invalid")
         self._matrices[index] = matrix
+        self._written_matrices.add(index)
 
     def get_transition_matrix(self, index: int) -> np.ndarray:
         self._check_matrix(index)
@@ -387,6 +410,10 @@ class BaseImplementation(abc.ABC):
             first_derivative_indices,
             second_derivative_indices,
         )
+        self._written_matrices.update(matrix_indices)
+        for deriv in (first_derivative_indices, second_derivative_indices):
+            if deriv is not None:
+                self._written_matrices.update(deriv)
         tracer = self._tracer
         if not tracer.enabled:
             self._update_matrices_body(
@@ -554,6 +581,7 @@ class BaseImplementation(abc.ABC):
         ops = list(operations)
         for op in ops:
             self._validate_operation(op)
+        self._written_partials.update(op.destination for op in ops)
         tracer = self._tracer
         if not tracer.enabled:
             self._execute_operations(ops)
@@ -654,6 +682,9 @@ class BaseImplementation(abc.ABC):
                 self._validate_operation(payload)
                 level_ops.append(payload)
         if level_ops:
+            self._written_partials.update(
+                op.destination for op in level_ops
+            )
             self._execute_level(level_ops)
         for node in level:
             payload = node.payload

@@ -46,7 +46,8 @@ class Counter:
         return {"name": self.name, "type": self.kind, "value": self._value}
 
     def _restore(self, data: Dict[str, Any]) -> None:
-        self._value = float(data["value"])
+        with self._lock:
+            self._value = float(data["value"])
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self._value:g})"
@@ -85,9 +86,10 @@ class Gauge:
         }
 
     def _restore(self, data: Dict[str, Any]) -> None:
-        self._value = float(data["value"])
-        self._min = data.get("min")
-        self._max = data.get("max")
+        with self._lock:
+            self._value = float(data["value"])
+            self._min = data.get("min")
+            self._max = data.get("max")
 
     def __repr__(self) -> str:
         return (
@@ -159,12 +161,13 @@ class Histogram:
         }
 
     def _restore(self, data: Dict[str, Any]) -> None:
-        self.buckets = tuple(data["buckets"])
-        self._counts = list(data["bucket_counts"])
-        self._count = int(data["count"])
-        self._sum = float(data["sum"])
-        self._min = data.get("min")
-        self._max = data.get("max")
+        with self._lock:
+            self.buckets = tuple(data["buckets"])
+            self._counts = list(data["bucket_counts"])
+            self._count = int(data["count"])
+            self._sum = float(data["sum"])
+            self._min = data.get("min")
+            self._max = data.get("max")
 
     def __repr__(self) -> str:
         return (

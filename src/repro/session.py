@@ -138,6 +138,63 @@ class Session:
         """Switch between eager and deferred (plan-batched) execution."""
         self.likelihood.set_execution_mode(deferred)
 
+    def verify(self, strict: bool = False):
+        """Statically verify this session without running a likelihood.
+
+        Builds the execution plan a full :meth:`log_likelihood` would
+        record, checks it with
+        :class:`~repro.analysis.planverify.PlanVerifier` (hazard edges,
+        buffer ranges, uninitialized reads, dead nodes), and — when the
+        session runs on an accelerated backend — validates the compiled
+        kernel configuration against the selected device's limits with
+        :class:`~repro.analysis.kernelcheck.KernelConfigValidator`.
+
+        Diagnostics are emitted through the session tracer/metrics
+        (``verify.*`` counters, a ``verify`` span when tracing) and
+        returned as a list.  With ``strict=True``, error-severity
+        findings raise :class:`~repro.util.errors.PlanVerificationError`.
+        """
+        from repro.analysis.diagnostics import emit, format_diagnostics
+        from repro.analysis.kernelcheck import validate_kernel_config
+        from repro.analysis.planverify import verify_plan
+        from repro.core.plan import ExecutionPlan
+        from repro.tree.traversal import plan_traversal
+        from repro.util.errors import PlanVerificationError
+
+        tl = self.likelihood
+        traversal = plan_traversal(tl.tree, use_scaling=tl.use_scaling)
+        plan = ExecutionPlan()
+        plan.record_matrix_update(
+            0,
+            list(traversal.branch_node_indices),
+            list(traversal.branch_lengths),
+        )
+        plan.record_operations(traversal.operations)
+        plan.record_root_likelihood(
+            traversal.root_index, 0, 0, tl._cumulative_scale
+        )
+        instance = tl.instance
+        diagnostics = list(
+            verify_plan(plan, config=instance.config, impl=instance.impl)
+        )
+        interface = getattr(instance.impl, "interface", None)
+        if interface is not None and interface._kernel_config is not None:
+            diagnostics.extend(
+                validate_kernel_config(
+                    interface.kernel_config, interface.device
+                )
+            )
+        emit(diagnostics, self._tracer, self._metrics, analyzer="session")
+        if strict:
+            errors = [d for d in diagnostics if d.severity.name == "ERROR"]
+            if errors:
+                raise PlanVerificationError(
+                    format_diagnostics(
+                        errors, header="session verification failed:"
+                    )
+                )
+        return diagnostics
+
     # -- observability -----------------------------------------------------
 
     @property

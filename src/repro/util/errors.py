@@ -58,6 +58,18 @@ class NoImplementationError(BeagleError):
     code = -7  # BEAGLE_ERROR_NO_IMPLEMENTATION
 
 
+class PlanVerificationError(BeagleError):
+    """Strict static verification rejected an execution plan.
+
+    Raised by :meth:`repro.core.instance.BeagleInstance.flush` (and the
+    likelihood calls that trigger it) when plan verification is strict
+    and the recorded plan carries error-severity diagnostics; the
+    message lists them.  Nothing from the rejected plan executes.
+    """
+
+    code = -1  # BEAGLE_ERROR_GENERAL
+
+
 class FloatingPointError_(BeagleError):
     """A likelihood evaluation produced a non-finite value.
 

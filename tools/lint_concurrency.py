@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Concurrency/API lint gate for CI.
+
+Thin command-line front end over :mod:`repro.analysis.astlint`: walks the
+given paths (default ``src/repro``), flags mutations of lock-guarded
+state performed outside ``with self._lock`` blocks and ``beagle_*`` API
+functions that bypass the ``_wrap`` error-code boundary, and exits 1 if
+any error-severity finding remains.
+
+Usage::
+
+    python tools/lint_concurrency.py [PATH ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    Severity,
+    format_diagnostics,
+    lint_paths,
+)
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else list(argv)
+    paths = args or [str(SRC / "repro")]
+    diagnostics = lint_paths(paths)
+    print(format_diagnostics(
+        diagnostics, header=f"concurrency/API lint ({', '.join(paths)}):"
+    ))
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        print(f"{len(errors)} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

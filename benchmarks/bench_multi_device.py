@@ -1,0 +1,229 @@
+"""Multi-device executor benchmark: serial vs concurrent vs rebalanced.
+
+Runs the same pattern-split likelihood on a pair of simulated devices
+with a known speed ratio (a catalog GPU and a uniformly slowed copy,
+:meth:`repro.accel.device.DeviceSpec.slowed`) under three execution
+strategies:
+
+* **serial** — the plain :class:`MultiDeviceLikelihood` sum, one
+  component after another;
+* **concurrent** — :class:`repro.sched.ConcurrentExecutor` overlapping
+  the components on a static equal split;
+* **rebalanced** — :class:`repro.sched.RebalancingExecutor` feeding
+  measured per-device throughput back into the pattern split.
+
+Costs are *simulated device seconds* (the devices model their own
+clocks), so the comparison is deterministic and CI-stable.  The
+rebalanced run must land within :data:`CONVERGENCE_BUDGET` of the
+balanced optimum ``N / sum(rates)`` and strictly beat the equal split.
+
+Run standalone for CI (exits non-zero when convergence fails)::
+
+    PYTHONPATH=src python benchmarks/bench_multi_device.py --assert \
+        --json multi-device.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.accel.device import QUADRO_P5000
+from repro.core.flags import Flag
+from repro.core.manager import ResourceManager
+from repro.model import HKY85, SiteModel
+from repro.obs import MetricsRegistry, Tracer
+from repro.partition.multi import MultiDeviceLikelihood
+from repro.sched import ConcurrentExecutor, RebalancingExecutor
+from repro.seq import synthetic_pattern_set
+from repro.tree import yule_tree
+from repro.util.tables import format_table
+
+#: Rebalanced critical path must end within this factor of the balanced
+#: optimum — the acceptance band for the measured-feedback loop.
+CONVERGENCE_BUDGET = 1.15
+
+
+def _workload(tips: int, patterns: int):
+    tree = yule_tree(tips, rng=1)
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(tips, patterns, 4, rng=7)
+    return tree, model, site_model, data
+
+
+def _device_requests(ratio: float):
+    """Two simulated CUDA devices ``ratio`` apart in speed."""
+    fast = QUADRO_P5000
+    slow = QUADRO_P5000.slowed(ratio, name=f"sim-slow-{ratio:g}x")
+    return {
+        "fast": dict(
+            requirement_flags=Flag.FRAMEWORK_CUDA,
+            manager=ResourceManager([fast]),
+        ),
+        "slow": dict(
+            requirement_flags=Flag.FRAMEWORK_CUDA,
+            manager=ResourceManager([slow]),
+        ),
+    }
+
+
+def measure(
+    tips: int = 16,
+    patterns: int = 50_000,
+    ratio: float = 6.0,
+    evaluations: int = 8,
+) -> dict:
+    """Run the three strategies; return a JSON-serialisable report."""
+    tree, model, site_model, data = _workload(tips, patterns)
+
+    # Serial baseline: one component after the other; its cost is the
+    # *sum* of per-device simulated time on the equal split.
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(ratio),
+    ) as mdl:
+        serial_ll = mdl.log_likelihood()
+        times = mdl.simulated_times()
+        serial_s = sum(times.values())
+
+    # Concurrent on the static equal split: cost is the slowest device.
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(ratio),
+    ) as mdl:
+        with ConcurrentExecutor(mdl) as ex:
+            for _ in range(evaluations):
+                concurrent_ll = ex.log_likelihood()
+            concurrent_s = ex.critical_path_s()
+
+    # Rebalanced: measured throughput feeds back into the split.
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(ratio),
+    ) as mdl:
+        tracer, metrics = mdl.instrument(
+            Tracer(enabled=True), MetricsRegistry()
+        )
+        with RebalancingExecutor(mdl, threshold=0.05, alpha=0.7) as ex:
+            for _ in range(evaluations):
+                rebalanced_ll = ex.log_likelihood()
+            rebalanced_s = ex.critical_path_s()
+            rates = ex.rates
+            events = ex.rebalance_events()
+            final_split = list(mdl.proportions)
+
+    optimum_s = patterns / sum(rates.values())
+    return {
+        "workload": {
+            "tips": tips,
+            "patterns": patterns,
+            "device_ratio": ratio,
+            "evaluations": evaluations,
+        },
+        "log_likelihoods": {
+            "serial": serial_ll,
+            "concurrent": concurrent_ll,
+            "rebalanced": rebalanced_ll,
+        },
+        "simulated_seconds": {
+            "serial": serial_s,
+            "concurrent_equal_split": concurrent_s,
+            "rebalanced": rebalanced_s,
+            "optimum": optimum_s,
+        },
+        "rebalance": {
+            "events": len(events),
+            "final_split": final_split,
+            "rates": rates,
+            "vs_optimum": rebalanced_s / optimum_s,
+            "traced_spans": tracer.count(kind="rebalance"),
+        },
+    }
+
+
+def report_table(report: dict) -> str:
+    times = report["simulated_seconds"]
+    optimum = times["optimum"]
+    rows = [
+        [name, f"{seconds * 1e3:.3f}", f"{seconds / optimum:.3f}x"]
+        for name, seconds in times.items()
+    ]
+    return format_table(
+        ["strategy", "sim ms/eval", "vs optimum"], rows,
+        title="Multi-device execution (2 simulated devices)",
+    )
+
+
+def check(report: dict) -> list:
+    """Convergence + parity assertions; returns failure messages."""
+    failures = []
+    lls = report["log_likelihoods"]
+    if lls["concurrent"] != lls["serial"]:
+        failures.append(
+            f"concurrent ll {lls['concurrent']!r} != serial {lls['serial']!r}"
+        )
+    times = report["simulated_seconds"]
+    if times["rebalanced"] >= times["concurrent_equal_split"]:
+        failures.append(
+            "rebalanced split is not better than the static equal split"
+        )
+    vs_optimum = report["rebalance"]["vs_optimum"]
+    if vs_optimum >= CONVERGENCE_BUDGET:
+        failures.append(
+            f"rebalanced run is {vs_optimum:.3f}x the optimum "
+            f"(budget {CONVERGENCE_BUDGET}x)"
+        )
+    if report["rebalance"]["events"] == 0:
+        failures.append("no rebalance events fired")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark serial vs concurrent vs rebalanced "
+        "multi-device execution"
+    )
+    parser.add_argument("--tips", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=50_000)
+    parser.add_argument("--ratio", type=float, default=6.0,
+                        help="simulated device speed ratio")
+    parser.add_argument("--evaluations", type=int, default=8)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 unless the rebalanced run converges to the optimum",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(
+        tips=args.tips, patterns=args.patterns,
+        ratio=args.ratio, evaluations=args.evaluations,
+    )
+    print(report_table(report))
+    rebalance = report["rebalance"]
+    print(
+        f"\nrebalances: {rebalance['events']}, "
+        f"final split: {['%.3f' % p for p in rebalance['final_split']]}, "
+        f"vs optimum: {rebalance['vs_optimum']:.3f}x "
+        f"(budget {CONVERGENCE_BUDGET}x)"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        failures = check(report)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,13 @@ from repro.model import (
     SubstitutionModel,
 )
 from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
-from repro.session import BACKEND_FLAGS, Session, backend_flags
+from repro.sched import ConcurrentExecutor, RebalancingExecutor
+from repro.session import (
+    BACKEND_FLAGS,
+    MultiDeviceSession,
+    Session,
+    backend_flags,
+)
 
 __version__ = "1.0.0"
 
@@ -52,6 +58,9 @@ __all__ = [
     "BeagleInstance",
     "create_instance",
     "Session",
+    "MultiDeviceSession",
+    "ConcurrentExecutor",
+    "RebalancingExecutor",
     "BACKEND_FLAGS",
     "backend_flags",
     "TreeLikelihood",

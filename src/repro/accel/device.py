@@ -73,6 +73,29 @@ class DeviceSpec:
             return self.sp_gflops
         return self.sp_gflops * self.dp_ratio
 
+    def slowed(self, factor: float, name: Optional[str] = None) -> "DeviceSpec":
+        """A uniformly ``factor``-times-slower variant of this device.
+
+        Scales every time constant of the performance model — compute
+        peak, bandwidths, occupancy ramp, launch and work-group
+        overheads — so the variant runs ``factor``× slower at *any*
+        problem size, not only in the throughput-bound regime.  This is
+        the knob heterogeneous-scheduling tests and benchmarks use to
+        build device pairs with a known speed ratio.
+        """
+        if factor < 1:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        return replace(
+            self,
+            name=name or f"{self.name} [/{factor:g}]",
+            sp_gflops=self.sp_gflops / factor,
+            bandwidth_gbs=self.bandwidth_gbs / factor,
+            cache_bandwidth_gbs=self.cache_bandwidth_gbs / factor,
+            ramp_s=self.ramp_s * factor,
+            launch_overhead_s=self.launch_overhead_s * factor,
+            workgroup_overhead_s=self.workgroup_overhead_s * factor,
+        )
+
     def with_compute_units(self, n: int) -> "DeviceSpec":
         """A fission sub-device with ``n`` compute units.
 

@@ -197,6 +197,19 @@ class TreeLikelihood:
         """Switch the underlying instance between eager and deferred mode."""
         self.instance.set_execution_mode(deferred)
 
+    def flush(self):
+        """Execute any recorded deferred work on the underlying instance."""
+        return self.instance.flush()
+
+    def matrix_cache_stats(self):
+        """The underlying instance's transition-matrix cache statistics."""
+        return self.instance.matrix_cache_stats()
+
+    @property
+    def pattern_count(self) -> int:
+        """Number of site patterns this likelihood evaluates."""
+        return self.instance.config.pattern_count
+
     # -- evaluation ----------------------------------------------------------
 
     def _refresh_matrices(self) -> None:

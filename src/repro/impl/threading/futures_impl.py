@@ -59,7 +59,9 @@ class CPUFuturesImplementation(BaseImplementation):
         futures = [
             pool.submit(self._compute_operation, op) for op in operations
         ]
-        if self._tracer.enabled:
+        # Gated on the metrics registry, not the tracer: metrics-only
+        # instrumentation (tracing off) must still see the counter.
+        if self._metrics is not None:
             self._metrics.counter("futures.created").inc(len(futures))
         done, _ = wait(futures)
         for f in done:

@@ -85,13 +85,16 @@ class CPUThreadPoolImplementation(BaseImplementation):
 
     def _map_slices(self, fn, slices) -> List:
         futures = [self.pool.submit(fn, sl) for sl in slices]
-        if self._tracer.enabled:
-            self._record_queue_depth(len(futures))
+        self._record_queue_depth(len(futures))
         return [f.result() for f in futures]
 
     def _record_queue_depth(self, depth: int) -> None:
-        self._metrics.gauge("threadpool.queue_depth").set(depth)
-        self._metrics.counter("threadpool.tasks").inc(depth)
+        # Gated on the metrics registry, not the tracer: metrics-only
+        # instrumentation (tracing off) must still see the pool counters.
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.gauge("threadpool.queue_depth").set(depth)
+            metrics.counter("threadpool.tasks").inc(depth)
 
     def _compute_operation(self, op: Operation) -> None:
         dest = compute_operation_slice(self, op, slice(None))
@@ -162,7 +165,7 @@ class CPUThreadPoolImplementation(BaseImplementation):
 
         tracer = self._tracer
         if not tracer.enabled:
-            submit_wave()
+            depth = submit_wave()
         else:
             with tracer.span(
                 "level_wave",
@@ -172,7 +175,7 @@ class CPUThreadPoolImplementation(BaseImplementation):
                 n_slices=len(slices),
             ):
                 depth = submit_wave()
-            self._record_queue_depth(depth)
+        self._record_queue_depth(depth)
         apply_level_scaling(self, operations)
 
     def _compute_root(

@@ -15,6 +15,15 @@ nested spans and counters through them.
 * :data:`NULL_TRACER` — the shared disabled tracer; instrumented hot
   paths check ``tracer.enabled`` exactly once per call, so uninstrumented
   instances pay a single branch.
+
+Span kinds and metric families are namespaced by layer: ``call``/``op``/
+``wave``/``plan``/``level``/``launch`` spans from the instance and
+implementation layers, ``executor``/``component``/``rebalance`` spans
+with ``executor.*`` and ``rebalance.*`` metrics from the concurrent
+heterogeneous executor (:mod:`repro.sched` — see the README's
+Heterogeneous execution section for the full name catalog).  Metric-only
+instrumentation is supported: counters and gauges are gated on the
+*registry* being attached, never on ``tracer.enabled``.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry

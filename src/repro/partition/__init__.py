@@ -8,11 +8,13 @@ from repro.partition.autoselect import (
     best_backend,
     estimate_instance_memory,
     predict_throughput,
+    proportions_from_rates,
     rank_backends,
 )
 from repro.partition.multi import (
     MultiDeviceLikelihood,
     PartitionedLikelihood,
+    split_bounds,
     split_pattern_set,
 )
 from repro.partition.spec import (
@@ -29,7 +31,9 @@ __all__ = [
     "codon_position_partitions",
     "PartitionedLikelihood",
     "MultiDeviceLikelihood",
+    "split_bounds",
     "split_pattern_set",
+    "proportions_from_rates",
     "BackendChoice",
     "STANDARD_BACKENDS",
     "predict_throughput",

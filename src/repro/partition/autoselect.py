@@ -205,6 +205,39 @@ def best_backend(
     )[0]
 
 
+def proportions_from_rates(
+    rates: Sequence[float], min_share: float = 0.0
+) -> List[float]:
+    """Pattern-split proportions from per-device throughput estimates.
+
+    The measured-feedback half of the rebalance loop: where
+    :func:`balance_proportions` predicts shares from the calibrated perf
+    model (the prior), this converts *observed* rates — patterns per
+    second, EWMA-smoothed by :class:`repro.sched.RebalancingExecutor` —
+    into the share vector that equalises time across devices.
+    ``min_share`` floors every share (e.g. one pattern's worth) so a slow
+    device is never starved to an empty chunk, then renormalises.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if len(rates) == 0:
+        raise ValueError("need at least one rate")
+    if np.any(rates <= 0) or not np.all(np.isfinite(rates)):
+        raise ValueError("rates must be positive and finite")
+    if not 0.0 <= min_share < 1.0 / len(rates):
+        raise ValueError(
+            f"min_share must be in [0, 1/{len(rates)}), got {min_share}"
+        )
+    shares = rates / rates.sum()
+    low = shares < min_share
+    if min_share > 0.0 and np.any(low):
+        # Pin starved devices at exactly the floor and redistribute the
+        # remaining mass across the rest, proportionally.
+        shares[low] = min_share
+        rest = shares[~low]
+        shares[~low] = rest / rest.sum() * (1.0 - min_share * low.sum())
+    return [float(s) for s in shares / shares.sum()]
+
+
 def balance_proportions(
     tips: int,
     patterns: int,

@@ -25,6 +25,7 @@ from repro.core.highlevel import TreeLikelihood
 from repro.partition.spec import Partition, validate_partitions
 from repro.seq.alignment import Alignment
 from repro.seq.patterns import PatternSet
+from repro.seq.simulate import SyntheticPatterns
 from repro.tree.tree import Tree
 
 
@@ -59,6 +60,12 @@ class PartitionedLikelihood:
                     tree, data, part.model, part.site_model, **kwargs
                 )
             )
+
+    def instrument(self, tracer=None, metrics=None):
+        """Attach one shared tracer + metrics registry to every partition."""
+        for component in self.components:
+            tracer, metrics = component.instrument(tracer, metrics)
+        return tracer, metrics
 
     def set_execution_mode(self, deferred: bool) -> None:
         """Switch every partition's instance between eager and deferred."""
@@ -109,26 +116,58 @@ class PartitionedLikelihood:
         self.finalize()
 
 
-def split_pattern_set(
-    data: PatternSet, proportions: Sequence[float]
-) -> List[PatternSet]:
-    """Split a pattern set into contiguous chunks by weight proportion."""
+def split_bounds(n_patterns: int, proportions: Sequence[float]) -> List[int]:
+    """Chunk boundaries for a contiguous split of ``n_patterns`` patterns.
+
+    Rounds the cumulative proportions to pattern indices and then clamps
+    so that every chunk keeps at least one pattern: heavily skewed but
+    valid proportions (e.g. the 0.97/0.03 a fast-GPU/slow-CPU pair gets
+    from :func:`repro.partition.autoselect.balance_proportions`) would
+    otherwise round a small chunk down to nothing.
+    """
     proportions = np.asarray(proportions, dtype=float)
     if np.any(proportions <= 0) or not np.isclose(proportions.sum(), 1.0):
         raise ValueError("proportions must be positive and sum to 1")
-    n = data.n_patterns
-    if len(proportions) > n:
+    k = len(proportions)
+    if k > n_patterns:
         raise ValueError(
-            f"cannot split {n} patterns into {len(proportions)} chunks"
+            f"cannot split {n_patterns} patterns into {k} chunks"
         )
-    bounds = np.concatenate([[0], np.round(np.cumsum(proportions) * n)])
-    bounds = bounds.astype(int)
-    bounds[-1] = n
+    bounds = np.concatenate(
+        [[0], np.round(np.cumsum(proportions) * n_patterns)]
+    ).astype(int)
+    bounds[-1] = n_patterns
+    # Clamp inner boundaries: chunk i must keep >= 1 pattern while
+    # leaving >= 1 pattern for each of the k - i chunks after it.
+    for i in range(1, k):
+        bounds[i] = min(max(int(bounds[i]), i), n_patterns - (k - i))
+    return [int(b) for b in bounds]
+
+
+def split_pattern_set(
+    data: PatternSet, proportions: Sequence[float]
+) -> List[PatternSet]:
+    """Split a pattern set into contiguous chunks by weight proportion.
+
+    Every chunk is guaranteed at least one pattern (see
+    :func:`split_bounds`), so any positive normalised proportion vector
+    with at most ``n_patterns`` entries is valid.  Accepts either a
+    compressed :class:`~repro.seq.patterns.PatternSet` or the
+    :class:`~repro.seq.simulate.SyntheticPatterns` benchmark data.
+    """
+    bounds = split_bounds(data.n_patterns, proportions)
     chunks = []
-    for i in range(len(proportions)):
-        lo, hi = int(bounds[i]), int(bounds[i + 1])
-        if hi <= lo:
-            raise ValueError("a chunk would be empty; reduce chunk count")
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i], bounds[i + 1]
+        if isinstance(data, SyntheticPatterns):
+            chunks.append(
+                SyntheticPatterns(
+                    tip_states=data.tip_states[:, lo:hi],
+                    weights=data.weights[lo:hi],
+                    state_count=data.state_count,
+                )
+            )
+            continue
         indices = list(range(lo, hi))
         chunks.append(
             PatternSet(
@@ -167,23 +206,121 @@ class MultiDeviceLikelihood:
             proportions = [1.0 / len(labels)] * len(labels)
         if len(proportions) != len(labels):
             raise ValueError("one proportion per device request")
+        self.tree = tree
+        self.data = data
+        self.model = model
+        self.site_model = site_model
+        self.device_requests = {k: dict(v) for k, v in device_requests.items()}
+        self.deferred = deferred
         self.labels = labels
-        self.chunks = split_pattern_set(data, proportions)
-        self.components = []
-        for label, chunk in zip(labels, self.chunks):
-            kwargs = dict(device_requests[label])
-            kwargs.setdefault("deferred", deferred)
-            self.components.append(
-                TreeLikelihood(tree, chunk, model, site_model, **kwargs)
-            )
+        self._tracer = None
+        self._metrics = None
+        self.components: List[TreeLikelihood] = []
+        self.chunks: List[PatternSet] = []
+        self._bounds: List[int] = []
+        self.proportions: List[float] = []
+        self._apply_split(proportions)
+
+    def _build_component(self, label: str, chunk: PatternSet) -> TreeLikelihood:
+        kwargs = dict(self.device_requests[label])
+        kwargs.setdefault("deferred", self.deferred)
+        component = TreeLikelihood(
+            self.tree, chunk, self.model, self.site_model, **kwargs
+        )
+        if self._tracer is not None:
+            component.instrument(self._tracer, self._metrics)
+        return component
+
+    def _apply_split(self, proportions: Sequence[float]) -> List[str]:
+        """(Re)build components for a new pattern split.
+
+        Components whose chunk boundaries are unchanged are kept —
+        their device buffers and matrix caches stay warm — and only the
+        instances whose pattern range moved are rebuilt.  Returns the
+        labels that were rebuilt.
+        """
+        bounds = split_bounds(self.data.n_patterns, proportions)
+        if len(bounds) - 1 != len(self.labels):
+            raise ValueError("one proportion per device request")
+        rebuilt: List[str] = []
+        chunks = split_pattern_set(self.data, proportions)
+        first_build = not self.components
+        for i, (label, chunk) in enumerate(zip(self.labels, chunks)):
+            if (
+                not first_build
+                and self._bounds[i] == bounds[i]
+                and self._bounds[i + 1] == bounds[i + 1]
+            ):
+                chunks[i] = self.chunks[i]
+                continue
+            if first_build:
+                self.components.append(self._build_component(label, chunk))
+            else:
+                self.components[i].finalize()
+                self.components[i] = self._build_component(label, chunk)
+            rebuilt.append(label)
+        self.chunks = chunks
+        self._bounds = bounds
+        n = self.data.n_patterns
+        self.proportions = [
+            (bounds[i + 1] - bounds[i]) / n for i in range(len(self.labels))
+        ]
+        return rebuilt
+
+    def resplit(self, proportions: Sequence[float]) -> List[str]:
+        """Re-split the patterns and rebuild the affected instances.
+
+        This is the mechanism behind measured-throughput rebalancing
+        (:class:`repro.sched.RebalancingExecutor`): the executor computes
+        new proportions from observed per-device rates and calls here.
+        Returns the labels whose instances were rebuilt.
+        """
+        return self._apply_split(proportions)
+
+    def instrument(self, tracer=None, metrics=None):
+        """Attach one shared tracer + metrics registry to every component.
+
+        The pair is remembered so instances rebuilt by :meth:`resplit`
+        are instrumented identically.
+        """
+        for component in self.components:
+            tracer, metrics = component.instrument(tracer, metrics)
+        self._tracer, self._metrics = tracer, metrics
+        return tracer, metrics
 
     def set_execution_mode(self, deferred: bool) -> None:
         """Switch every device instance between eager and deferred."""
+        self.deferred = deferred
         for component in self.components:
             component.instance.set_execution_mode(deferred)
 
+    def flush(self) -> None:
+        """Execute any recorded deferred work on every device instance."""
+        for component in self.components:
+            component.instance.flush()
+
+    def matrix_cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-device transition-matrix cache statistics."""
+        return {
+            label: component.instance.matrix_cache_stats()
+            for label, component in zip(self.labels, self.components)
+        }
+
+    def backends(self) -> Dict[str, str]:
+        """Which implementation each device request landed on."""
+        return {
+            label: component.instance.details.implementation_name
+            for label, component in zip(self.labels, self.components)
+        }
+
     def log_likelihood(self) -> float:
         return float(sum(c.log_likelihood() for c in self.components))
+
+    def update_branch_lengths(self, node_indices: Sequence[int]) -> float:
+        """Incremental re-evaluation after editing some branch lengths."""
+        return float(
+            sum(c.update_branch_lengths(node_indices) for c in self.components)
+        )
 
     def device_report(self) -> List[Tuple[str, str, int]]:
         """(label, implementation, pattern count) per component."""

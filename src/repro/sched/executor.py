@@ -1,0 +1,434 @@
+"""The concurrent heterogeneous executor and its rebalancing feedback loop.
+
+Two cooperating pieces:
+
+* :class:`ConcurrentExecutor` evaluates every component of a
+  multi-instance likelihood in parallel.  Each component gets one
+  persistent single-thread worker, so there is exactly one in-flight
+  evaluation per BEAGLE instance (instances are not internally
+  thread-safe for concurrent API calls) while different instances —
+  and therefore different simulated devices — overlap freely.  The
+  per-component log-likelihoods are summed in component order, so the
+  result is bit-identical to the serial ``sum()`` the partition layer
+  performs.
+
+* :class:`RebalancingExecutor` adds the paper conclusion's dynamic load
+  balancing for pattern-split workloads: the perf model provides the
+  *prior* split (:func:`repro.partition.autoselect.balance_proportions`),
+  every evaluation then measures actual per-device time (simulated device
+  seconds where the backend models them, wall time otherwise), folds it
+  into an EWMA throughput estimate, and — when the predicted imbalance
+  exceeds a threshold — recomputes the proportions, re-splits the
+  pattern set, and rebuilds the affected instances via
+  :meth:`repro.partition.multi.MultiDeviceLikelihood.resplit`.
+
+Both stages are observable: evaluations emit ``executor.*`` spans and
+metrics, the correction loop emits ``rebalance.*`` spans and counters
+(see the Observability section of the README for the name catalog).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import NULL_TRACER
+from repro.partition.autoselect import proportions_from_rates
+
+__all__ = [
+    "ComponentTiming",
+    "ConcurrentExecutor",
+    "RebalanceEvent",
+    "RebalancingExecutor",
+]
+
+
+@dataclass
+class ComponentTiming:
+    """One component's cost in the most recent evaluation."""
+
+    label: str
+    patterns: int
+    wall_s: float
+    #: Modelled device seconds, where the backend simulates a device
+    #: clock (accelerated implementations); ``None`` on host backends.
+    simulated_s: Optional[float]
+
+    @property
+    def measured_s(self) -> float:
+        """The time the rebalancer should trust for this component.
+
+        Simulated device seconds when available (that *is* the device
+        model), wall-clock otherwise.
+        """
+        if self.simulated_s is not None and self.simulated_s > 0:
+            return self.simulated_s
+        return self.wall_s
+
+    @property
+    def rate(self) -> float:
+        """Patterns per measured second."""
+        return self.patterns / max(self.measured_s, 1e-12)
+
+
+@dataclass
+class RebalanceEvent:
+    """One executed rebalance: what moved and why."""
+
+    evaluation: int
+    imbalance: float
+    old_proportions: List[float]
+    new_proportions: List[float]
+    rebuilt: List[str] = field(default_factory=list)
+
+
+def _component_labels(likelihood) -> List[str]:
+    """Display labels for a multi-instance likelihood's components."""
+    if hasattr(likelihood, "labels"):
+        return list(likelihood.labels)
+    if hasattr(likelihood, "partitions"):
+        return [part.name for part in likelihood.partitions]
+    return [str(i) for i in range(len(likelihood.components))]
+
+
+class ConcurrentExecutor:
+    """Evaluate a multi-instance likelihood's components in parallel.
+
+    Parameters
+    ----------
+    likelihood:
+        Anything exposing ``components`` (a list of
+        :class:`~repro.core.highlevel.TreeLikelihood`) — in practice a
+        :class:`~repro.partition.MultiDeviceLikelihood` or
+        :class:`~repro.partition.PartitionedLikelihood`.
+    tracer, metrics:
+        Observability sinks for the ``executor.*`` spans and metrics.
+        Default to the first component's attached tracer/metrics, so an
+        instrumented likelihood (``likelihood.instrument(...)``) needs no
+        extra wiring.
+
+    The executor owns only its worker threads; closing it leaves the
+    likelihood usable (and serially evaluable).  Use as a context
+    manager or call :meth:`shutdown`.
+    """
+
+    def __init__(self, likelihood, tracer=None, metrics=None) -> None:
+        if not getattr(likelihood, "components", None):
+            raise ValueError("likelihood has no components to execute")
+        self.likelihood = likelihood
+        first = likelihood.components[0]
+        self._tracer = tracer if tracer is not None else first.tracer
+        self._metrics = metrics if metrics is not None else first.metrics
+        if self._tracer is None:
+            self._tracer = NULL_TRACER
+        # One single-thread worker per component slot: exactly one
+        # in-flight evaluation per instance, overlap across instances.
+        self._workers: List[ThreadPoolExecutor] = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"hetero-{label}"
+            )
+            for label in _component_labels(likelihood)
+        ]
+        self._last_timings: List[ComponentTiming] = []
+        self._evaluations = 0
+        self._closed = False
+
+    # -- evaluation --------------------------------------------------------
+
+    @property
+    def labels(self) -> List[str]:
+        return _component_labels(self.likelihood)
+
+    @property
+    def evaluations(self) -> int:
+        """How many concurrent evaluations have run."""
+        return self._evaluations
+
+    def timings(self) -> List[ComponentTiming]:
+        """Per-component timings of the most recent evaluation."""
+        return list(self._last_timings)
+
+    def critical_path_s(self) -> float:
+        """The slowest component's measured time in the last evaluation.
+
+        With perfect overlap this is the evaluation's cost; the gap to
+        ``sum(t.measured_s)`` is what concurrency bought.
+        """
+        if not self._last_timings:
+            return 0.0
+        return max(t.measured_s for t in self._last_timings)
+
+    def _run_component(self, component, label: str, parent_id, method: str,
+                       args: tuple):
+        impl = component.instance.impl
+        sim0 = getattr(impl, "simulated_time", None)
+        tracer = self._tracer
+        t0 = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "executor.component",
+                kind="component",
+                parent_id=parent_id,
+                label=label,
+                backend=component.instance.details.implementation_name,
+                patterns=component.pattern_count,
+            ) as span:
+                value = getattr(component, method)(*args)
+                span.attrs["value"] = value
+        else:
+            value = getattr(component, method)(*args)
+        wall = time.perf_counter() - t0
+        sim = None if sim0 is None else impl.simulated_time - sim0
+        timing = ComponentTiming(
+            label=label,
+            patterns=component.pattern_count,
+            wall_s=wall,
+            simulated_s=sim,
+        )
+        return value, timing
+
+    def _evaluate(self, method: str, *args) -> float:
+        if self._closed:
+            raise RuntimeError("executor has been shut down")
+        components = self.likelihood.components
+        labels = self.labels
+        tracer = self._tracer
+
+        def submit_all(parent_id=None):
+            futures = [
+                worker.submit(
+                    self._run_component, component, label, parent_id,
+                    method, args,
+                )
+                for worker, component, label in zip(
+                    self._workers, components, labels
+                )
+            ]
+            return [f.result() for f in futures]
+
+        t0 = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "executor.evaluate",
+                kind="executor",
+                method=method,
+                n_components=len(components),
+            ) as span:
+                # Captured inside the span: component spans emitted on
+                # worker threads parent under this evaluation.
+                results = submit_all(tracer.current_span_id)
+                span.attrs["critical_path_s"] = max(
+                    timing.measured_s for _, timing in results
+                )
+        else:
+            results = submit_all()
+        wall = time.perf_counter() - t0
+
+        self._last_timings = [timing for _, timing in results]
+        self._evaluations += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("executor.evaluations").inc()
+            metrics.gauge("executor.components").set(len(components))
+            metrics.gauge("executor.wall_s").set(wall)
+            metrics.gauge("executor.critical_path_s").set(
+                self.critical_path_s()
+            )
+            component_s = metrics.histogram("executor.component_s")
+            for timing in self._last_timings:
+                component_s.observe(timing.measured_s)
+                metrics.gauge(f"executor.component_s.{timing.label}").set(
+                    timing.measured_s
+                )
+        # Sum in component order: bit-identical to the serial sum.
+        return float(sum(value for value, _ in results))
+
+    def log_likelihood(self) -> float:
+        """Concurrent evaluation; equals the serial per-component sum."""
+        return self._evaluate("log_likelihood")
+
+    def update_branch_lengths(self, node_indices: Sequence[int]) -> float:
+        """Concurrent incremental re-evaluation after branch edits."""
+        return self._evaluate("update_branch_lengths", node_indices)
+
+    def flush(self) -> None:
+        """Flush every component's deferred work, concurrently."""
+        if self._closed:
+            raise RuntimeError("executor has been shut down")
+        futures = [
+            worker.submit(component.flush)
+            for worker, component in zip(
+                self._workers, self.likelihood.components
+            )
+        ]
+        for f in futures:
+            f.result()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker threads (the likelihood stays usable)."""
+        if not self._closed:
+            for worker in self._workers:
+                worker.shutdown(wait=wait)
+            self._closed = True
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class RebalancingExecutor(ConcurrentExecutor):
+    """Concurrent execution plus measured-throughput pattern rebalancing.
+
+    Parameters
+    ----------
+    likelihood:
+        A :class:`~repro.partition.MultiDeviceLikelihood` (anything with
+        ``resplit``/``proportions`` over one shared pattern set).
+    threshold:
+        Rebalance when the predicted evaluation time under the current
+        split exceeds the balanced optimum by this fraction.  The default
+        0.15 matches the acceptance band: converged runs sit within 15%
+        of the perf-model optimum.
+    alpha:
+        EWMA weight of the newest throughput observation per device.
+    seed_backends:
+        Optional perf-model backend names (one per device request, see
+        :func:`repro.partition.autoselect.balance_proportions`) used to
+        seed the split *before* the first evaluation — the model as
+        prior, measurements as feedback.
+    min_evaluations:
+        Observations required per device before the first rebalance.
+    """
+
+    def __init__(
+        self,
+        likelihood,
+        tracer=None,
+        metrics=None,
+        threshold: float = 0.15,
+        alpha: float = 0.6,
+        seed_backends: Optional[Sequence[str]] = None,
+        min_evaluations: int = 1,
+    ) -> None:
+        if not hasattr(likelihood, "resplit"):
+            raise TypeError(
+                "rebalancing needs a pattern-split likelihood with "
+                "resplit(); got "
+                f"{type(likelihood).__name__}"
+            )
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        super().__init__(likelihood, tracer, metrics)
+        self.threshold = float(threshold)
+        self.alpha = float(alpha)
+        self.min_evaluations = int(min_evaluations)
+        self._rates: Dict[str, float] = {}
+        self._events: List[RebalanceEvent] = []
+        if seed_backends is not None:
+            from repro.partition.autoselect import balance_proportions
+
+            tips = likelihood.tree.n_tips
+            prior = balance_proportions(
+                tips, likelihood.data.n_patterns, list(seed_backends)
+            )
+            likelihood.resplit(prior)
+
+    # -- feedback loop -----------------------------------------------------
+
+    @property
+    def rates(self) -> Dict[str, float]:
+        """Current EWMA throughput estimate per device (patterns/s)."""
+        return dict(self._rates)
+
+    def rebalance_events(self) -> List[RebalanceEvent]:
+        """Every executed rebalance, oldest first."""
+        return list(self._events)
+
+    def predicted_imbalance(self) -> float:
+        """Predicted excess time of the current split over the optimum.
+
+        ``max_i(share_i * N / rate_i) / (N / sum(rate_i)) - 1`` — zero
+        when every device is predicted to finish simultaneously.
+        """
+        if len(self._rates) < len(self.labels):
+            return 0.0
+        shares = self.likelihood.proportions
+        n = self.likelihood.data.n_patterns
+        rates = [self._rates[label] for label in self.labels]
+        worst = max(
+            share * n / rate for share, rate in zip(shares, rates)
+        )
+        optimum = n / sum(rates)
+        return worst / optimum - 1.0
+
+    def _update_rates(self) -> None:
+        for timing in self._last_timings:
+            rate = timing.rate
+            prev = self._rates.get(timing.label)
+            self._rates[timing.label] = (
+                rate if prev is None
+                else self.alpha * rate + (1 - self.alpha) * prev
+            )
+
+    def _maybe_rebalance(self) -> None:
+        metrics = self._metrics
+        imbalance = self.predicted_imbalance()
+        if metrics is not None:
+            metrics.gauge("rebalance.imbalance").set(imbalance)
+        if self._evaluations < self.min_evaluations:
+            return
+        if imbalance <= self.threshold:
+            return
+        n = self.likelihood.data.n_patterns
+        k = len(self.labels)
+        # Floor each share at one pattern's worth so no device starves
+        # (and stay below the uniform share, as the floor must).
+        min_share = min(1.0 / n, 0.5 / k)
+        new = proportions_from_rates(
+            [self._rates[label] for label in self.labels],
+            min_share=min_share,
+        )
+        old = list(self.likelihood.proportions)
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "rebalance",
+                kind="rebalance",
+                imbalance=imbalance,
+                old=",".join(f"{p:.4f}" for p in old),
+                new=",".join(f"{p:.4f}" for p in new),
+            ) as span:
+                rebuilt = self.likelihood.resplit(new)
+                span.attrs["rebuilt"] = ",".join(rebuilt)
+        else:
+            rebuilt = self.likelihood.resplit(new)
+        self._events.append(
+            RebalanceEvent(
+                evaluation=self._evaluations,
+                imbalance=imbalance,
+                old_proportions=old,
+                new_proportions=list(self.likelihood.proportions),
+                rebuilt=rebuilt,
+            )
+        )
+        if metrics is not None:
+            metrics.counter("rebalance.events").inc()
+            metrics.counter("rebalance.rebuilt_instances").inc(len(rebuilt))
+            for label, share in zip(
+                self.labels, self.likelihood.proportions
+            ):
+                metrics.gauge(f"rebalance.share.{label}").set(share)
+
+    def _evaluate(self, method: str, *args) -> float:
+        value = super()._evaluate(method, *args)
+        self._update_rates()
+        self._maybe_rebalance()
+        return value

@@ -15,8 +15,15 @@ a context manager::
 Every session carries a :class:`~repro.obs.trace.Tracer` and a
 :class:`~repro.obs.metrics.MetricsRegistry`.  The tracer starts disabled
 unless ``trace=True``, which keeps the per-call cost to a single boolean
-check (the zero-overhead contract of the obs subsystem); metrics that are
-fed only under tracing stay empty until tracing is enabled.
+check (the zero-overhead contract of the obs subsystem); span-derived
+metrics stay empty until tracing is enabled, while registry-gated
+counters (thread-pool queue depth, executor timings) flow whenever a
+registry is attached.
+
+:meth:`Session.multi_device` opens the multi-device variant: a
+:class:`MultiDeviceSession` that splits one dataset's patterns across
+several backends, evaluates them concurrently, and rebalances the split
+from measured throughput (see :mod:`repro.sched`).
 """
 
 from __future__ import annotations
@@ -68,6 +75,160 @@ def backend_flags(backend: Optional[str]) -> dict:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {choices}"
         ) from None
+
+
+class MultiDeviceSession:
+    """A pattern-split likelihood running concurrently across devices.
+
+    Created via :meth:`Session.multi_device`.  Wraps a
+    :class:`~repro.partition.MultiDeviceLikelihood` in a
+    :class:`~repro.sched.ConcurrentExecutor` (or, by default, a
+    :class:`~repro.sched.RebalancingExecutor`, which feeds measured
+    per-device throughput back into the pattern split), with one shared
+    tracer + metrics registry instrumenting every component and the
+    executor itself.
+
+    Parameters
+    ----------
+    data:
+        An :class:`Alignment` (compressed here) or :class:`PatternSet`.
+    tree, model, site_model:
+        As for :class:`Session`.
+    device_requests:
+        Label -> instance keyword arguments *or* a backend name from
+        :data:`BACKEND_FLAGS` (``{"gpu": "cuda", "host": "cpp-threads"}``).
+    proportions:
+        Initial pattern shares (default: equal split, or the perf-model
+        prior when ``seed_backends`` is given and rebalancing is on).
+    rebalance:
+        Enable the measured-throughput rebalance loop.
+    threshold:
+        Predicted-imbalance fraction that triggers a re-split.
+    seed_backends:
+        Perf-model backend names (one per device request) seeding the
+        split before the first evaluation.
+    """
+
+    def __init__(
+        self,
+        data: Union[Alignment, PatternSet],
+        tree: Tree,
+        model: SubstitutionModel,
+        site_model: Optional[SiteModel] = None,
+        *,
+        device_requests: dict,
+        proportions=None,
+        rebalance: bool = True,
+        threshold: float = 0.15,
+        seed_backends=None,
+        deferred: bool = False,
+        trace: bool = False,
+    ) -> None:
+        from repro.partition.multi import MultiDeviceLikelihood
+        from repro.sched import ConcurrentExecutor, RebalancingExecutor
+
+        if isinstance(data, Alignment):
+            data = compress_patterns(data)
+        requests = {
+            label: backend_flags(spec) if isinstance(spec, str) else dict(spec)
+            for label, spec in device_requests.items()
+        }
+        self.likelihood = MultiDeviceLikelihood(
+            tree, data, model, site_model,
+            device_requests=requests,
+            proportions=proportions,
+            deferred=deferred,
+        )
+        self._tracer, self._metrics = self.likelihood.instrument(
+            Tracer(enabled=trace), MetricsRegistry()
+        )
+        if rebalance:
+            self.executor = RebalancingExecutor(
+                self.likelihood, self._tracer, self._metrics,
+                threshold=threshold, seed_backends=seed_backends,
+            )
+        else:
+            self.executor = ConcurrentExecutor(
+                self.likelihood, self._tracer, self._metrics
+            )
+        self._closed = False
+
+    # -- core operations ---------------------------------------------------
+
+    def log_likelihood(self) -> float:
+        """Concurrent evaluation across every device instance."""
+        return self.executor.log_likelihood()
+
+    def update_branch_lengths(self, node_indices) -> float:
+        """Concurrent incremental re-evaluation after branch edits."""
+        return self.executor.update_branch_lengths(node_indices)
+
+    def flush(self) -> None:
+        """Flush deferred work on every device instance, concurrently."""
+        self.executor.flush()
+
+    def set_execution_mode(self, deferred: bool) -> None:
+        self.likelihood.set_execution_mode(deferred)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
+
+    @property
+    def proportions(self):
+        """The current pattern share per device."""
+        return list(self.likelihood.proportions)
+
+    def device_report(self):
+        """(label, implementation, pattern count) per component."""
+        return self.likelihood.device_report()
+
+    def backends(self):
+        """Which implementation each device request landed on."""
+        return self.likelihood.backends()
+
+    def simulated_times(self):
+        """Per-device simulated seconds (accelerated components only)."""
+        return self.likelihood.simulated_times()
+
+    def rebalance_events(self):
+        """Executed rebalances (empty without a rebalancing executor)."""
+        if hasattr(self.executor, "rebalance_events"):
+            return self.executor.rebalance_events()
+        return []
+
+    def span_tree(self) -> str:
+        """The recorded spans rendered as an indented tree."""
+        return self._tracer.format_tree()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self.executor.shutdown()
+            self.likelihood.finalize()
+            self._closed = True
+
+    def __enter__(self) -> "MultiDeviceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shares = ", ".join(
+            f"{label}={share:.3f}"
+            for label, share in zip(
+                self.likelihood.labels, self.likelihood.proportions
+            )
+        )
+        return f"MultiDeviceSession({shares})"
 
 
 class Session:
@@ -194,6 +355,33 @@ class Session:
                     )
                 )
         return diagnostics
+
+    # -- multi-device ------------------------------------------------------
+
+    @classmethod
+    def multi_device(
+        cls,
+        data: Union[Alignment, PatternSet],
+        tree: Tree,
+        model: SubstitutionModel,
+        site_model: Optional[SiteModel] = None,
+        **kwargs,
+    ) -> MultiDeviceSession:
+        """Open a :class:`MultiDeviceSession`: one dataset, many devices.
+
+        Splits the patterns across ``device_requests`` and evaluates the
+        resulting instances concurrently, rebalancing the split from
+        measured throughput unless ``rebalance=False``::
+
+            with repro.Session.multi_device(
+                data, tree, model,
+                device_requests={"gpu": "cuda", "host": "cpp-threads"},
+                trace=True,
+            ) as md:
+                logl = md.log_likelihood()
+                print(md.proportions, md.rebalance_events())
+        """
+        return MultiDeviceSession(data, tree, model, site_model, **kwargs)
 
     # -- observability -----------------------------------------------------
 

@@ -15,11 +15,13 @@ from repro.partition import (
     blocks_of_sites,
     codon_position_partitions,
     predict_throughput,
+    proportions_from_rates,
     rank_backends,
+    split_bounds,
     split_pattern_set,
     validate_partitions,
 )
-from repro.seq import compress_patterns, simulate_alignment
+from repro.seq import compress_patterns, simulate_alignment, synthetic_pattern_set
 from repro.tree import yule_tree
 
 
@@ -174,6 +176,34 @@ class TestMultiDevice:
         with pytest.raises(ValueError):
             split_pattern_set(data, [1.0, -0.0001])
 
+    def test_skewed_split_keeps_every_chunk(self, setup):
+        """Regression: 0.97/0.03 on a small pattern count used to raise
+        'a chunk would be empty' after rounding."""
+        _, aln, _, _ = setup
+        data = compress_patterns(aln)
+        chunks = split_pattern_set(data, [0.97, 0.03])
+        assert all(c.n_patterns >= 1 for c in chunks)
+        assert sum(c.n_patterns for c in chunks) == data.n_patterns
+
+    def test_split_bounds_clamp(self):
+        assert split_bounds(10, [0.5, 0.5]) == [0, 5, 10]
+        # Extreme skew: each chunk still keeps one pattern.
+        assert split_bounds(5, [0.98, 0.01, 0.01]) == [0, 3, 4, 5]
+        assert split_bounds(3, [1 / 3] * 3) == [0, 1, 2, 3]
+        with pytest.raises(ValueError, match="cannot split"):
+            split_bounds(2, [1 / 3] * 3)
+
+    def test_split_synthetic_patterns(self):
+        """SyntheticPatterns (no token layer) splits by state columns."""
+        data = synthetic_pattern_set(6, 100, 4, rng=5)
+        chunks = split_pattern_set(data, [0.7, 0.3])
+        assert [c.n_patterns for c in chunks] == [70, 30]
+        assert all(c.n_taxa == 6 for c in chunks)
+        assert np.array_equal(
+            np.concatenate([c.tip_states for c in chunks], axis=1),
+            data.tip_states,
+        )
+
     def test_multi_device_equals_single(self, setup):
         tree, aln, model, sm = setup
         data = compress_patterns(aln)
@@ -257,6 +287,26 @@ class TestAutoselect:
     def test_codon_prefers_gpu_everywhere(self):
         choice = best_backend(15, 6_080, states=61, categories=1)
         assert "gpu" in choice.name or "cuda" in choice.name
+
+    def test_proportions_from_rates(self):
+        props = proportions_from_rates([300.0, 100.0])
+        assert props == pytest.approx([0.75, 0.25])
+        assert sum(props) == pytest.approx(1.0)
+
+    def test_proportions_from_rates_min_share(self):
+        props = proportions_from_rates([999.0, 1.0], min_share=0.1)
+        assert min(props) == pytest.approx(0.1)
+        assert sum(props) == pytest.approx(1.0)
+
+    def test_proportions_from_rates_validation(self):
+        with pytest.raises(ValueError):
+            proportions_from_rates([])
+        with pytest.raises(ValueError):
+            proportions_from_rates([1.0, 0.0])
+        with pytest.raises(ValueError):
+            proportions_from_rates([1.0, float("nan")])
+        with pytest.raises(ValueError, match="min_share"):
+            proportions_from_rates([1.0, 1.0], min_share=0.6)
 
     def test_rank_is_sorted(self):
         ranked = rank_backends(16, 50_000)

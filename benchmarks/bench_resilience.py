@@ -1,0 +1,237 @@
+"""Resilience benchmark: recovery latency and post-failover parity.
+
+Runs the chaos acceptance scenario under the benchmark harness: two
+identical simulated CUDA devices split one pattern set, a scripted
+:class:`~repro.resil.FaultPlan` kills the second device mid-run, and the
+:class:`~repro.sched.ConcurrentExecutor`'s resilience layer fails its
+patterns over to the survivor.  Three guards:
+
+* **parity** — the recovered concurrent log-likelihood must be
+  bit-identical to a single-device serial evaluation of the full
+  pattern set (the survivor holds every pattern after the failover);
+* **recovery overhead** — the work discarded by the failed round
+  (``FailoverEvent.wasted_s``: the survivors' completed shard
+  evaluations) must stay under :data:`RECOVERY_BUDGET` times one clean
+  evaluation of the *lost* shard.  With overlap-and-retry recovery the
+  expected cost is ~1x (the survivor's shard is re-run once), so 2x is
+  a regression alarm, not a tight fit;
+* **stability** — every post-failover evaluation repeats the recovered
+  value exactly, and the lost device stays quarantined.
+
+Costs are *simulated device seconds* (the devices model their own
+clocks), so the comparison is deterministic and CI-stable.
+
+Run standalone for CI (exits non-zero when a guard fails)::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --assert \
+        --json resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.accel.device import QUADRO_P5000
+from repro.core.flags import Flag
+from repro.core.manager import ResourceManager
+from repro.model import HKY85, SiteModel
+from repro.obs import MetricsRegistry, Tracer
+from repro.partition.multi import MultiDeviceLikelihood
+from repro.resil import FaultEvent, FaultPlan, RetryPolicy, install_fault_plan
+from repro.sched import ConcurrentExecutor
+from repro.seq import synthetic_pattern_set
+from repro.tree import yule_tree
+from repro.util.tables import format_table
+
+#: Recovery may discard at most this many clean evaluations of the lost
+#: shard — the ISSUE's "recovery overhead < 2x one clean evaluation of
+#: the lost shard" acceptance bound.
+RECOVERY_BUDGET = 2.0
+
+
+def _workload(tips: int, patterns: int):
+    tree = yule_tree(tips, rng=1)
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(tips, patterns, 4, rng=7)
+    return tree, model, site_model, data
+
+
+def _device_requests(labels):
+    """Identical simulated CUDA devices, one per label (equal split)."""
+    return {
+        label: dict(
+            requirement_flags=Flag.FRAMEWORK_CUDA,
+            manager=ResourceManager([QUADRO_P5000]),
+        )
+        for label in labels
+    }
+
+
+def measure(
+    tips: int = 16,
+    patterns: int = 20_000,
+    evaluations: int = 4,
+) -> dict:
+    """Run clean, serial-reference, and chaos configurations."""
+    tree, model, site_model, data = _workload(tips, patterns)
+
+    # Clean concurrent run: both devices healthy; per-shard simulated
+    # cost of the victim's shard is the recovery-overhead yardstick.
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(("primary", "victim")),
+    ) as mdl:
+        with ConcurrentExecutor(mdl) as ex:
+            clean_ll = ex.log_likelihood()
+            shard_s = {t.label: t.measured_s for t in ex.timings()}
+    lost_shard_clean_s = shard_s["victim"]
+
+    # Serial single-device reference: the full pattern set on one
+    # device — what the survivor evaluates after the failover.
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(("solo",)),
+    ) as solo:
+        serial_ll = solo.log_likelihood()
+
+    # Chaos run: the victim dies during the first evaluation.
+    plan = FaultPlan([FaultEvent("device-loss", "victim", at=1)], seed=3)
+    policy = RetryPolicy(max_attempts=2, seed=plan.seed)
+    with MultiDeviceLikelihood(
+        tree, data, model, site_model,
+        device_requests=_device_requests(("primary", "victim")),
+    ) as mdl:
+        tracer, metrics = mdl.instrument(
+            Tracer(enabled=True), MetricsRegistry()
+        )
+        install_fault_plan(mdl, plan)
+        with ConcurrentExecutor(
+            mdl, tracer, metrics, retry_policy=policy
+        ) as ex:
+            chaos_lls = [ex.log_likelihood() for _ in range(evaluations)]
+            events = ex.failover_events()
+            quarantined = sorted(ex.quarantined())
+    wasted_s = sum(event.wasted_s for event in events)
+
+    return {
+        "workload": {
+            "tips": tips,
+            "patterns": patterns,
+            "evaluations": evaluations,
+        },
+        "log_likelihoods": {
+            "clean_concurrent": clean_ll,
+            "single_device_serial": serial_ll,
+            "post_failover": chaos_lls,
+        },
+        "recovery": {
+            "lost_shard_clean_s": lost_shard_clean_s,
+            "wasted_s": wasted_s,
+            "overhead_ratio": wasted_s / lost_shard_clean_s,
+            "budget": RECOVERY_BUDGET,
+        },
+        "failover": {
+            "events": len(events),
+            "lost": [event.label for event in events],
+            "quarantined": quarantined,
+            "failover_counter": metrics.counter(
+                "resil.failover.events"
+            ).value,
+        },
+    }
+
+
+def report_table(report: dict) -> str:
+    recovery = report["recovery"]
+    rows = [
+        ["lost shard, one clean eval",
+         f"{recovery['lost_shard_clean_s'] * 1e3:.3f}"],
+        ["recovery wasted work", f"{recovery['wasted_s'] * 1e3:.3f}"],
+        ["overhead ratio",
+         f"{recovery['overhead_ratio']:.3f}x "
+         f"(budget {recovery['budget']:g}x)"],
+    ]
+    return format_table(
+        ["quantity", "sim ms"], rows,
+        title="Failover recovery (2 simulated devices, device loss)",
+    )
+
+
+def check(report: dict) -> list:
+    """Parity + recovery-overhead assertions; returns failure messages."""
+    failures = []
+    lls = report["log_likelihoods"]
+    post = lls["post_failover"]
+    if not post:
+        failures.append("chaos run produced no evaluations")
+        return failures
+    if post[0] != lls["single_device_serial"]:
+        failures.append(
+            f"post-failover ll {post[0]!r} is not bit-identical to the "
+            f"single-device serial ll {lls['single_device_serial']!r}"
+        )
+    if any(value != post[0] for value in post[1:]):
+        failures.append(f"post-failover evaluations are not stable: {post}")
+    failover = report["failover"]
+    if failover["events"] != 1:
+        failures.append(f"expected exactly 1 failover, saw {failover}")
+    if failover["quarantined"] != ["victim"]:
+        failures.append(
+            f"victim not quarantined: {failover['quarantined']}"
+        )
+    recovery = report["recovery"]
+    if recovery["overhead_ratio"] >= recovery["budget"]:
+        failures.append(
+            f"recovery discarded {recovery['overhead_ratio']:.3f}x one "
+            f"clean lost-shard evaluation (budget {recovery['budget']:g}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark failover recovery latency and parity"
+    )
+    parser.add_argument("--tips", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=20_000)
+    parser.add_argument("--evaluations", type=int, default=4)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 unless recovery stays in budget and parity holds",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(
+        tips=args.tips, patterns=args.patterns,
+        evaluations=args.evaluations,
+    )
+    print(report_table(report))
+    lls = report["log_likelihoods"]
+    print(
+        f"\npost-failover ll: {lls['post_failover'][0]!r} "
+        f"(serial reference {lls['single_device_serial']!r}), "
+        f"failovers: {report['failover']['events']}, "
+        f"quarantined: {report['failover']['quarantined']}"
+    )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        failures = check(report)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from repro.model import (
     SubstitutionModel,
 )
 from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
+from repro.resil import FaultEvent, FaultPlan, RetryPolicy
 from repro.sched import ConcurrentExecutor, RebalancingExecutor
 from repro.session import (
     BACKEND_FLAGS,
@@ -61,6 +62,9 @@ __all__ = [
     "MultiDeviceSession",
     "ConcurrentExecutor",
     "RebalancingExecutor",
+    "FaultEvent",
+    "FaultPlan",
+    "RetryPolicy",
     "BACKEND_FLAGS",
     "backend_flags",
     "TreeLikelihood",

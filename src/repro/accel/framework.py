@@ -79,6 +79,11 @@ class HardwareInterface(abc.ABC):
         # null tracer keeps the uninstrumented cost to one branch.
         self.tracer = NULL_TRACER
         self.metrics = None
+        # Fault injection: set by repro.resil.install_fault_plan so
+        # scripted device failures surface from the same choke point as
+        # real driver errors.  None keeps the clean-path cost to one
+        # attribute check per launch.
+        self.fault_injector = None
 
     # -- program management ------------------------------------------------
 
@@ -165,7 +170,14 @@ class HardwareInterface(abc.ABC):
         kernel name, geometry, modelled flops, and simulated device time,
         and bumps the launch counters.  Framework-specific dispatch lives
         in :meth:`_launch_impl`.
+
+        With a fault injector installed, the injector is consulted
+        before dispatch: it may raise the scripted device error or
+        advance the clock for a latency spike (see
+        :mod:`repro.resil.faults`).
         """
+        if self.fault_injector is not None:
+            self.fault_injector.on_launch(self.clock)
         tracer = self.tracer
         if not tracer.enabled:
             self._launch_impl(kernel_name, args, geometry, cost)

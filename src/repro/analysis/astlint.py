@@ -18,6 +18,23 @@ but nothing previously enforced:
   message getter itself is exempt: reading the error must not clear
   it.)
 
+Two further rules guard the resilience subsystem (:mod:`repro.resil`):
+
+* **unbounded-retry** — a ``while True`` loop in a ``resil`` module, or
+  in any function whose name mentions retry, is an unbounded retry
+  waiting to spin forever on a persistently failing device.  Retry
+  loops must bound their attempts (``for attempt in range(...)``) so a
+  :class:`~repro.resil.RetryPolicy`'s ``max_attempts`` is a real
+  ceiling.
+
+* **resil-unrouted-entrypoint** — every public top-level function in a
+  ``resil`` module must route through the error surface: decorated with
+  ``resil_entrypoint`` (or any ``*entrypoint*`` decorator) or
+  referencing ``_wrap``/``_record_failure`` directly.  Otherwise a
+  resilience API's own failure would bypass
+  ``beagle_get_last_error_message`` — the one surface the recovery
+  machinery promises to keep accurate.
+
 The lint is purely syntactic — it never imports the linted code — so it
 runs on any tree, is immune to import side effects, and is safe in CI.
 """
@@ -288,6 +305,97 @@ def _lint_api_wrapping(
     return out
 
 
+def _is_resil_module(filename: str) -> bool:
+    """Whether *filename* lives in a ``resil`` package directory."""
+    parts = filename.replace("\\", "/").split("/")
+    return "resil" in parts[:-1]
+
+
+def _iter_all_functions(tree: ast.Module) -> Iterable[_AnyFunctionDef]:
+    """Every function in the module, including methods and nested defs."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_truthy_constant(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and bool(expr.value)
+
+
+def _lint_unbounded_retry(
+    tree: ast.Module, filename: str
+) -> List[Diagnostic]:
+    in_resil = _is_resil_module(filename)
+    out: List[Diagnostic] = []
+    for fn in _iter_all_functions(tree):
+        if not (in_resil or "retry" in fn.name.lower()):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.While) and _is_truthy_constant(
+                node.test
+            ):
+                out.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="unbounded-retry",
+                    message=(
+                        f"{fn.name} loops `while True` — retry loops "
+                        "must bound their attempts (`for attempt in "
+                        "range(policy.max_attempts)`) so a failing "
+                        "device cannot spin forever"
+                    ),
+                    source=_SOURCE,
+                    location=f"{filename}:{node.lineno}",
+                ))
+    return out
+
+
+def _decorator_names(fn: _AnyFunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for decorator in fn.decorator_list:
+        node: ast.expr = decorator
+        if isinstance(node, ast.Call):
+            node = node.func
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _lint_resil_entrypoints(
+    tree: ast.Module, filename: str
+) -> List[Diagnostic]:
+    if not _is_resil_module(filename):
+        return []
+    out: List[Diagnostic] = []
+    for fn in _iter_functions(tree):
+        if fn.name.startswith("_") or "entrypoint" in fn.name.lower():
+            continue
+        if any(
+            "entrypoint" in name.lower() for name in _decorator_names(fn)
+        ):
+            continue
+        referenced = {
+            node.id for node in ast.walk(fn)
+            if isinstance(node, ast.Name)
+        }
+        if referenced & {"_wrap", "_record_failure"}:
+            continue
+        out.append(Diagnostic(
+            severity=Severity.ERROR,
+            code="resil-unrouted-entrypoint",
+            message=(
+                f"{fn.name} is a public resil entry point but is not "
+                "routed through the error surface — decorate it with "
+                "@resil_entrypoint (or call _wrap/_record_failure) so "
+                "its failures reach beagle_get_last_error_message"
+            ),
+            source=_SOURCE,
+            location=f"{filename}:{fn.lineno}",
+        ))
+    return out
+
+
 def lint_source(
     source: str, filename: str = "<string>"
 ) -> List[Diagnostic]:
@@ -308,6 +416,8 @@ def lint_source(
             out.extend(_lint_class(node, filename))
     out.extend(_lint_module_globals(tree, filename))
     out.extend(_lint_api_wrapping(tree, filename))
+    out.extend(_lint_unbounded_retry(tree, filename))
+    out.extend(_lint_resil_entrypoints(tree, filename))
     return out
 
 

@@ -12,11 +12,22 @@ dump a generated kernel program.
 :mod:`repro.obs` tracer enabled and prints the span tree, the hottest
 operations, and the metrics snapshot — the quickest way to see where a
 configuration spends its time.
+
+``pybeagle-chaos`` runs a scripted fault-injection drill
+(:mod:`repro.resil`) against a multi-device session: it installs a
+:class:`~repro.resil.FaultPlan` (from a JSON file or a built-in
+scenario), evaluates under a :class:`~repro.resil.RetryPolicy`, and
+reports the recovery — failovers, quarantines, fired faults, the
+``resil.*`` metric snapshot, and a bit-exact parity check of the
+recovered log-likelihood against a serial reference over the final
+split.  It exits non-zero when recovery or parity fails, so it doubles
+as a CI chaos gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -379,6 +390,198 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
         return 1 if args.strict else 0
     print("all checks clean")
     return 0
+
+
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-chaos",
+        description="Run a scripted fault-injection drill against a "
+                    "multi-device session and verify the recovery",
+    )
+    parser.add_argument(
+        "--plan", metavar="PATH",
+        help="fault-plan JSON file (default: a built-in scenario)",
+    )
+    parser.add_argument(
+        "--scenario", default="device-loss",
+        choices=("device-loss", "transient", "latency"),
+        help="built-in scenario used when no --plan is given: the last "
+             "device is lost mid-run / fails transiently / runs slow",
+    )
+    parser.add_argument("--devices", type=int, default=2,
+                        help="simulated device count (labels dev0..devN-1)")
+    parser.add_argument(
+        "--backend", default="cuda",
+        help="backend name for every device (cpu-serial, cpu-sse, "
+             "cpp-threads, opencl-x86, opencl-gpu, cuda)",
+    )
+    parser.add_argument("--taxa", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=2000)
+    parser.add_argument("--evaluations", type=int, default=4)
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="RetryPolicy bound on in-place retries")
+    parser.add_argument(
+        "--probe-interval", type=int, default=0,
+        help="probe quarantined devices every N evaluations (0: never)",
+    )
+    parser.add_argument(
+        "--level", default="auto",
+        choices=("auto", "hardware", "wrapper"),
+        help="where the fault plan is installed (see repro.resil.faults)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full drill report as JSON")
+    args = parser.parse_args(argv)
+
+    from dataclasses import asdict
+
+    from repro.model import HKY85
+    from repro.partition.multi import MultiDeviceLikelihood
+    from repro.resil import FaultEvent, FaultPlan, RetryPolicy
+    from repro.seq.simulate import synthetic_pattern_set
+    from repro.session import Session, backend_flags
+    from repro.tree.generate import yule_tree
+
+    try:
+        backend_flags(args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.devices < 2:
+        print("need --devices >= 2 for a failover drill", file=sys.stderr)
+        return 2
+
+    if args.plan:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_json(fh.read())
+        scenario = args.plan
+    else:
+        victim = f"dev{args.devices - 1}"
+        if args.scenario == "device-loss":
+            events = [FaultEvent("device-loss", victim, at=1)]
+        elif args.scenario == "transient":
+            events = [FaultEvent(
+                "transient-kernel", victim,
+                at=0, times=max(1, args.max_attempts - 1),
+            )]
+        else:
+            events = [FaultEvent(
+                "latency-spike", victim, at=0, times=3, seconds=0.05
+            )]
+        plan = FaultPlan(events, seed=args.seed)
+        scenario = args.scenario
+
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        probe_interval=args.probe_interval,
+        seed=plan.seed,
+    )
+    tree = yule_tree(args.taxa, rng=args.seed)
+    data = synthetic_pattern_set(args.taxa, args.patterns, 4,
+                                 rng=args.seed + 1)
+    model = HKY85(kappa=2.0)
+    requests = {f"dev{i}": args.backend for i in range(args.devices)}
+
+    print(f"scenario: {scenario} "
+          f"({len(plan.events)} scripted fault event(s))")
+    lls: List[float] = []
+    with Session.multi_device(
+        data, tree, model,
+        device_requests=requests,
+        rebalance=False, trace=True,
+        retry_policy=policy, fault_plan=plan, fault_level=args.level,
+    ) as md:
+        try:
+            for i in range(args.evaluations):
+                lls.append(md.log_likelihood())
+        except Exception as exc:
+            from repro.core.api import beagle_get_last_error_message
+
+            print(f"UNRECOVERED: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            print(f"error surface: {beagle_get_last_error_message()}",
+                  file=sys.stderr)
+            return 1
+        rows = [[label, impl, str(n)] for label, impl, n
+                in md.device_report()]
+        print(format_table(
+            ["device", "implementation", "patterns"], rows,
+            title="Surviving split",
+        ))
+        failovers = md.failover_events()
+        quarantined = sorted(md.quarantined())
+        survivors = list(md.likelihood.labels)
+        proportions = list(md.proportions)
+        resil_metrics = {
+            name: md.metrics.get(name).snapshot()
+            for name in md.metrics.names()
+            if name.startswith("resil.")
+        }
+
+    # Parity: the recovered concurrent sum must be bit-identical to a
+    # fresh serial evaluation over the same (post-failover) split.
+    with MultiDeviceLikelihood(
+        tree, data, model,
+        device_requests={
+            label: backend_flags(args.backend) for label in survivors
+        },
+        proportions=proportions,
+    ) as reference:
+        serial_ll = reference.log_likelihood()
+    parity_ok = bool(lls) and lls[-1] == serial_ll
+
+    print()
+    for i, ll in enumerate(lls):
+        print(f"evaluation {i}: log-likelihood {ll!r}")
+    print(f"serial reference over final split: {serial_ll!r}")
+    print(f"parity: {'OK (bit-identical)' if parity_ok else 'FAIL'}")
+    print()
+    print(f"failovers: {len(failovers)}")
+    for event in failovers:
+        print(f"  evaluation {event.evaluation}: lost {event.label!r} "
+              f"({event.error}); survivors {event.survivors}, "
+              f"wasted {event.wasted_s:.6f}s")
+    print(f"quarantined: {quarantined}")
+    fired = plan.fired()
+    for label in sorted(fired):
+        kinds = ", ".join(
+            f"{ev.kind}@{n}" for n, ev in fired[label]
+        )
+        print(f"faults fired on {label!r}: {kinds}")
+    if resil_metrics:
+        print()
+        print("— resil metrics —")
+        for name in sorted(resil_metrics):
+            print(f"  {resil_metrics[name]!r}")
+
+    if args.json:
+        report = {
+            "scenario": scenario,
+            "plan": plan.to_dict(),
+            "workload": {
+                "taxa": args.taxa,
+                "patterns": args.patterns,
+                "devices": args.devices,
+                "backend": args.backend,
+                "evaluations": args.evaluations,
+            },
+            "log_likelihoods": lls,
+            "serial_reference": serial_ll,
+            "parity_ok": parity_ok,
+            "failovers": [asdict(event) for event in failovers],
+            "quarantined": quarantined,
+            "fired": {
+                label: [[n, asdict(ev)] for n, ev in events]
+                for label, events in fired.items()
+            },
+            "metrics": resil_metrics,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote report to {args.json}")
+
+    return 0 if parity_ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

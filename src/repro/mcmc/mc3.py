@@ -68,6 +68,14 @@ class MetropolisCoupledMCMC:
     chain owns its own likelihood instance — this is the paper's level of
     concurrency that is "complimentary to that provided by the BEAGLE
     library").
+
+    The sampler is *resumable*: ``generation`` and ``samples`` live on
+    the instance, so a second :meth:`run` call continues the trajectory
+    (absolute generation numbers, one growing sample list) instead of
+    restarting — this is what MCMC checkpoint/restore
+    (:mod:`repro.resil.checkpoint`) builds on.  ``on_generation``, when
+    set, is called as ``on_generation(mc3, generation)`` after every
+    generation — the periodic auto-checkpoint hook.
     """
 
     def __init__(
@@ -84,6 +92,11 @@ class MetropolisCoupledMCMC:
         ]
         self.swap_proposed = 0
         self.swap_accepted = 0
+        self.generation = 0
+        self.samples: List[Sample] = []
+        self.on_generation: Optional[
+            Callable[["MetropolisCoupledMCMC", int], None]
+        ] = None
 
     @property
     def cold_chain(self) -> MarkovChain:
@@ -109,15 +122,15 @@ class MetropolisCoupledMCMC:
     ) -> MC3Result:
         if generations < 1:
             raise ValueError("need at least one generation")
-        samples: List[Sample] = []
-        for gen in range(1, generations + 1):
+        start = self.generation
+        for gen in range(start + 1, start + generations + 1):
             for chain in self.chains:
                 chain.step()
             if gen % swap_interval == 0:
                 self._try_swap()
             if gen % sample_interval == 0:
                 cold = self.cold_chain
-                samples.append(
+                self.samples.append(
                     Sample(
                         generation=gen,
                         log_likelihood=cold.log_likelihood,
@@ -127,12 +140,15 @@ class MetropolisCoupledMCMC:
                         tree_newick=_newick_of(cold),
                     )
                 )
+            self.generation = gen
+            if self.on_generation is not None:
+                self.on_generation(self, gen)
         cold = self.cold_chain
         rates = {
             name: cold.stats.rate(name) for name in cold.stats.proposed
         }
         return MC3Result(
-            samples=samples,
+            samples=list(self.samples),
             swap_proposed=self.swap_proposed,
             swap_accepted=self.swap_accepted,
             acceptance_rates=rates,

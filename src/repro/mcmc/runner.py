@@ -184,6 +184,14 @@ class MrBayesRunner:
         self._make_backend = _backend_factory(backend, spec, precision)
         self.tracer = Tracer(enabled=trace) if trace else None
         self.metrics = MetricsRegistry() if trace else None
+        # Checkpoint/restore bookkeeping (repro.resil.checkpoint):
+        # a restored MC^3 pending its continuation run, the most recent
+        # MC^3 (for manual checkpoints), the intervals it ran with, and
+        # the intervals a resumed run must keep for bit-exactness.
+        self._mc3: Optional[MetropolisCoupledMCMC] = None
+        self._last_mc3: Optional[MetropolisCoupledMCMC] = None
+        self._last_intervals: Optional[Tuple[int, int]] = None
+        self._resume_intervals: Optional[Tuple[int, int]] = None
 
     def _chain_factory(self, index: int, heat: float) -> MarkovChain:
         state = PhyloState(
@@ -210,10 +218,28 @@ class MrBayesRunner:
         swap_interval: int = 10,
         sample_interval: int = 10,
         n_ranks: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
     ) -> MrBayesRun:
-        """Run the analysis; ``n_ranks`` distributes chains over simulated MPI."""
+        """Run the analysis; ``n_ranks`` distributes chains over simulated MPI.
+
+        With ``checkpoint_path`` and ``checkpoint_every > 0``, an
+        atomic, manifest-hashed checkpoint is written every that-many
+        generations (overwriting the previous one), and
+        :meth:`resume` continues the analysis bit-for-bit.  On a runner
+        built by :meth:`resume`, this continues the restored sampler —
+        absolute generation numbers, one growing sample list — and the
+        swap/sample intervals must match the checkpointed run.
+        """
+        from repro.util.errors import CheckpointError
+
         start = time.perf_counter()
         if n_ranks and n_ranks > 1:
+            if checkpoint_path or self._mc3 is not None:
+                raise CheckpointError(
+                    "checkpoint/resume is not supported for distributed "
+                    "(n_ranks > 1) runs"
+                )
             result = run_mc3_distributed(
                 self._chain_factory,
                 n_chains=self.n_chains,
@@ -225,12 +251,45 @@ class MrBayesRunner:
                 seed=int(self.rng.integers(2**62)),
             )
         else:
-            mc3 = MetropolisCoupledMCMC(
-                self._chain_factory,
-                n_chains=self.n_chains,
-                delta_t=self.delta_t,
-                rng=self.rng,
-            )
+            if self._mc3 is not None:
+                expected = self._resume_intervals
+                if expected is not None and expected != (
+                    swap_interval, sample_interval
+                ):
+                    raise CheckpointError(
+                        "a resumed run must keep the checkpointed "
+                        f"swap/sample intervals {expected}; got "
+                        f"({swap_interval}, {sample_interval})"
+                    )
+                mc3 = self._mc3
+                self._mc3 = None
+            else:
+                mc3 = MetropolisCoupledMCMC(
+                    self._chain_factory,
+                    n_chains=self.n_chains,
+                    delta_t=self.delta_t,
+                    rng=self.rng,
+                )
+            self._last_mc3 = mc3
+            self._last_intervals = (swap_interval, sample_interval)
+            if checkpoint_path and checkpoint_every > 0:
+                from repro.resil.checkpoint import (
+                    save_checkpoint,
+                    snapshot_mcmc,
+                )
+
+                def auto_checkpoint(m: MetropolisCoupledMCMC, gen: int,
+                                    ) -> None:
+                    if gen % checkpoint_every == 0:
+                        save_checkpoint(
+                            checkpoint_path,
+                            snapshot_mcmc(
+                                self, m, swap_interval, sample_interval
+                            ),
+                            metrics=self.metrics,
+                        )
+
+                mc3.on_generation = auto_checkpoint
             result = mc3.run(generations, swap_interval, sample_interval)
             mc3.finalize()
         return MrBayesRun(
@@ -241,3 +300,71 @@ class MrBayesRunner:
             tracer=self.tracer,
             metrics=self.metrics,
         )
+
+    # -- checkpoint / restore (repro.resil.checkpoint) ---------------------
+
+    def checkpoint(self, path: str) -> int:
+        """Snapshot the most recent MC^3 state to *path* (atomic write).
+
+        Returns the number of bytes written.  Usable mid-run (from an
+        ``on_generation`` hook), or after :meth:`run` returns — chain
+        states outlive backend finalization.
+        """
+        from repro.resil.checkpoint import save_checkpoint, snapshot_mcmc
+        from repro.util.errors import CheckpointError
+
+        mc3 = self._mc3 if self._mc3 is not None else self._last_mc3
+        if mc3 is None:
+            raise CheckpointError(
+                "nothing to checkpoint: run() has not started a sampler"
+            )
+        swap_interval, sample_interval = (
+            self._resume_intervals or self._last_intervals or (10, 10)
+        )
+        return save_checkpoint(
+            path,
+            snapshot_mcmc(self, mc3, swap_interval, sample_interval),
+            metrics=self.metrics,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        spec: AnalysisSpec,
+        path: str,
+        backend: Optional[str] = None,
+        precision: Optional[str] = None,
+        trace: bool = False,
+    ) -> "MrBayesRunner":
+        """Rebuild a runner from a checkpoint written by :meth:`run`.
+
+        The next :meth:`run` call continues the analysis; with the same
+        backend the continuation reproduces the uninterrupted run
+        bit-for-bit.  Passing *backend*/*precision* restores onto a
+        different likelihood engine (exact while the engines agree
+        bitwise, a documented approximation otherwise).
+        """
+        from repro.resil.checkpoint import (
+            _run_meta,
+            load_checkpoint,
+            restore_mcmc,
+        )
+
+        payload = load_checkpoint(path)
+        meta = payload["runner"]
+        runner = cls(
+            spec,
+            backend=backend if backend is not None else meta["backend"],
+            precision=(
+                precision if precision is not None else meta["precision"]
+            ),
+            n_chains=int(meta["n_chains"]),
+            delta_t=float(meta["delta_t"]),
+            trace=trace,
+        )
+        runner._mc3 = restore_mcmc(runner, payload)
+        run_meta = _run_meta(payload)
+        runner._resume_intervals = (
+            run_meta["swap_interval"], run_meta["sample_interval"]
+        )
+        return runner

@@ -215,13 +215,15 @@ class MultiDeviceLikelihood:
         self.labels = labels
         self._tracer = None
         self._metrics = None
+        self._fault_plan = None
+        self._fault_level = "auto"
         self.components: List[TreeLikelihood] = []
         self.chunks: List[PatternSet] = []
-        self._bounds: List[int] = []
+        self._spans: List[Tuple[int, int]] = []
         self.proportions: List[float] = []
-        self._apply_split(proportions)
+        self._reconfigure(labels, proportions)
 
-    def _build_component(self, label: str, chunk: PatternSet) -> TreeLikelihood:
+    def _build_component(self, label: str, chunk: PatternSet):
         kwargs = dict(self.device_requests[label])
         kwargs.setdefault("deferred", self.deferred)
         component = TreeLikelihood(
@@ -229,42 +231,85 @@ class MultiDeviceLikelihood:
         )
         if self._tracer is not None:
             component.instrument(self._tracer, self._metrics)
+        if self._fault_plan is not None:
+            from repro.resil.faults import _install_on_component
+
+            component = _install_on_component(
+                component,
+                self._fault_plan.injector_for(label),
+                self._fault_level,
+            )
         return component
 
-    def _apply_split(self, proportions: Sequence[float]) -> List[str]:
-        """(Re)build components for a new pattern split.
+    def _reconfigure(
+        self, labels: Sequence[str], proportions: Sequence[float]
+    ) -> List[str]:
+        """Atomically move to a new (active device set, pattern split).
 
-        Components whose chunk boundaries are unchanged are kept —
-        their device buffers and matrix caches stay warm — and only the
-        instances whose pattern range moved are rebuilt.  Returns the
-        labels that were rebuilt.
+        Components whose label survives with unchanged chunk boundaries
+        are kept — their device buffers and matrix caches stay warm —
+        and only the instances whose pattern range moved are (re)built.
+        The transition is build-then-commit: every new instance is
+        constructed before any old state is touched, so a failed build
+        (e.g. a faulty replacement device) leaves the likelihood exactly
+        as it was.  Returns the labels that were rebuilt.
         """
+        labels = list(labels)
+        unknown = [lab for lab in labels if lab not in self.device_requests]
+        if unknown:
+            raise ValueError(f"unknown device labels: {unknown}")
         bounds = split_bounds(self.data.n_patterns, proportions)
-        if len(bounds) - 1 != len(self.labels):
-            raise ValueError("one proportion per device request")
-        rebuilt: List[str] = []
+        if len(bounds) - 1 != len(labels):
+            raise ValueError("one proportion per active device")
         chunks = split_pattern_set(self.data, proportions)
-        first_build = not self.components
-        for i, (label, chunk) in enumerate(zip(self.labels, chunks)):
-            if (
-                not first_build
-                and self._bounds[i] == bounds[i]
-                and self._bounds[i + 1] == bounds[i + 1]
-            ):
-                chunks[i] = self.chunks[i]
-                continue
-            if first_build:
-                self.components.append(self._build_component(label, chunk))
-            else:
-                self.components[i].finalize()
-                self.components[i] = self._build_component(label, chunk)
-            rebuilt.append(label)
-        self.chunks = chunks
-        self._bounds = bounds
-        n = self.data.n_patterns
-        self.proportions = [
-            (bounds[i + 1] - bounds[i]) / n for i in range(len(self.labels))
+        old = {
+            label: (component, chunk, span)
+            for label, component, chunk, span in zip(
+                self.labels, self.components, self.chunks, self._spans
+            )
+        }
+        spans = [
+            (bounds[i], bounds[i + 1]) for i in range(len(labels))
         ]
+        new_components: List = []
+        new_chunks: List[PatternSet] = []
+        rebuilt: List[str] = []
+        built_fresh: List = []
+        try:
+            for i, label in enumerate(labels):
+                prev = old.get(label)
+                if prev is not None and prev[2] == spans[i]:
+                    new_components.append(prev[0])
+                    new_chunks.append(prev[1])
+                    continue
+                component = self._build_component(label, chunks[i])
+                built_fresh.append(component)
+                new_components.append(component)
+                new_chunks.append(chunks[i])
+                rebuilt.append(label)
+        except BaseException:
+            for component in built_fresh:
+                try:
+                    component.finalize()
+                except Exception:
+                    pass
+            raise
+        # Commit: retire every instance that is dropped or replaced.
+        keep = {id(component) for component in new_components}
+        for component, _, _ in old.values():
+            if id(component) not in keep:
+                try:
+                    component.finalize()
+                except Exception:
+                    # A lost device may refuse a clean teardown; the
+                    # replacement instances are already committed.
+                    pass
+        self.labels = labels
+        self.components = new_components
+        self.chunks = new_chunks
+        self._spans = spans
+        n = self.data.n_patterns
+        self.proportions = [(hi - lo) / n for lo, hi in spans]
         return rebuilt
 
     def resplit(self, proportions: Sequence[float]) -> List[str]:
@@ -275,7 +320,67 @@ class MultiDeviceLikelihood:
         new proportions from observed per-device rates and calls here.
         Returns the labels whose instances were rebuilt.
         """
-        return self._apply_split(proportions)
+        return self._reconfigure(self.labels, proportions)
+
+    # -- resilience --------------------------------------------------------
+
+    def install_fault_plan(self, plan, level: str = "auto") -> None:
+        """Install a :class:`repro.resil.FaultPlan` on every component.
+
+        The plan is remembered, so instances rebuilt by
+        :meth:`resplit`/:meth:`drop_device`/:meth:`readmit_device` come
+        back with their injector attached — and injector state is
+        memoized per label on the plan, so a rebuild never resets the
+        fault schedule.
+        """
+        from repro.resil.faults import _install_on_component
+
+        self._fault_plan = plan
+        self._fault_level = level
+        for i, label in enumerate(self.labels):
+            self.components[i] = _install_on_component(
+                self.components[i], plan.injector_for(label), level
+            )
+
+    def drop_device(
+        self, label: str, proportions: Optional[Sequence[float]] = None
+    ) -> List[str]:
+        """Quarantine a device: re-split its patterns across survivors.
+
+        The default split renormalises the survivors' current shares,
+        so a balanced pair degrades to the single survivor holding every
+        pattern.  Returns the labels whose instances were rebuilt.
+        """
+        if label not in self.labels:
+            raise ValueError(f"{label!r} is not an active device")
+        if len(self.labels) == 1:
+            raise ValueError("cannot drop the last remaining device")
+        survivors = [lab for lab in self.labels if lab != label]
+        if proportions is None:
+            shares = dict(zip(self.labels, self.proportions))
+            total = sum(shares[lab] for lab in survivors)
+            proportions = [shares[lab] / total for lab in survivors]
+        return self._reconfigure(survivors, proportions)
+
+    def readmit_device(
+        self, label: str, proportions: Optional[Sequence[float]] = None
+    ) -> List[str]:
+        """Re-admit a quarantined device into the active split.
+
+        The active set returns to the original ``device_requests``
+        order, so a drop/readmit cycle restores the exact component
+        ordering (and therefore the bit-exact summation order) of the
+        original configuration.
+        """
+        if label in self.labels:
+            raise ValueError(f"{label!r} is already active")
+        if label not in self.device_requests:
+            raise ValueError(f"unknown device label {label!r}")
+        active = set(self.labels) | {label}
+        labels = [lab for lab in self.device_requests if lab in active]
+        if proportions is None:
+            proportions = [1.0 / len(labels)] * len(labels)
+        return self._reconfigure(labels, proportions)
 
     def instrument(self, tracer=None, metrics=None):
         """Attach one shared tracer + metrics registry to every component.

@@ -1,0 +1,45 @@
+"""Error-surface routing for the resilience layer.
+
+Every public :mod:`repro.resil` entry point is decorated with
+:func:`resil_entrypoint`, which records any escaping exception in the
+``beagle_*`` error surface (:func:`repro.core.api._record_failure`)
+before re-raising it.  That keeps the debugging contract uniform across
+the library: after *any* failure — a C-style API call, an executor
+component, or a resilience operation — ``beagle_get_last_error_message``
+names the operation that failed and the exception detail.
+
+The static lint (:mod:`repro.analysis.astlint`, rule
+``resil-unrouted-entrypoint``) enforces that every public function in a
+``repro/resil`` module carries this decorator.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, TypeVar, cast
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+__all__ = ["resil_entrypoint"]
+
+
+def resil_entrypoint(fn: F) -> F:
+    """Route a resil public function's failures through ``_record_failure``.
+
+    The wrapped function behaves identically on success; on failure the
+    exception is recorded as ``resil.<name>: <type>: <detail>`` in the
+    thread-local last-error state and then re-raised unchanged.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        try:
+            return fn(*args, **kwargs)
+        except Exception as exc:
+            from repro.core.api import _record_failure
+
+            _record_failure(f"resil.{fn.__name__}", exc)
+            raise
+
+    wrapper.__resil_entrypoint__ = True  # type: ignore[attr-defined]
+    return cast(F, wrapper)

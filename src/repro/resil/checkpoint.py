@@ -1,0 +1,350 @@
+"""Atomic, manifest-hashed MCMC checkpoints with bit-exact resume.
+
+A checkpoint is one JSON file::
+
+    {
+      "format": "pybeagle-checkpoint-v1",
+      "sha256": "<hex digest of the canonical payload encoding>",
+      "payload": { ... }
+    }
+
+The digest is computed over the *canonical* encoding of the payload
+(``sort_keys=True``, compact separators), so any bit of corruption —
+truncation, a flipped float, a hand-edited field — fails validation and
+:func:`load_checkpoint` raises
+:class:`~repro.util.errors.CheckpointCorruptError` instead of resuming
+from a poisoned state.  Writes are atomic: the file is written to a
+temporary sibling, fsynced, and :func:`os.replace`\\ d into place, so a
+crash mid-checkpoint leaves the previous checkpoint intact.
+
+For MCMC, the payload captures everything that drives the sampler's
+future trajectory: per-chain RNG streams (numpy PCG64 state dicts —
+JSON carries big ints exactly), trees (recursive node documents that
+preserve buffer indices), parameters, heats, acceptance statistics,
+iteration counters, the MC^3 swap RNG and counters, and the samples
+collected so far.  Floats survive the round-trip bit-for-bit (Python's
+JSON encoder emits ``repr``, which round-trips IEEE doubles), so a
+resumed run replays the uninterrupted run's proposal and acceptance
+stream exactly — the resume parity tests assert sample-by-sample
+equality.
+
+Likelihood engine state is deliberately *not* serialized: partials are
+a pure function of (tree, model, data), so the resumed backend's fresh
+full evaluation reconstructs them, and the saved log-likelihood /
+log-prior are re-installed on each chain to keep the Metropolis ratio
+stream exact.  Restoring under a *different* backend selection is
+allowed (the chains continue from the saved values); it is exact as
+long as both backends agree bitwise on likelihoods, and a documented
+approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.resil._surface import resil_entrypoint
+from repro.util.errors import CheckpointCorruptError, CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "load_checkpoint",
+    "restore_mcmc",
+    "save_checkpoint",
+    "snapshot_mcmc",
+]
+
+CHECKPOINT_FORMAT = "pybeagle-checkpoint-v1"
+
+
+# ---------------------------------------------------------------------------
+# generic manifest-hashed container
+# ---------------------------------------------------------------------------
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+@resil_entrypoint
+def save_checkpoint(path: str, payload: Dict[str, Any], metrics=None) -> int:
+    """Write *payload* to *path* atomically, wrapped in a hash manifest.
+
+    Returns the number of bytes written.  With a
+    :class:`~repro.obs.MetricsRegistry`, emits
+    ``resil.checkpoint.writes`` / ``.bytes`` / ``.write_s``.
+    """
+    t0 = time.perf_counter()
+    doc = {
+        "format": CHECKPOINT_FORMAT,
+        "sha256": _digest(payload),
+        "payload": payload,
+    }
+    text = json.dumps(doc, indent=1, sort_keys=True)
+    _atomic_write_text(path, text)
+    n_bytes = len(text.encode())
+    if metrics is not None:
+        metrics.counter("resil.checkpoint.writes").inc()
+        metrics.histogram("resil.checkpoint.bytes").observe(n_bytes)
+        metrics.gauge("resil.checkpoint.write_s").set(
+            time.perf_counter() - t0
+        )
+    return n_bytes
+
+
+@resil_entrypoint
+def load_checkpoint(path: str, metrics=None) -> Dict[str, Any]:
+    """Read and validate a checkpoint; returns the payload.
+
+    Raises :class:`~repro.util.errors.CheckpointCorruptError` when the
+    file is unreadable, not a checkpoint, or fails the hash check.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"unreadable checkpoint {path}: {exc}"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointCorruptError(
+            f"{path} is not a {CHECKPOINT_FORMAT} checkpoint"
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(f"{path} has no payload")
+    if _digest(payload) != doc.get("sha256"):
+        raise CheckpointCorruptError(
+            f"{path} failed manifest validation (sha256 mismatch)"
+        )
+    if metrics is not None:
+        metrics.counter("resil.checkpoint.reads").inc()
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# tree / rng serialization
+# ---------------------------------------------------------------------------
+
+def _node_doc(node) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "index": node.index,
+        "branch_length": node.branch_length,
+    }
+    if node.name is not None:
+        doc["name"] = node.name
+    if node.children:
+        doc["children"] = [_node_doc(child) for child in node.children]
+    return doc
+
+
+def _node_from_doc(doc: Dict[str, Any]):
+    from repro.tree.node import Node
+
+    node = Node(
+        index=int(doc["index"]),
+        name=doc.get("name"),
+        branch_length=doc["branch_length"],
+    )
+    for child_doc in doc.get("children", []):
+        node.add_child(_node_from_doc(child_doc))
+    return node
+
+
+def _tree_doc(tree) -> Dict[str, Any]:
+    return {"root": _node_doc(tree.root)}
+
+
+def _tree_from_doc(doc: Dict[str, Any]):
+    from repro.tree.tree import Tree
+
+    # Buffer indices were saved; re-indexing would scramble the mapping
+    # between partials buffers and the restored topology.
+    return Tree(_node_from_doc(doc["root"]), reindex=False)
+
+
+def _rng_doc(rng: np.random.Generator) -> Dict[str, Any]:
+    return rng.bit_generator.state  # type: ignore[no-any-return]
+
+
+def _rng_from_doc(doc: Dict[str, Any]) -> np.random.Generator:
+    algorithm = doc.get("bit_generator", "PCG64")
+    if algorithm != "PCG64":
+        raise CheckpointError(
+            f"cannot restore RNG algorithm {algorithm!r}; expected PCG64"
+        )
+    bit_generator = np.random.PCG64()
+    bit_generator.state = doc
+    return np.random.Generator(bit_generator)
+
+
+# ---------------------------------------------------------------------------
+# MCMC snapshot / restore
+# ---------------------------------------------------------------------------
+
+def _chain_doc(chain) -> Dict[str, Any]:
+    return {
+        "heat": chain.heat,
+        "generation": chain.generation,
+        "log_likelihood": chain.log_likelihood,
+        "log_prior": chain.log_prior,
+        "rng": _rng_doc(chain.rng),
+        "stats": {
+            "proposed": dict(chain.stats.proposed),
+            "accepted": dict(chain.stats.accepted),
+        },
+        "parameters": dict(chain.state.parameters),
+        "tree": _tree_doc(chain.state.tree),
+    }
+
+
+def _restore_chain(runner, doc: Dict[str, Any]):
+    from repro.mcmc.chain import AcceptanceStats, MarkovChain
+    from repro.mcmc.proposals import PhyloState, default_mix
+
+    state = PhyloState(
+        tree=_tree_from_doc(doc["tree"]),
+        parameters={k: float(v) for k, v in doc["parameters"].items()},
+    )
+    backend = runner._make_backend(state)
+    if runner.tracer is not None and hasattr(backend, "tl"):
+        backend.tl.instrument(runner.tracer, runner.metrics)
+    chain = MarkovChain(
+        state=state,
+        backend=backend,
+        branch_prior=runner.spec.branch_prior,
+        parameter_priors=runner.spec.parameter_priors,
+        mix=default_mix(sorted(runner.spec.initial_parameters)),
+        heat=doc["heat"],
+        rng=0,
+    )
+    # The constructor warmed the backend up with a full evaluation of
+    # the restored tree; now overwrite the trajectory-determining state
+    # with the saved values so the proposal/acceptance stream continues
+    # bit-for-bit.
+    chain.rng = _rng_from_doc(doc["rng"])
+    chain.generation = int(doc["generation"])
+    chain.log_likelihood = doc["log_likelihood"]
+    chain.log_prior = doc["log_prior"]
+    chain.stats = AcceptanceStats(
+        proposed={k: int(v) for k, v in doc["stats"]["proposed"].items()},
+        accepted={k: int(v) for k, v in doc["stats"]["accepted"].items()},
+    )
+    return chain
+
+
+@resil_entrypoint
+def snapshot_mcmc(
+    runner,
+    mc3,
+    swap_interval: int,
+    sample_interval: int,
+) -> Dict[str, Any]:
+    """Capture a resumable payload from a runner's in-progress MC^3."""
+    from dataclasses import asdict
+
+    return {
+        "kind": "mcmc",
+        "runner": {
+            "backend": runner.backend,
+            "precision": runner.precision,
+            "n_chains": runner.n_chains,
+            "delta_t": runner.delta_t,
+        },
+        "run": {
+            "generation": mc3.generation,
+            "swap_interval": int(swap_interval),
+            "sample_interval": int(sample_interval),
+        },
+        "mc3": {
+            "rng": _rng_doc(mc3.rng),
+            "swap_proposed": mc3.swap_proposed,
+            "swap_accepted": mc3.swap_accepted,
+            "samples": [asdict(sample) for sample in mc3.samples],
+        },
+        "chains": [_chain_doc(chain) for chain in mc3.chains],
+    }
+
+
+@resil_entrypoint
+def restore_mcmc(runner, payload: Dict[str, Any]):
+    """Rebuild a resumable :class:`MetropolisCoupledMCMC` from *payload*.
+
+    The runner must match the checkpoint's chain configuration
+    (``n_chains``, ``delta_t``); a different *backend* selection is
+    permitted — chains continue from the saved likelihoods, which is
+    exact when the backends agree bitwise and a documented
+    approximation otherwise.
+    """
+    from repro.mcmc.mc3 import (
+        MetropolisCoupledMCMC,
+        Sample,
+        incremental_heats,
+    )
+
+    if payload.get("kind") != "mcmc":
+        raise CheckpointError(
+            f"not an MCMC checkpoint (kind={payload.get('kind')!r})"
+        )
+    meta = payload["runner"]
+    if int(meta["n_chains"]) != runner.n_chains:
+        raise CheckpointError(
+            f"checkpoint has {meta['n_chains']} chains, "
+            f"runner configured for {runner.n_chains}"
+        )
+    if float(meta["delta_t"]) != runner.delta_t:
+        raise CheckpointError(
+            f"checkpoint heating delta_t={meta['delta_t']} does not match "
+            f"runner delta_t={runner.delta_t}"
+        )
+    chains = [_restore_chain(runner, doc) for doc in payload["chains"]]
+    mc3 = MetropolisCoupledMCMC.__new__(MetropolisCoupledMCMC)
+    mc3.rng = _rng_from_doc(payload["mc3"]["rng"])
+    mc3.heats = incremental_heats(runner.n_chains, runner.delta_t)
+    mc3.chains = chains
+    mc3.swap_proposed = int(payload["mc3"]["swap_proposed"])
+    mc3.swap_accepted = int(payload["mc3"]["swap_accepted"])
+    mc3.generation = int(payload["run"]["generation"])
+    mc3.samples = [
+        Sample(**doc) for doc in payload["mc3"]["samples"]
+    ]
+    mc3.on_generation = None
+    return mc3
+
+
+def _run_meta(payload: Dict[str, Any]) -> Dict[str, int]:
+    """Saved run intervals, for resume-time validation."""
+    run = payload.get("run", {})
+    return {
+        "generation": int(run.get("generation", 0)),
+        "swap_interval": int(run.get("swap_interval", 10)),
+        "sample_interval": int(run.get("sample_interval", 10)),
+    }

@@ -13,6 +13,8 @@ throughput back into the split proportions.
 from repro.sched.executor import (
     ComponentTiming,
     ConcurrentExecutor,
+    FailoverEvent,
+    QuarantineRecord,
     RebalanceEvent,
     RebalancingExecutor,
 )
@@ -20,6 +22,8 @@ from repro.sched.executor import (
 __all__ = [
     "ComponentTiming",
     "ConcurrentExecutor",
+    "FailoverEvent",
+    "QuarantineRecord",
     "RebalanceEvent",
     "RebalancingExecutor",
 ]

@@ -22,9 +22,29 @@ Two cooperating pieces:
   pattern set, and rebuilds the affected instances via
   :meth:`repro.partition.multi.MultiDeviceLikelihood.resplit`.
 
-Both stages are observable: evaluations emit ``executor.*`` spans and
-metrics, the correction loop emits ``rebalance.*`` spans and counters
-(see the Observability section of the README for the name catalog).
+With a :class:`~repro.resil.RetryPolicy` attached, the executor also
+survives device failure (the resilience layer, :mod:`repro.resil`):
+
+* **transient** errors (``DeviceError.transient``) are retried on the
+  same device, bounded by ``max_attempts``, with deterministic
+  exponential backoff charged to the device clock where one exists;
+* **persistent** failures quarantine the device — its worker thread is
+  released, the pattern set is re-split across the survivors through
+  the same machinery rebalancing uses, and the evaluation is re-run, so
+  the recovered log-likelihood remains the component-ordered sum over
+  the surviving split (bit-identical to the serial sum over that
+  split);
+* quarantined devices are probed every ``probe_interval`` evaluations
+  and re-admitted through the resplit path when the probe passes.
+
+Worker exceptions are routed through the ``beagle_*`` error surface:
+after any component failure, ``beagle_get_last_error_message`` names
+the failing component and device rather than a bare future exception.
+
+Everything is observable: evaluations emit ``executor.*`` spans and
+metrics, the correction loop emits ``rebalance.*`` spans and counters,
+and the resilience path emits ``resil.*`` spans and counters (see the
+README's metric-name catalog).
 """
 
 from __future__ import annotations
@@ -36,10 +56,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs import NULL_TRACER
 from repro.partition.autoselect import proportions_from_rates
+from repro.util.errors import DeviceError
 
 __all__ = [
     "ComponentTiming",
     "ConcurrentExecutor",
+    "FailoverEvent",
+    "QuarantineRecord",
     "RebalanceEvent",
     "RebalancingExecutor",
 ]
@@ -84,6 +107,31 @@ class RebalanceEvent:
     rebuilt: List[str] = field(default_factory=list)
 
 
+@dataclass
+class FailoverEvent:
+    """One executed failover: which device was lost and what it cost."""
+
+    evaluation: int
+    label: str
+    error: str
+    survivors: List[str]
+    rebuilt: List[str]
+    #: Measured work discarded from the failed round (the survivors'
+    #: completed shard evaluations whose results could not be used).
+    wasted_s: float
+
+
+@dataclass
+class QuarantineRecord:
+    """A device removed from the active split after persistent failure."""
+
+    label: str
+    error: str
+    at_evaluation: int
+    last_probe: int
+    probes: int = 0
+
+
 def _component_labels(likelihood) -> List[str]:
     """Display labels for a multi-instance likelihood's components."""
     if hasattr(likelihood, "labels"):
@@ -108,13 +156,21 @@ class ConcurrentExecutor:
         Default to the first component's attached tracer/metrics, so an
         instrumented likelihood (``likelihood.instrument(...)``) needs no
         extra wiring.
+    retry_policy:
+        Optional :class:`~repro.resil.RetryPolicy`.  Without one, any
+        component failure propagates immediately (the pre-resilience
+        behaviour).  With one, transient errors retry in place and —
+        when the likelihood supports ``drop_device`` — persistent
+        device failures quarantine the device and fail the patterns
+        over to the survivors.
 
     The executor owns only its worker threads; closing it leaves the
     likelihood usable (and serially evaluable).  Use as a context
     manager or call :meth:`shutdown`.
     """
 
-    def __init__(self, likelihood, tracer=None, metrics=None) -> None:
+    def __init__(self, likelihood, tracer=None, metrics=None,
+                 retry_policy=None) -> None:
         if not getattr(likelihood, "components", None):
             raise ValueError("likelihood has no components to execute")
         self.likelihood = likelihood
@@ -123,17 +179,17 @@ class ConcurrentExecutor:
         self._metrics = metrics if metrics is not None else first.metrics
         if self._tracer is None:
             self._tracer = NULL_TRACER
-        # One single-thread worker per component slot: exactly one
+        self._retry_policy = retry_policy
+        # One single-thread worker per device label: exactly one
         # in-flight evaluation per instance, overlap across instances.
-        self._workers: List[ThreadPoolExecutor] = [
-            ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"hetero-{label}"
-            )
-            for label in _component_labels(likelihood)
-        ]
+        # Created on demand so quarantine/readmit can retire and revive
+        # workers without index bookkeeping.
+        self._workers: Dict[str, ThreadPoolExecutor] = {}
         self._last_timings: List[ComponentTiming] = []
         self._evaluations = 0
         self._closed = False
+        self._failover_events: List[FailoverEvent] = []
+        self._quarantined: Dict[str, QuarantineRecord] = {}
 
     # -- evaluation --------------------------------------------------------
 
@@ -145,6 +201,10 @@ class ConcurrentExecutor:
     def evaluations(self) -> int:
         """How many concurrent evaluations have run."""
         return self._evaluations
+
+    @property
+    def retry_policy(self):
+        return self._retry_policy
 
     def timings(self) -> List[ComponentTiming]:
         """Per-component timings of the most recent evaluation."""
@@ -160,8 +220,25 @@ class ConcurrentExecutor:
             return 0.0
         return max(t.measured_s for t in self._last_timings)
 
-    def _run_component(self, component, label: str, parent_id, method: str,
-                       args: tuple):
+    def failover_events(self) -> List[FailoverEvent]:
+        """Every executed failover, oldest first."""
+        return list(self._failover_events)
+
+    def quarantined(self) -> Dict[str, QuarantineRecord]:
+        """Currently quarantined devices, by label."""
+        return dict(self._quarantined)
+
+    def _worker_for(self, label: str) -> ThreadPoolExecutor:
+        worker = self._workers.get(label)
+        if worker is None:
+            worker = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"hetero-{label}"
+            )
+            self._workers[label] = worker
+        return worker
+
+    def _attempt_component(self, component, label: str, parent_id,
+                           method: str, args: tuple):
         impl = component.instance.impl
         sim0 = getattr(impl, "simulated_time", None)
         tracer = self._tracer
@@ -189,61 +266,271 @@ class ConcurrentExecutor:
         )
         return value, timing
 
+    def _note_retry(self, component, label: str, attempt: int,
+                    exc: BaseException) -> None:
+        policy = self._retry_policy
+        delay = policy.delay_s(attempt, salt=label)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.event(
+                "resil.retry",
+                kind="resil",
+                label=label,
+                attempt=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+                delay_s=delay,
+            )
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("resil.retries").inc()
+            metrics.histogram("resil.retry.delay_s").observe(delay)
+        # Charge the backoff to the device clock where one exists (the
+        # retry costs device time, and tests stay wall-clock fast);
+        # otherwise really wait.
+        interface = getattr(component.instance.impl, "interface", None)
+        clock = getattr(interface, "clock", None)
+        if clock is not None:
+            clock.advance(delay, "resil.retry-backoff")
+        elif delay > 0:
+            time.sleep(delay)
+
+    def _run_component(self, component, label: str, parent_id,
+                       method: str, args: tuple):
+        policy = self._retry_policy
+        attempts = 1 if policy is None else policy.max_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._attempt_component(
+                    component, label, parent_id, method, args
+                )
+            except Exception as exc:
+                if attempt >= attempts or not (
+                    policy is not None and policy.is_transient(exc)
+                ):
+                    raise
+                self._note_retry(component, label, attempt, exc)
+        raise AssertionError("unreachable: bounded retry loop fell through")
+
+    def _record_component_failure(self, label: str, component,
+                                  exc: BaseException) -> None:
+        """Satellite contract: worker failures reach the ``beagle_*``
+        error surface with the failing component/device named."""
+        from repro.core.api import _record_failure
+
+        try:
+            backend = component.instance.details.implementation_name
+        except Exception:
+            backend = "unknown"
+        _record_failure(f"executor.component[{label}]@{backend}", exc)
+
+    def _submit_round(self, method: str, args: tuple, parent_id):
+        """Run one concurrent round; every future is always collected.
+
+        Returns ``(label, component, value, timing, exc)`` per
+        component — exceptions are captured, not raised, so no worker
+        is abandoned mid-flight and the caller sees the full outcome of
+        the round (needed both for failover and for wasted-work
+        accounting).
+        """
+        submitted = [
+            (
+                label,
+                component,
+                self._worker_for(label).submit(
+                    self._run_component, component, label, parent_id,
+                    method, args,
+                ),
+            )
+            for component, label in zip(
+                self.likelihood.components, self.labels
+            )
+        ]
+        outcomes = []
+        for label, component, future in submitted:
+            try:
+                value, timing = future.result()
+                outcomes.append((label, component, value, timing, None))
+            except Exception as exc:
+                outcomes.append((label, component, None, None, exc))
+        return outcomes
+
+    def _failover(self, label: str, exc: BaseException,
+                  wasted_s: float) -> None:
+        """Quarantine *label* and re-split its patterns over survivors."""
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "resil.failover",
+                kind="resil",
+                label=label,
+                error=f"{type(exc).__name__}: {exc}",
+                wasted_s=wasted_s,
+            ) as span:
+                rebuilt = self.likelihood.drop_device(label)
+                span.attrs["survivors"] = ",".join(self.labels)
+                span.attrs["rebuilt"] = ",".join(rebuilt)
+        else:
+            rebuilt = self.likelihood.drop_device(label)
+        # The lost device's worker is released immediately — failover
+        # must never leak threads.
+        worker = self._workers.pop(label, None)
+        if worker is not None:
+            worker.shutdown(wait=True)
+        self._quarantined[label] = QuarantineRecord(
+            label=label,
+            error=f"{type(exc).__name__}: {exc}",
+            at_evaluation=self._evaluations,
+            last_probe=self._evaluations,
+        )
+        self._failover_events.append(
+            FailoverEvent(
+                evaluation=self._evaluations,
+                label=label,
+                error=f"{type(exc).__name__}: {exc}",
+                survivors=self.labels,
+                rebuilt=rebuilt,
+                wasted_s=wasted_s,
+            )
+        )
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("resil.failover.events").inc()
+            metrics.counter("resil.quarantines").inc()
+            metrics.histogram("resil.failover.wasted_s").observe(wasted_s)
+            metrics.gauge("resil.quarantined").set(len(self._quarantined))
+
+    def _maybe_probe(self) -> None:
+        """Probe quarantined devices for recovery; re-admit on success."""
+        policy = self._retry_policy
+        if (
+            not self._quarantined
+            or policy is None
+            or policy.probe_interval <= 0
+            or not hasattr(self.likelihood, "readmit_device")
+        ):
+            return
+        metrics = self._metrics
+        for label in list(self._quarantined):
+            record = self._quarantined[label]
+            if self._evaluations - record.last_probe < policy.probe_interval:
+                continue
+            record.last_probe = self._evaluations
+            record.probes += 1
+            if metrics is not None:
+                metrics.counter("resil.probes").inc()
+            tracer = self._tracer
+            healthy = False
+            try:
+                self.likelihood.readmit_device(label)
+                index = self.labels.index(label)
+                component = self.likelihood.components[index]
+                # One direct test evaluation; its value is discarded.
+                component.log_likelihood()
+                healthy = True
+            except Exception as exc:
+                if label in self.labels:
+                    self.likelihood.drop_device(label)
+                if tracer.enabled:
+                    tracer.event(
+                        "resil.probe", kind="resil", label=label,
+                        healthy=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                continue
+            if tracer.enabled:
+                tracer.event(
+                    "resil.probe", kind="resil", label=label, healthy=True
+                )
+            if healthy:
+                del self._quarantined[label]
+                if metrics is not None:
+                    metrics.counter("resil.readmissions").inc()
+                    metrics.gauge("resil.quarantined").set(
+                        len(self._quarantined)
+                    )
+
+    def _evaluate_resilient(self, method: str, args: tuple,
+                            parent_id) -> float:
+        policy = self._retry_policy
+        self._maybe_probe()
+        budget = 0
+        can_failover = policy is not None and policy.failover and hasattr(
+            self.likelihood, "drop_device"
+        )
+        if can_failover:
+            budget = policy.failover_budget(len(self.likelihood.components))
+        t0 = time.perf_counter()
+        for round_index in range(budget + 1):
+            outcomes = self._submit_round(method, args, parent_id)
+            failures = [
+                (label, component, exc)
+                for label, component, _, _, exc in outcomes
+                if exc is not None
+            ]
+            if not failures:
+                self._last_timings = [
+                    timing for _, _, _, timing, _ in outcomes
+                ]
+                self._evaluations += 1
+                wall = time.perf_counter() - t0
+                metrics = self._metrics
+                if metrics is not None:
+                    metrics.counter("executor.evaluations").inc()
+                    metrics.gauge("executor.components").set(len(outcomes))
+                    metrics.gauge("executor.wall_s").set(wall)
+                    metrics.gauge("executor.critical_path_s").set(
+                        self.critical_path_s()
+                    )
+                    component_s = metrics.histogram("executor.component_s")
+                    for timing in self._last_timings:
+                        component_s.observe(timing.measured_s)
+                        metrics.gauge(
+                            f"executor.component_s.{timing.label}"
+                        ).set(timing.measured_s)
+                # Sum in component order: bit-identical to the serial sum.
+                return float(
+                    sum(value for _, _, value, _, _ in outcomes)
+                )
+            for label, component, exc in failures:
+                self._record_component_failure(label, component, exc)
+            label, component, exc = failures[0]
+            fatal = (
+                not can_failover
+                or not isinstance(exc, DeviceError)
+                or round_index >= budget
+                or len(self.likelihood.components) <= 1
+            )
+            if fatal:
+                raise exc
+            # The survivors' completed shard evaluations from this
+            # round are discarded — that is the recovery's overhead.
+            wasted = sum(
+                timing.measured_s
+                for _, _, _, timing, failure in outcomes
+                if failure is None
+            )
+            self._failover(label, exc, wasted)
+        raise AssertionError("unreachable: bounded failover loop")
+
     def _evaluate(self, method: str, *args) -> float:
         if self._closed:
             raise RuntimeError("executor has been shut down")
-        components = self.likelihood.components
-        labels = self.labels
         tracer = self._tracer
-
-        def submit_all(parent_id=None):
-            futures = [
-                worker.submit(
-                    self._run_component, component, label, parent_id,
-                    method, args,
-                )
-                for worker, component, label in zip(
-                    self._workers, components, labels
-                )
-            ]
-            return [f.result() for f in futures]
-
-        t0 = time.perf_counter()
         if tracer.enabled:
             with tracer.span(
                 "executor.evaluate",
                 kind="executor",
                 method=method,
-                n_components=len(components),
+                n_components=len(self.likelihood.components),
             ) as span:
                 # Captured inside the span: component spans emitted on
                 # worker threads parent under this evaluation.
-                results = submit_all(tracer.current_span_id)
-                span.attrs["critical_path_s"] = max(
-                    timing.measured_s for _, timing in results
+                value = self._evaluate_resilient(
+                    method, args, tracer.current_span_id
                 )
-        else:
-            results = submit_all()
-        wall = time.perf_counter() - t0
-
-        self._last_timings = [timing for _, timing in results]
-        self._evaluations += 1
-        metrics = self._metrics
-        if metrics is not None:
-            metrics.counter("executor.evaluations").inc()
-            metrics.gauge("executor.components").set(len(components))
-            metrics.gauge("executor.wall_s").set(wall)
-            metrics.gauge("executor.critical_path_s").set(
-                self.critical_path_s()
-            )
-            component_s = metrics.histogram("executor.component_s")
-            for timing in self._last_timings:
-                component_s.observe(timing.measured_s)
-                metrics.gauge(f"executor.component_s.{timing.label}").set(
-                    timing.measured_s
-                )
-        # Sum in component order: bit-identical to the serial sum.
-        return float(sum(value for value, _ in results))
+                span.attrs["critical_path_s"] = self.critical_path_s()
+                return value
+        return self._evaluate_resilient(method, args, None)
 
     def log_likelihood(self) -> float:
         """Concurrent evaluation; equals the serial per-component sum."""
@@ -258,9 +545,9 @@ class ConcurrentExecutor:
         if self._closed:
             raise RuntimeError("executor has been shut down")
         futures = [
-            worker.submit(component.flush)
-            for worker, component in zip(
-                self._workers, self.likelihood.components
+            self._worker_for(label).submit(component.flush)
+            for component, label in zip(
+                self.likelihood.components, self.labels
             )
         ]
         for f in futures:
@@ -269,11 +556,28 @@ class ConcurrentExecutor:
     # -- lifecycle ---------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker threads (the likelihood stays usable)."""
-        if not self._closed:
-            for worker in self._workers:
-                worker.shutdown(wait=wait)
-            self._closed = True
+        """Stop the worker threads (the likelihood stays usable).
+
+        Idempotent and exception-safe: repeated calls are no-ops, the
+        closed flag is set before any teardown so a failure mid-release
+        cannot re-trigger it, and every worker is released even if one
+        refuses to shut down cleanly.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first_error: Optional[BaseException] = None
+        try:
+            for worker in self._workers.values():
+                try:
+                    worker.shutdown(wait=wait)
+                except BaseException as exc:
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            self._workers.clear()
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "ConcurrentExecutor":
         return self
@@ -304,6 +608,9 @@ class RebalancingExecutor(ConcurrentExecutor):
         prior, measurements as feedback.
     min_evaluations:
         Observations required per device before the first rebalance.
+    retry_policy:
+        As for :class:`ConcurrentExecutor`; failover re-splits through
+        the same resplit machinery the feedback loop uses.
     """
 
     def __init__(
@@ -315,6 +622,7 @@ class RebalancingExecutor(ConcurrentExecutor):
         alpha: float = 0.6,
         seed_backends: Optional[Sequence[str]] = None,
         min_evaluations: int = 1,
+        retry_policy=None,
     ) -> None:
         if not hasattr(likelihood, "resplit"):
             raise TypeError(
@@ -326,7 +634,9 @@ class RebalancingExecutor(ConcurrentExecutor):
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
-        super().__init__(likelihood, tracer, metrics)
+        super().__init__(
+            likelihood, tracer, metrics, retry_policy=retry_policy
+        )
         self.threshold = float(threshold)
         self.alpha = float(alpha)
         self.min_evaluations = int(min_evaluations)
@@ -358,7 +668,7 @@ class RebalancingExecutor(ConcurrentExecutor):
         ``max_i(share_i * N / rate_i) / (N / sum(rate_i)) - 1`` — zero
         when every device is predicted to finish simultaneously.
         """
-        if len(self._rates) < len(self.labels):
+        if any(label not in self._rates for label in self.labels):
             return 0.0
         shares = self.likelihood.proportions
         n = self.likelihood.data.n_patterns
@@ -386,6 +696,8 @@ class RebalancingExecutor(ConcurrentExecutor):
         if self._evaluations < self.min_evaluations:
             return
         if imbalance <= self.threshold:
+            return
+        if len(self.labels) < 2:
             return
         n = self.likelihood.data.n_patterns
         k = len(self.labels)

@@ -107,6 +107,18 @@ class MultiDeviceSession:
     seed_backends:
         Perf-model backend names (one per device request) seeding the
         split before the first evaluation.
+    retry_policy:
+        A :class:`~repro.resil.RetryPolicy` enabling the resilience
+        layer: transient device errors retry in place, persistent
+        device loss quarantines the device and fails its patterns over
+        to the survivors (``resil.*`` spans and counters record every
+        recovery).  Default ``None`` — failures propagate.
+    fault_plan:
+        A :class:`~repro.resil.FaultPlan` to install on the components
+        (deterministic fault injection for tests and chaos drills).
+    fault_level:
+        Where to install the plan: ``"auto"`` (hardware choke point
+        where available), ``"hardware"``, or ``"wrapper"``.
     """
 
     def __init__(
@@ -123,6 +135,9 @@ class MultiDeviceSession:
         seed_backends=None,
         deferred: bool = False,
         trace: bool = False,
+        retry_policy=None,
+        fault_plan=None,
+        fault_level: str = "auto",
     ) -> None:
         from repro.partition.multi import MultiDeviceLikelihood
         from repro.sched import ConcurrentExecutor, RebalancingExecutor
@@ -142,14 +157,22 @@ class MultiDeviceSession:
         self._tracer, self._metrics = self.likelihood.instrument(
             Tracer(enabled=trace), MetricsRegistry()
         )
+        if fault_plan is not None:
+            from repro.resil import install_fault_plan
+
+            install_fault_plan(
+                self.likelihood, fault_plan, level=fault_level
+            )
         if rebalance:
             self.executor = RebalancingExecutor(
                 self.likelihood, self._tracer, self._metrics,
                 threshold=threshold, seed_backends=seed_backends,
+                retry_policy=retry_policy,
             )
         else:
             self.executor = ConcurrentExecutor(
-                self.likelihood, self._tracer, self._metrics
+                self.likelihood, self._tracer, self._metrics,
+                retry_policy=retry_policy,
             )
         self._closed = False
 
@@ -202,6 +225,14 @@ class MultiDeviceSession:
         if hasattr(self.executor, "rebalance_events"):
             return self.executor.rebalance_events()
         return []
+
+    def failover_events(self):
+        """Executed failovers (empty without a retry policy)."""
+        return self.executor.failover_events()
+
+    def quarantined(self):
+        """Currently quarantined devices, by label."""
+        return self.executor.quarantined()
 
     def span_tree(self) -> str:
         """The recorded spans rendered as an indented tree."""
@@ -382,6 +413,33 @@ class Session:
                 print(md.proportions, md.rebalance_events())
         """
         return MultiDeviceSession(data, tree, model, site_model, **kwargs)
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    @staticmethod
+    def checkpoint(runner, path: str) -> int:
+        """Snapshot an MCMC runner's state to *path* (atomic write).
+
+        Thin facade over
+        :meth:`repro.mcmc.runner.MrBayesRunner.checkpoint`; returns the
+        number of bytes written.  See :mod:`repro.resil.checkpoint` for
+        the file layout and integrity guarantees.
+        """
+        return runner.checkpoint(path)
+
+    @staticmethod
+    def resume(spec, path: str, **kwargs):
+        """Rebuild an MCMC runner from a checkpoint written earlier.
+
+        Thin facade over
+        :meth:`repro.mcmc.runner.MrBayesRunner.resume`: the returned
+        runner's next ``run()`` continues the analysis — bit-for-bit
+        with the original backend, or on a different ``backend=`` for a
+        cross-engine restore.
+        """
+        from repro.mcmc.runner import MrBayesRunner
+
+        return MrBayesRunner.resume(spec, path, **kwargs)
 
     # -- observability -----------------------------------------------------
 

@@ -78,3 +78,61 @@ class FloatingPointError_(BeagleError):
     """
 
     code = -8  # BEAGLE_ERROR_FLOATING_POINT
+
+
+# ---------------------------------------------------------------------------
+# Device failure hierarchy (resilience layer)
+# ---------------------------------------------------------------------------
+
+class DeviceError(BeagleError):
+    """A hardware device misbehaved during an operation.
+
+    The resilience layer (:mod:`repro.resil`) classifies device errors
+    by the :attr:`transient` flag: transient failures are retried under
+    a :class:`~repro.resil.retry.RetryPolicy`, persistent ones trigger
+    device quarantine and pattern failover in the multi-device
+    executor.
+    """
+
+    code = -1  # BEAGLE_ERROR_GENERAL
+    #: Whether a retry of the same operation can plausibly succeed.
+    transient = False
+
+    def __init__(self, message: str = "", device: str = "") -> None:
+        super().__init__(
+            f"[{device}] {message}" if device else message
+        )
+        self.device = device
+
+
+class TransientDeviceError(DeviceError):
+    """A device failure that a bounded retry may recover from."""
+
+    transient = True
+
+
+class KernelLaunchError(TransientDeviceError):
+    """A kernel launch failed transiently (spurious driver error)."""
+
+
+class DeviceLostError(DeviceError):
+    """The device is gone (hung, reset, or unplugged); retrying on it
+    is pointless — the executor quarantines it and fails the work over
+    to the surviving devices."""
+
+    code = -6  # BEAGLE_ERROR_NO_RESOURCE
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint errors (resilience layer)
+# ---------------------------------------------------------------------------
+
+class CheckpointError(BeagleError):
+    """A checkpoint could not be written or restored."""
+
+    code = -1  # BEAGLE_ERROR_GENERAL
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint failed manifest validation (missing files, hash
+    mismatch, or unparseable payloads) and was refused."""

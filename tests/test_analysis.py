@@ -537,6 +537,64 @@ class TestAstLint:
         assert codes(diags) == ["syntax-error"]
         assert diags[0].severity is Severity.ERROR
 
+    def test_unbounded_retry_in_resil_module(self):
+        source = (
+            "def _drain(queue):\n"
+            "    while True:\n"
+            "        queue.pop()\n"
+        )
+        diags = lint_source(source, "repro/resil/pump.py")
+        assert codes(diags) == ["unbounded-retry"]
+        assert diags[0].severity is Severity.ERROR
+        assert "repro/resil/pump.py:2" in diags[0].location
+        # The same loop outside a resil module is not a retry loop.
+        assert lint_source(source, "repro/sched/pump.py") == []
+
+    def test_unbounded_retry_in_retry_function_anywhere(self):
+        source = (
+            "def retry_launch(component):\n"
+            "    while True:\n"
+            "        component.launch()\n"
+        )
+        diags = lint_source(source, "repro/sched/executor.py")
+        assert codes(diags) == ["unbounded-retry"]
+        assert "retry_launch" in diags[0].message
+
+    def test_bounded_retry_loop_is_clean(self):
+        source = (
+            "def _retry_launch(component, policy):\n"
+            "    for attempt in range(1, policy.max_attempts + 1):\n"
+            "        component.launch()\n"
+            "    while not component.done():\n"
+            "        component.poll()\n"
+        )
+        assert lint_source(source, "repro/resil/pump.py") == []
+
+    def test_resil_entrypoint_must_be_routed(self):
+        source = (
+            "def restore_things(path):\n"
+            "    return open(path).read()\n"
+        )
+        diags = lint_source(source, "repro/resil/extra.py")
+        assert codes(diags) == ["resil-unrouted-entrypoint"]
+        assert "restore_things" in diags[0].message
+        # Outside a resil module the rule does not apply.
+        assert lint_source(source, "repro/util/extra.py") == []
+
+    def test_resil_entrypoint_decorated_or_private_is_clean(self):
+        source = (
+            "from repro.resil._surface import resil_entrypoint\n"
+            "@resil_entrypoint\n"
+            "def save_things(path):\n"
+            "    return 1\n"
+            "def report_things(path):\n"
+            "    _record_failure('resil.report_things', None)\n"
+            "    return 2\n"
+            "def _helper(path):\n"
+            "    return 3\n"
+        )
+        assert lint_source(source, "repro/resil/extra.py") == []
+
     def test_repro_tree_is_lint_clean(self):
         """The CI gate: no error-severity finding anywhere in src."""
         import repro

@@ -1,0 +1,230 @@
+"""MCMC checkpoint/restore: bit-exact resume, integrity, facades.
+
+The acceptance scenario: kill an MC^3 analysis at an arbitrary
+iteration, resume it from the atomic manifest-hashed checkpoint, and
+the continued run must reproduce the uninterrupted chain's samples
+*exactly* — generation numbers, log-likelihoods, parameters, and
+sampled topologies.  Around it: corrupted/truncated/missing checkpoint
+rejection, cross-backend restore, the periodic auto-checkpoint hook,
+and the ``Session.checkpoint``/``Session.resume`` facades.
+"""
+
+import json
+
+import pytest
+
+from repro.mcmc import MrBayesRunner, nucleotide_analysis
+from repro.model import HKY85, SiteModel
+from repro.resil import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.seq import compress_patterns, simulate_alignment
+from repro.session import Session
+from repro.tree import yule_tree
+from repro.util.errors import CheckpointCorruptError, CheckpointError
+
+
+def _spec(seed=10, sites=100, tips=6):
+    tree = yule_tree(tips, rng=seed)
+    aln = simulate_alignment(
+        tree, HKY85(2.0), sites, SiteModel.gamma(0.5, 4), rng=seed + 1
+    )
+    return nucleotide_analysis(tree, compress_patterns(aln))
+
+
+def _runner(seed=10, rng=42, **kwargs):
+    kwargs.setdefault("backend", "cpu-serial")
+    kwargs.setdefault("n_chains", 2)
+    return MrBayesRunner(_spec(seed), rng=rng, **kwargs)
+
+
+def _sample_tuples(samples):
+    """Every recorded field, for exact (bitwise) comparison."""
+    return [
+        (
+            s.generation,
+            s.log_likelihood,
+            s.log_prior,
+            s.tree_length,
+            tuple(sorted(s.parameters.items())),
+            s.tree_newick,
+        )
+        for s in samples
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Bit-exact round trips
+# ---------------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_kill_and_resume_is_bit_exact(self, tmp_path):
+        full = _runner().run(30, swap_interval=5, sample_interval=5)
+
+        interrupted = _runner()
+        interrupted.run(15, swap_interval=5, sample_interval=5)
+        path = str(tmp_path / "chain.ckpt")
+        assert interrupted.checkpoint(path) > 0
+
+        resumed = MrBayesRunner.resume(_spec(), path)
+        cont = resumed.run(15, swap_interval=5, sample_interval=5)
+
+        assert _sample_tuples(cont.result.samples) == _sample_tuples(
+            full.result.samples
+        )
+        assert cont.result.swap_proposed == full.result.swap_proposed
+        assert cont.result.swap_accepted == full.result.swap_accepted
+
+    def test_resume_point_is_arbitrary(self, tmp_path):
+        full = _runner(rng=9).run(24, swap_interval=4, sample_interval=4)
+        for cut in (7, 16):
+            interrupted = _runner(rng=9)
+            interrupted.run(cut, swap_interval=4, sample_interval=4)
+            path = str(tmp_path / f"cut{cut}.ckpt")
+            interrupted.checkpoint(path)
+            cont = MrBayesRunner.resume(_spec(), path).run(
+                24 - cut, swap_interval=4, sample_interval=4
+            )
+            assert _sample_tuples(cont.result.samples) == _sample_tuples(
+                full.result.samples
+            ), f"divergence after resume at generation {cut}"
+
+    def test_auto_checkpoint_hook(self, tmp_path):
+        path = str(tmp_path / "auto.ckpt")
+        traced = _runner(seed=20, rng=7, trace=True)
+        traced.run(
+            30, swap_interval=5, sample_interval=5,
+            checkpoint_path=path, checkpoint_every=10,
+        )
+        # Written at generations 10, 20, 30 — and counted.
+        writes = traced.metrics.counter("resil.checkpoint.writes").value
+        assert writes == 3.0
+        payload = load_checkpoint(path)
+        assert payload["kind"] == "mcmc"
+        assert payload["run"]["generation"] == 30
+
+        # Continuing from the last auto-checkpoint matches an
+        # uninterrupted 40-generation run exactly.
+        cont = MrBayesRunner.resume(_spec(seed=20), path).run(
+            10, swap_interval=5, sample_interval=5
+        )
+        full = _runner(seed=20, rng=7).run(
+            40, swap_interval=5, sample_interval=5
+        )
+        assert _sample_tuples(cont.result.samples) == _sample_tuples(
+            full.result.samples
+        )
+
+
+# ---------------------------------------------------------------------------
+# Integrity: the manifest hash and format gate
+# ---------------------------------------------------------------------------
+
+class TestIntegrity:
+    def test_save_writes_manifest(self, tmp_path):
+        path = tmp_path / "payload.ckpt"
+        n = save_checkpoint(str(path), {"kind": "test", "x": 1.5})
+        assert n == path.stat().st_size > 0
+        doc = json.loads(path.read_text())
+        assert doc["format"] == CHECKPOINT_FORMAT
+        assert len(doc["sha256"]) == 64
+        assert load_checkpoint(str(path)) == {"kind": "test", "x": 1.5}
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        path = tmp_path / "tampered.ckpt"
+        save_checkpoint(str(path), {"kind": "test", "x": 1})
+        doc = json.loads(path.read_text())
+        doc["payload"]["x"] = 2  # payload no longer matches the hash
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointCorruptError, match="sha256"):
+            load_checkpoint(str(path))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "truncated.ckpt"
+        save_checkpoint(str(path), {"kind": "test"})
+        path.write_text(path.read_text()[:20])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(str(path))
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "alien.ckpt"
+        path.write_text(json.dumps(
+            {"format": "alien-v9", "sha256": "0" * 64, "payload": {}}
+        ))
+        with pytest.raises(CheckpointCorruptError, match="format"):
+            load_checkpoint(str(path))
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+        assert not issubclass(CheckpointError, CheckpointCorruptError)
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend restore
+# ---------------------------------------------------------------------------
+
+class TestCrossBackend:
+    def test_restore_onto_different_backend(self, tmp_path):
+        interrupted = _runner(rng=5)
+        interrupted.run(20, swap_interval=5, sample_interval=5)
+        path = str(tmp_path / "cross.ckpt")
+        interrupted.checkpoint(path)
+
+        resumed = MrBayesRunner.resume(
+            _spec(), path, backend="native-sse"
+        )
+        assert resumed.backend == "native-sse"
+        cont = resumed.run(10, swap_interval=5, sample_interval=5)
+        # The restored chain keeps its history and keeps sampling on
+        # the new engine (exactness across engines is not claimed).
+        generations = [s.generation for s in cont.result.samples]
+        assert generations == [5, 10, 15, 20, 25, 30]
+
+    def test_restored_runner_remembers_backend(self, tmp_path):
+        interrupted = _runner(rng=5)
+        interrupted.run(10, swap_interval=5, sample_interval=5)
+        path = str(tmp_path / "meta.ckpt")
+        interrupted.checkpoint(path)
+        resumed = MrBayesRunner.resume(_spec(), path)
+        assert resumed.backend == "cpu-serial"
+        assert resumed.n_chains == 2
+
+
+# ---------------------------------------------------------------------------
+# Facades and guard rails
+# ---------------------------------------------------------------------------
+
+class TestFacadesAndGuards:
+    def test_session_checkpoint_and_resume(self, tmp_path):
+        runner = _runner()
+        runner.run(10, swap_interval=5, sample_interval=5)
+        path = str(tmp_path / "facade.ckpt")
+        assert Session.checkpoint(runner, path) > 0
+        resumed = Session.resume(_spec(), path)
+        assert isinstance(resumed, MrBayesRunner)
+        cont = resumed.run(5, swap_interval=5, sample_interval=5)
+        assert cont.result.samples[-1].generation == 15
+
+    def test_resumed_run_must_keep_intervals(self, tmp_path):
+        runner = _runner()
+        runner.run(10, swap_interval=5, sample_interval=5)
+        path = str(tmp_path / "intervals.ckpt")
+        runner.checkpoint(path)
+        resumed = MrBayesRunner.resume(_spec(), path)
+        with pytest.raises(CheckpointError, match="intervals"):
+            resumed.run(10, swap_interval=2, sample_interval=5)
+
+    def test_checkpoint_before_any_run_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to checkpoint"):
+            _runner().checkpoint(str(tmp_path / "early.ckpt"))
+
+    def test_distributed_runs_cannot_checkpoint(self, tmp_path):
+        with pytest.raises(CheckpointError, match="distributed"):
+            _runner(n_chains=2).run(
+                10, n_ranks=2,
+                checkpoint_path=str(tmp_path / "mpi.ckpt"),
+                checkpoint_every=5,
+            )

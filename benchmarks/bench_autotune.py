@@ -1,0 +1,143 @@
+"""Autotuner benchmark: measured gain of tuned configs per device.
+
+Runs the :class:`repro.accel.autotune.AutoTuner` end to end on a GPU and
+a CPU from the simulated catalog, comparing the validator-suggested
+default configuration against the tuned winner on real simulated
+launches — the same sweep ``pybeagle-tune`` runs, reduced to two devices
+so it stays fast under pytest.
+
+Every run appends one trajectory record per device to
+``results/BENCH_autotune.json`` (throughput, tuning gain, config
+chosen), so successive runs chart how tuning evolves as the kernels and
+the perf model change.
+
+Run standalone for CI (exits non-zero if any tuned config underperforms
+its default)::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py --assert \
+        --json autotune.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.accel.autotune import AutoTuner, config_to_dict, get_cache
+from repro.accel.device import QUADRO_P5000, XEON_E5_2680V4_X2
+from repro.util.tables import format_table
+
+try:  # package import under pytest, script import standalone
+    from benchmarks.trajectory import write_record
+except ImportError:  # pragma: no cover - script mode
+    from trajectory import write_record
+
+#: The devices the reduced sweep covers: the paper's NVIDIA GPU and its
+#: dual-socket Xeon host (Tables I-II) — one gpu-variant key, one
+#: x86-variant key.
+DEVICES = (QUADRO_P5000, XEON_E5_2680V4_X2)
+
+
+def measure(state_count: int = 4, precision: str = "double") -> list:
+    """One tuning record per device: gain, throughput, chosen config."""
+    records = []
+    for device in DEVICES:
+        tuner = AutoTuner(device)
+        result = tuner.tune(state_count, precision=precision)
+        workload_patterns = sum(tuner.pattern_counts)
+        records.append({
+            "device": device.name,
+            "key": result.key,
+            "states": state_count,
+            "precision": precision,
+            "variant": result.best.variant,
+            "gain": result.gain,
+            "default_config": config_to_dict(result.baseline),
+            "tuned_config": config_to_dict(result.best),
+            "default_mpatterns_per_s": (
+                workload_patterns / result.baseline_measured_s / 1e6
+            ),
+            "tuned_mpatterns_per_s": (
+                workload_patterns / result.best_measured_s / 1e6
+            ),
+            "n_candidates": result.n_candidates,
+            "n_measured": result.n_measured,
+        })
+    return records
+
+
+def gain_table(records: list) -> str:
+    rows = [
+        [
+            r["device"], r["variant"],
+            f"{r['default_mpatterns_per_s']:.1f}",
+            f"{r['tuned_mpatterns_per_s']:.1f}",
+            f"{r['gain']:.3f}",
+        ]
+        for r in records
+    ]
+    return format_table(
+        ["device", "variant", "default Mpat/s", "tuned Mpat/s", "gain"],
+        rows,
+        title="Autotuner gain (double precision, 4 states)",
+    )
+
+
+def test_tuned_configs_never_lose(record):
+    """Tier-2 guard: tuning is measured-additive on every device."""
+    records = measure()
+    record("autotune_gain", gain_table(records))
+    for entry in records:
+        write_record("autotune", entry)
+        assert entry["gain"] >= 1.0, (
+            f"tuned config underperforms the default on "
+            f"{entry['device']}: gain {entry['gain']:.3f}"
+        )
+    # The winners are on disk and keyed to these devices.
+    assert get_cache().entry_count() >= len(records)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark autotuned kernel configs against the "
+        "validator-suggested defaults"
+    )
+    parser.add_argument("--states", type=int, default=4)
+    parser.add_argument("--precision", default="double",
+                        choices=("single", "double"))
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full records as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 if any tuned config underperforms its default",
+    )
+    args = parser.parse_args(argv)
+
+    records = measure(state_count=args.states, precision=args.precision)
+    print(gain_table(records))
+    for entry in records:
+        path = write_record("autotune", entry)
+    print(f"\ntrajectory: {path}")
+    print(f"cache: {get_cache().path} ({get_cache().entry_count()} entries)")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        losers = [r for r in records if r["gain"] < 1.0]
+        for r in losers:
+            print(
+                f"FAIL: {r['device']} tuned config underperforms the "
+                f"default (gain {r['gain']:.3f})",
+                file=sys.stderr,
+            )
+        if losers:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -211,6 +211,22 @@ def main(argv=None) -> int:
         f"(budget {CONVERGENCE_BUDGET}x)"
     )
 
+    try:
+        from benchmarks.trajectory import write_record
+    except ImportError:
+        from trajectory import write_record
+    times = report["simulated_seconds"]
+    write_record("multi_device", {
+        "tips": args.tips,
+        "patterns": args.patterns,
+        "ratio": args.ratio,
+        "serial_s": times["serial"],
+        "concurrent_s": times["concurrent_equal_split"],
+        "rebalanced_s": times["rebalanced"],
+        "vs_optimum": report["rebalance"]["vs_optimum"],
+        "rebalances": report["rebalance"]["events"],
+    })
+
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2)

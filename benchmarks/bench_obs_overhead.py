@@ -143,6 +143,17 @@ def main(argv=None) -> int:
     print(f"\ndisabled/baseline ratio: {ratio:.3f} "
           f"(budget {DISABLED_OVERHEAD_BUDGET})")
 
+    try:
+        from benchmarks.trajectory import write_record
+    except ImportError:
+        from trajectory import write_record
+    write_record("obs_overhead", {
+        "reps": args.reps,
+        "patterns": args.patterns,
+        "seconds_per_call": results,
+        "disabled_vs_baseline": ratio,
+    })
+
     if args.jsonl:
         n = export_sample_trace(args.jsonl, args.metrics_jsonl)
         print(f"wrote {n} sample spans to {args.jsonl}")

@@ -219,6 +219,21 @@ def main(argv=None) -> int:
         f"quarantined: {report['failover']['quarantined']}"
     )
 
+    try:
+        from benchmarks.trajectory import write_record
+    except ImportError:
+        from trajectory import write_record
+    recovery = report["recovery"]
+    write_record("resilience", {
+        "tips": args.tips,
+        "patterns": args.patterns,
+        "evaluations": args.evaluations,
+        "failovers": report["failover"]["events"],
+        "wasted_s": recovery["wasted_s"],
+        "overhead_ratio": recovery["overhead_ratio"],
+        "budget": recovery["budget"],
+    })
+
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2)

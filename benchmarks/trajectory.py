@@ -1,0 +1,72 @@
+"""Machine-readable ``BENCH_*.json`` trajectory records.
+
+Every benchmark that reports a headline number also appends a compact
+JSON record here, so successive runs (local or CI artifacts) chart a
+*trajectory* — throughput over time, autotuner gain per device, config
+chosen per run — instead of a single overwritten snapshot.
+
+File layout (``benchmarks/results/BENCH_<name>.json``)::
+
+    {
+      "benchmark": "<name>",
+      "records": [ {"run": 1, "timestamp": ..., ...}, ... ]
+    }
+
+``records`` is append-only; a file with an unexpected shape is restarted
+rather than crashed on, and writes are atomic (temp file + rename) so a
+concurrent reader never sees a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_record(name: str, record: dict, results_dir=None) -> Path:
+    """Append one trajectory record to ``results/BENCH_<name>.json``.
+
+    Stamps the record with a monotone ``run`` index and a Unix
+    ``timestamp`` (unless the caller already set them) and returns the
+    file path.
+    """
+    directory = Path(results_dir) if results_dir else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    try:
+        payload = json.loads(path.read_text())
+        if (
+            not isinstance(payload, dict)
+            or payload.get("benchmark") != name
+            or not isinstance(payload.get("records"), list)
+        ):
+            payload = {"benchmark": name, "records": []}
+    except (FileNotFoundError, OSError, json.JSONDecodeError):
+        payload = {"benchmark": name, "records": []}
+    entry = dict(record)
+    entry.setdefault("run", len(payload["records"]) + 1)
+    entry.setdefault("timestamp", round(time.time(), 3))
+    payload["records"].append(entry)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_records(name: str, results_dir=None) -> list:
+    """The recorded trajectory for ``name`` (empty if none yet)."""
+    directory = Path(results_dir) if results_dir else RESULTS_DIR
+    path = directory / f"BENCH_{name}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (FileNotFoundError, OSError, json.JSONDecodeError):
+        return []
+    if isinstance(payload, dict) and isinstance(
+        payload.get("records"), list
+    ):
+        return payload["records"]
+    return []

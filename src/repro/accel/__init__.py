@@ -20,10 +20,25 @@ from repro.accel.device import (
     ProcessorType,
     get_device,
 )
+from repro.accel.autotune import (
+    AutoTuner,
+    TuneResult,
+    TuningCache,
+    apply_tuned_config,
+    default_cache_path,
+    device_fingerprint,
+    tuning_key,
+)
 from repro.accel.framework import (
     BufferHandle,
     HardwareInterface,
     LaunchGeometry,
+)
+from repro.accel.ir import (
+    REQUIRED_KERNELS,
+    KernelIR,
+    ProgramIR,
+    build_program_ir,
 )
 from repro.accel.kernelgen import (
     CUDA_MACROS,
@@ -33,6 +48,12 @@ from repro.accel.kernelgen import (
     compile_kernel_program,
     fit_pattern_block_size,
     generate_kernel_source,
+)
+from repro.accel.lower import (
+    Lowering,
+    LoweringError,
+    fit_config_for_device,
+    lowering_for,
 )
 from repro.accel.perfmodel import (
     FIG4_SERIAL_BASELINE_GFLOPS,
@@ -67,6 +88,21 @@ __all__ = [
     "compile_kernel_program",
     "generate_kernel_source",
     "fit_pattern_block_size",
+    "KernelIR",
+    "ProgramIR",
+    "REQUIRED_KERNELS",
+    "build_program_ir",
+    "Lowering",
+    "LoweringError",
+    "fit_config_for_device",
+    "lowering_for",
+    "AutoTuner",
+    "TuneResult",
+    "TuningCache",
+    "apply_tuned_config",
+    "default_cache_path",
+    "device_fingerprint",
+    "tuning_key",
     "KernelCost",
     "SimulatedClock",
     "accelerator_kernel_time",

@@ -34,8 +34,6 @@ from repro.accel.kernelgen import (
     CUDA_MACROS,
     KernelConfig,
     compile_kernel_program,
-    fit_pattern_block_size,
-    generate_kernel_source,
 )
 from repro.accel.perfmodel import (
     KernelCost,
@@ -281,43 +279,14 @@ class CudaInterface(HardwareInterface):
         self._module: Optional[CudaModule] = None
         self._functions: Dict[str, CudaFunction] = {}
 
-    def build_program(self, config: KernelConfig) -> None:
-        from repro.accel.kernelgen import (
-            fit_workgroup_block,
-            fits_local_memory,
-        )
+    def _lowering(self, config: KernelConfig):
+        from repro.accel.lower import lowering_for
 
-        block = fit_pattern_block_size(
-            config.state_count,
-            config.precision,
-            self.device.local_mem_kb,
-            preferred=config.pattern_block_size,
-        )
-        if config.variant == "gpu":
-            block = fit_workgroup_block(
-                block, config.state_count, self.device.max_workgroup_size
-            )
-        use_local = fits_local_memory(
-            config.state_count, config.precision,
-            self.device.local_mem_kb, block,
-        )
-        config = KernelConfig(
-            state_count=config.state_count,
-            precision=config.precision,
-            variant=config.variant,
-            use_fma=config.use_fma and self.device.supports_fma,
-            pattern_block_size=block,
-            workgroup_patterns=min(
-                config.workgroup_patterns, self.device.max_workgroup_size
-            ),
-            category_count=config.category_count,
-            use_local_memory=use_local,
-        )
-        self._validate_config(config)
-        source = generate_kernel_source(config, CUDA_MACROS)
+        return lowering_for(config, CUDA_MACROS)
+
+    def _load_program(self, source: str, config: KernelConfig) -> None:
         self._module = self.ctx.cuModuleLoadData(source)
         self._functions = {}
-        self._kernel_config = config
 
     def _function(self, name: str) -> CudaFunction:
         if self._module is None:

@@ -87,9 +87,62 @@ class HardwareInterface(abc.ABC):
 
     # -- program management ------------------------------------------------
 
+    def build_program(
+        self, config: KernelConfig, *, autotune: bool = True
+    ) -> None:
+        """Fit, (auto)tune, lower, and compile the program for ``config``.
+
+        One shared pipeline for every framework:
+
+        1. :func:`repro.accel.lower.fit_config_for_device` clamps the
+           requested config to the device (the clamp-and-backstop logic
+           formerly duplicated per backend), with the variant chosen by
+           :meth:`_select_variant`;
+        2. with ``autotune`` (the default), the persistent tuning cache
+           is consulted and a cached winner for this (device, states,
+           precision, variant) replaces the fitted default
+           (:func:`repro.accel.autotune.apply_tuned_config` — it falls
+           back to the fitted config on any cache problem);
+        3. the static validator cross-checks the final config
+           (:meth:`_validate_config`);
+        4. the portable IR is built and lowered by the backend's pass
+           (:meth:`_lowering`), and the artefact is compiled/loaded by
+           :meth:`_load_program`.
+
+        The autotuner itself calls this with ``autotune=False`` when
+        measuring candidates, so tuning never recurses into the cache.
+        """
+        from repro.accel.ir import build_program_ir
+        from repro.accel.lower import fit_config_for_device
+
+        fitted = fit_config_for_device(
+            config, self.device, variant=self._select_variant(config)
+        )
+        if autotune:
+            from repro.accel.autotune import apply_tuned_config
+
+            fitted = apply_tuned_config(fitted, self.device)
+        self._validate_config(fitted)
+        program = build_program_ir(fitted)
+        source = self._lowering(fitted).lower(program)
+        self._load_program(source, fitted)
+        self._kernel_config = fitted
+
+    def _select_variant(self, config: KernelConfig) -> str:
+        """Kernel variant this framework builds for ``config``.
+
+        The default honours the request; the OpenCL interface overrides
+        it to force per-processor variants (section VII-B).
+        """
+        return config.variant
+
     @abc.abstractmethod
-    def build_program(self, config: KernelConfig) -> None:
-        """Generate and compile the kernel program for ``config``."""
+    def _lowering(self, config: KernelConfig) -> Any:
+        """The lowering pass (:class:`repro.accel.lower.Lowering`)."""
+
+    @abc.abstractmethod
+    def _load_program(self, source: str, config: KernelConfig) -> None:
+        """Compile/load a lowered kernel program (framework-specific)."""
 
     @property
     def kernel_config(self) -> KernelConfig:

@@ -1,28 +1,38 @@
-"""Shared CUDA/OpenCL kernel source generation.
+"""Shared kernel build configuration, macro sets, and the compile step.
 
 This module reproduces the paper's central code-sharing design (sections
-V-B and VII-A):
+V-B and VII-A), refactored OCCA-style: instead of one shared kernel
+*template* with macro substitution, kernel programs are declared once as
+a portable IR (:mod:`repro.accel.ir`) and *lowered* per backend
+(:mod:`repro.accel.lower` and friends).  What remains here is everything
+the lowerings share:
 
-* **One kernel template** serves both frameworks.  Framework-specific
-  keywords (``KW_*``) are substituted "at the pre-processor stage" from a
-  per-framework :class:`MacroSet`, exactly as BEAGLE defines CUDA/OpenCL
-  keywords in a shared header.
-* **Kernels are generated per analysis configuration** — state count,
-  floating-point precision, and hardware variant — mirroring BEAGLE's
+* **Framework macro sets** (:class:`MacroSet`) — CUDA vs OpenCL keyword
+  tables, exactly as BEAGLE defines them in a shared header.  The
+  lowering passes expand them into the generated artefact.
+* **Build configuration** (:class:`KernelConfig`) — state count,
+  floating-point precision, and hardware variant, mirroring BEAGLE's
   build scripts that "generate OpenCL/CUDA kernel source code for
   different inference types ... and floating point formats, allowing for
-  better performance at runtime" (section V-C).
-* **Hardware variants** differentiate performance-critical structure
-  (section VII-B): the ``gpu`` variant computes all states of a pattern
-  concurrently (one work-item per state); the ``x86`` variant "loops over
-  the state space in each work-item instead of computing all states
-  concurrently" and avoids explicit local memory.
+  better performance at runtime" (section V-C).  Hardware variants
+  differentiate performance-critical structure (section VII-B): the
+  ``gpu`` variant computes all states of a pattern concurrently (one
+  work-item per state); the ``x86`` variant "loops over the state space
+  in each work-item instead of computing all states concurrently" and
+  avoids explicit local memory; the ``cpu`` variant is the new
+  host-vector lowering (one batched product per pattern work-group).
+* **Fitting helpers** (:func:`fit_pattern_block_size`,
+  :func:`fit_workgroup_block`, :func:`fits_local_memory`) — the paper's
+  per-device accommodations, composed into one shared policy by
+  :func:`repro.accel.lower.fit_config_for_device`.
 
-The generated source is a real compilation artefact: the simulated
-frameworks (:mod:`repro.accel.cuda`, :mod:`repro.accel.opencl`) compile it
-with :func:`compile_kernel_program` (Python ``exec`` standing in for
-nvcc/the OpenCL runtime compiler) and then launch the resulting entry
-points by name.
+:func:`generate_kernel_source` is the compatibility front door: it
+builds the IR for a config and lowers it with the framework-selected
+pass.  The generated source is a real compilation artefact: the
+simulated frameworks (:mod:`repro.accel.cuda`, :mod:`repro.accel.opencl`)
+compile it with :func:`compile_kernel_program` (Python ``exec`` standing
+in for nvcc/the OpenCL runtime compiler) and then launch the resulting
+entry points by name.
 """
 
 from __future__ import annotations
@@ -82,10 +92,10 @@ class KernelConfig:
 
     state_count: int
     precision: str = "double"            # "single" | "double"
-    variant: str = "gpu"                 # "gpu" | "x86"
+    variant: str = "gpu"                 # "gpu" | "x86" | "cpu"
     use_fma: bool = False                # FP_FAST_FMA(F) (Table IV)
     pattern_block_size: int = 16         # patterns per work-group (GPU)
-    workgroup_patterns: int = 256        # patterns per work-group (x86)
+    workgroup_patterns: int = 256        # patterns per work-group (x86/cpu)
     category_count: int = 4
     #: Stage matrices/partials blocks in local memory.  High-state-count
     #: double-precision kernels cannot fit even one pattern's staging in
@@ -98,7 +108,7 @@ class KernelConfig:
             raise ValueError(f"state count {self.state_count} < 2")
         if self.precision not in ("single", "double"):
             raise ValueError(f"bad precision {self.precision!r}")
-        if self.variant not in ("gpu", "x86"):
+        if self.variant not in ("gpu", "x86", "cpu"):
             raise ValueError(f"bad variant {self.variant!r}")
         if self.pattern_block_size < 1 or self.workgroup_patterns < 1:
             raise ValueError("work-group sizes must be positive")
@@ -187,190 +197,21 @@ def fits_local_memory(
     return cfg.local_memory_bytes() <= local_mem_kb * 1024
 
 
-# ---------------------------------------------------------------------------
-# The single shared kernel template
-# ---------------------------------------------------------------------------
-
-_TEMPLATE = '''\
-# ===========================================================================
-# BEAGLE kernel program (generated -- do not edit)
-#
-# framework          : {FRAMEWORK}
-# kernel qualifier   : {KW_GLOBAL_KERNEL}
-# device memory      : {KW_DEVICE_MEM}
-# local memory       : {KW_LOCAL_MEM}
-# thread fence       : {KW_THREAD_FENCE}
-# sub-pointer access : {SUBPOINTER}
-#
-# STATE_COUNT        = {STATE_COUNT}
-# REAL               = {REAL}  ({PRECISION} precision)
-# VARIANT            = {VARIANT}
-# FP_FAST_FMA        = {FMA}
-# PATTERN_BLOCK_SIZE = {PATTERN_BLOCK}
-# LOCAL_MEM_BYTES    = {LOCAL_BYTES}
-# ===========================================================================
-import numpy as np
-
-STATE_COUNT = {STATE_COUNT}
-REAL = np.{REAL}
-USES_FMA = {FMA}
-PATTERN_BLOCK_SIZE = {PATTERN_BLOCK}
-
-
-def _inner_product_child(partials, matrices):
-    """sum_j M[c, i, j] * L[c, p, j] for every (c, p, i)."""
-{INNER_PRODUCT_BODY}
-
-
-def kernelMatrixMulADB(matrices_out, eigenvectors, inv_eigenvectors,
-                       eigenvalues, lengths_rates, geom):
-    """P = V expm(diag(lambda * t * r)) V^-1 for a batch of (branch, rate)."""
-    expd = np.exp(np.multiply.outer(lengths_rates, eigenvalues))
-    p = np.einsum("ij,bcj,jk->bcik", eigenvectors, expd, inv_eigenvectors)
-    p = np.clip(p.real if np.iscomplexobj(p) else p, 0.0, None)
-    matrices_out[...] = p.astype(REAL)
-
-
-def kernelPartialsPartialsNoScale(dest, partials1, matrices1,
-                                  partials2, matrices2, geom):
-    # {KW_GLOBAL_KERNEL}: one work-item per partials entry ({VARIANT}).
-    a = _inner_product_child(partials1, matrices1)
-    b = _inner_product_child(partials2, matrices2)
-    np.multiply(a, b, out=dest)
-
-
-def kernelStatesPartialsNoScale(dest, states1, matrices1_ext,
-                                partials2, matrices2, geom):
-    # Compact child 1: gather the matrix column of each observed state
-    # (column STATE_COUNT is the all-ones gap column).
-    a = matrices1_ext[..., states1].swapaxes(-1, -2)
-    b = _inner_product_child(partials2, matrices2)
-    np.multiply(a, b, out=dest)
-
-
-def kernelStatesStatesNoScale(dest, states1, matrices1_ext,
-                              states2, matrices2_ext, geom):
-    a = matrices1_ext[..., states1].swapaxes(-1, -2)
-    b = matrices2_ext[..., states2].swapaxes(-1, -2)
-    np.multiply(a, b, out=dest)
-
-
-def kernelPartialsLevelNoScale(batch, geom):
-    """Fused dispatch of one dependency level: every entry is an
-    independent partials operation, so the whole batch shares one launch
-    (no {KW_THREAD_FENCE} needed between entries)."""
-    for kind, args in batch:
-        KERNELS[kind](*args, geom)
-
-
-def kernelPartialsDynamicScaling(partials, scale_factors_log, threshold, geom):
-    """Divide out the per-pattern maximum where it fell below threshold;
-    store log factors (zero for comfortable patterns)."""
-    maxima = partials.max(axis=(0, 2))
-    needs = (maxima > 0.0) & (maxima < threshold)
-    safe = np.where(needs, maxima, 1.0)
-    partials /= safe[np.newaxis, :, np.newaxis]
-    scale_factors_log[...] = np.log(safe)
-
-
-def kernelAccumulateFactorsScale(cumulative_log, factor_buffers, geom):
-    """cumulative += sum of log factor buffers ({KW_THREAD_FENCE})."""
-    for buf in factor_buffers:
-        cumulative_log += buf
-
-
-def kernelIntegrateLikelihoods(out_log_like, root_partials, weights,
-                               frequencies, pattern_weights,
-                               cumulative_scale_log, geom):
-    site = np.einsum("c,cpi,i->p", weights,
-                     root_partials.astype(np.float64), frequencies)
-    with np.errstate(divide="ignore"):
-        log_site = np.log(site)
-    if cumulative_scale_log is not None:
-        log_site = log_site + cumulative_scale_log
-    out_log_like[...] = log_site
-
-
-def kernelIntegrateLikelihoodsEdge(out_log_like, parent_partials,
-                                   child_partials, edge_matrices, weights,
-                                   frequencies, pattern_weights,
-                                   cumulative_scale_log, geom):
-    lifted = _inner_product_child(child_partials, edge_matrices)
-    site = np.einsum("c,cpi,i->p", weights,
-                     (parent_partials * lifted).astype(np.float64),
-                     frequencies)
-    with np.errstate(divide="ignore"):
-        log_site = np.log(site)
-    if cumulative_scale_log is not None:
-        log_site = log_site + cumulative_scale_log
-    out_log_like[...] = log_site
-
-
-KERNELS = {{
-    "kernelMatrixMulADB": kernelMatrixMulADB,
-    "kernelPartialsPartialsNoScale": kernelPartialsPartialsNoScale,
-    "kernelStatesPartialsNoScale": kernelStatesPartialsNoScale,
-    "kernelStatesStatesNoScale": kernelStatesStatesNoScale,
-    "kernelPartialsLevelNoScale": kernelPartialsLevelNoScale,
-    "kernelPartialsDynamicScaling": kernelPartialsDynamicScaling,
-    "kernelAccumulateFactorsScale": kernelAccumulateFactorsScale,
-    "kernelIntegrateLikelihoods": kernelIntegrateLikelihoods,
-    "kernelIntegrateLikelihoodsEdge": kernelIntegrateLikelihoodsEdge,
-}}
-'''
-
-# The two variant bodies for the performance-critical inner product.
-# GPU: all states concurrently -- a batched GEMM, one work-item per state.
-_GPU_INNER = """\
-    # GPU variant: one work-item per (pattern, state); the whole state
-    # dimension is evaluated concurrently, with matrices staged in
-    # {KW_LOCAL_MEM} memory (fused multiply-add: {FMA}).
-    return np.matmul(partials, matrices.swapaxes(-1, -2))
-"""
-
-# x86: loop over the state space inside each work-item (section VII-B.2),
-# trusting the runtime/compiler to manage caching (no local memory).
-_X86_INNER = """\
-    # x86 variant: each work-item loops over the state space, giving every
-    # thread of execution more work (section VII-B.2); no {KW_LOCAL_MEM}
-    # staging -- the compiler manages memory caching.
-    acc = np.zeros(partials.shape, dtype=REAL)
-    for j in range(STATE_COUNT):
-        acc += (matrices[:, np.newaxis, :, j]
-                * partials[:, :, j, np.newaxis])
-    return acc
-"""
-
-
 def generate_kernel_source(config: KernelConfig, macros: MacroSet) -> str:
-    """Render the shared template for one framework and configuration."""
-    inner = _GPU_INNER if config.variant == "gpu" else _X86_INNER
-    inner = inner.format(
-        KW_LOCAL_MEM=macros.kw_local_mem,
-        FMA=config.use_fma,
-    )
-    return _TEMPLATE.format(
-        FRAMEWORK=macros.framework,
-        KW_GLOBAL_KERNEL=macros.kw_global_kernel,
-        KW_DEVICE_MEM=macros.kw_device_mem,
-        KW_LOCAL_MEM=macros.kw_local_mem,
-        KW_THREAD_FENCE=macros.kw_thread_fence,
-        SUBPOINTER=macros.subpointer_strategy,
-        STATE_COUNT=config.state_count,
-        REAL=config.real_type,
-        PRECISION=config.precision,
-        VARIANT=config.variant,
-        FMA=config.use_fma,
-        PATTERN_BLOCK=(
-            config.pattern_block_size
-            if config.variant == "gpu"
-            else config.workgroup_patterns
-        ),
-        LOCAL_BYTES=(
-            config.local_memory_bytes() if config.variant == "gpu" else 0
-        ),
-        INNER_PRODUCT_BODY=inner,
-    )
+    """Lower the portable kernel IR for one framework and configuration.
+
+    Compatibility front door for the IR/lowering split: builds the
+    program IR for ``config`` (:func:`repro.accel.ir.build_program_ir`)
+    and lowers it with the framework-selected pass
+    (:func:`repro.accel.lower.lowering_for`).  Imports are deferred
+    because the lowering modules import this module's config and macro
+    types.
+    """
+    from repro.accel.ir import build_program_ir
+    from repro.accel.lower import lowering_for
+
+    program = build_program_ir(config)
+    return lowering_for(config, macros).lower(program)
 
 
 def compile_kernel_program(source: str) -> Dict[str, Callable]:

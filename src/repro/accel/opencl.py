@@ -34,8 +34,6 @@ from repro.accel.kernelgen import (
     OPENCL_MACROS,
     KernelConfig,
     compile_kernel_program,
-    fit_pattern_block_size,
-    generate_kernel_source,
 )
 from repro.accel.perfmodel import (
     KernelCost,
@@ -366,54 +364,32 @@ class OpenCLInterface(HardwareInterface):
         self._program: Optional[CLProgram] = None
         self._kernels: Dict[str, CLKernel] = {}
 
-    def build_program(self, config: KernelConfig) -> None:
-        from repro.accel.kernelgen import (
-            fit_workgroup_block,
-            fits_local_memory,
-        )
+    def _select_variant(self, config: KernelConfig) -> str:
+        """Per-processor variant (section VII-B).
 
-        variant = (
-            "x86" if self.device.processor == ProcessorType.CPU else "gpu"
-        )
-        block = fit_pattern_block_size(
-            config.state_count,
-            config.precision,
-            self.device.local_mem_kb,
-            preferred=config.pattern_block_size,
-        )
-        if variant == "gpu":
-            block = fit_workgroup_block(
-                block, config.state_count, self.device.max_workgroup_size
-            )
-        use_fma = config.use_fma and self.device.supports_fma
-        use_local = variant == "gpu" and fits_local_memory(
-            config.state_count, config.precision,
-            self.device.local_mem_kb, block,
-        )
-        config = KernelConfig(
-            state_count=config.state_count,
-            precision=config.precision,
-            variant=variant,
-            use_fma=use_fma,
-            pattern_block_size=block,
-            workgroup_patterns=min(
-                config.workgroup_patterns, self.device.max_workgroup_size
-            ),
-            category_count=config.category_count,
-            use_local_memory=use_local,
-        )
-        self._validate_config(config)
-        source = generate_kernel_source(config, OPENCL_MACROS)
+        CPU devices run the loop-over-states ``x86`` variant unless the
+        caller explicitly requested the host-vector ``cpu`` lowering;
+        GPU devices always get the concurrent-states ``gpu`` variant.
+        """
+        if self.device.processor == ProcessorType.CPU:
+            return "cpu" if config.variant == "cpu" else "x86"
+        return "gpu"
+
+    def _lowering(self, config: KernelConfig):
+        from repro.accel.lower import lowering_for
+
+        return lowering_for(config, OPENCL_MACROS)
+
+    def _load_program(self, source: str, config: KernelConfig) -> None:
         self._program = clCreateProgramWithSource(self.ctx, source)
         options = []
-        if use_fma:
+        if config.use_fma:
             options.append(
                 "-D FP_FAST_FMAF" if config.precision == "single"
                 else "-D FP_FAST_FMA"
             )
         self._program.build(" ".join(options))
         self._kernels = {}
-        self._kernel_config = config
 
     def _kernel(self, name: str) -> CLKernel:
         if self._program is None:

@@ -192,51 +192,23 @@ class KernelConfigValidator:
     def suggest(self, config: KernelConfig) -> KernelConfig:
         """The nearest feasible configuration for this device.
 
-        Applies, in order, the paper's accommodations: the variant the
-        device wants, FMA only where supported, local staging only
-        where it exists and fits, and patterns-per-work-group reduced
-        until both the local-memory and work-group limits hold — the
-        same policy ``build_program`` applies dynamically.
+        Chooses the variant the device wants (the host-vector ``cpu``
+        variant is honoured on CPU devices; other CPU requests get
+        ``x86``; GPUs get ``gpu``) and delegates the clamping —
+        FMA only where supported, local staging only where it exists
+        and fits, patterns-per-work-group reduced until both the
+        local-memory and work-group limits hold — to
+        :func:`repro.accel.lower.fit_config_for_device`, the same
+        shared policy ``build_program`` applies dynamically.
         """
+        from repro.accel.lower import fit_config_for_device
+
         device = self.device
-        variant = (
-            "x86" if device.processor == ProcessorType.CPU else "gpu"
-        )
-        block = fit_pattern_block_size(
-            config.state_count, config.precision, device.local_mem_kb,
-            preferred=config.pattern_block_size,
-        )
-        trial = KernelConfig(
-            state_count=config.state_count,
-            precision=config.precision,
-            variant=variant,
-            pattern_block_size=block,
-        )
-        if variant == "gpu":
-            block = _fit_block_to_workgroup(
-                trial, device.max_workgroup_size
-            )
-        use_local = (
-            variant == "gpu"
-            and device.local_mem_kb > 0
-            and KernelConfig(
-                state_count=config.state_count,
-                precision=config.precision,
-                pattern_block_size=block,
-            ).local_memory_bytes() <= device.local_mem_kb * 1024
-        )
-        return KernelConfig(
-            state_count=config.state_count,
-            precision=config.precision,
-            variant=variant,
-            use_fma=config.use_fma and device.supports_fma,
-            pattern_block_size=block,
-            workgroup_patterns=min(
-                config.workgroup_patterns, device.max_workgroup_size
-            ),
-            category_count=config.category_count,
-            use_local_memory=use_local,
-        )
+        if device.processor == ProcessorType.CPU:
+            variant = "cpu" if config.variant == "cpu" else "x86"
+        else:
+            variant = "gpu"
+        return fit_config_for_device(config, device, variant=variant)
 
 
 def validate_kernel_config(

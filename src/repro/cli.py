@@ -13,6 +13,13 @@ dump a generated kernel program.
 operations, and the metrics snapshot — the quickest way to see where a
 configuration spends its time.
 
+``pybeagle-tune`` runs the kernel autotuner (:mod:`repro.accel.autotune`)
+over the simulated device catalog: for every (device, state count,
+variant) key it enumerates the feasible configuration space, measures
+the top model-ranked candidates with real simulated launches, persists
+the winner in the on-disk tuning cache, and reports the measured gain
+over the validator-suggested default.
+
 ``pybeagle-chaos`` runs a scripted fault-injection drill
 (:mod:`repro.resil`) against a multi-device session: it installs a
 :class:`~repro.resil.FaultPlan` (from a JSON file or a built-in
@@ -47,6 +54,10 @@ def info_main(argv: Optional[List[str]] = None) -> int:
         choices=("cuda", "opencl"),
         help="dump the generated kernel program for a framework",
     )
+    parser.add_argument(
+        "--variant", default="gpu", choices=("gpu", "x86", "cpu"),
+        help="kernel variant for --kernels (cpu implies opencl)",
+    )
     parser.add_argument("--states", type=int, default=4)
     parser.add_argument(
         "--precision", default="single", choices=("single", "double")
@@ -61,10 +72,14 @@ def info_main(argv: Optional[List[str]] = None) -> int:
             generate_kernel_source,
         )
 
+        if args.kernels == "cuda" and args.variant == "cpu":
+            print("the cpu (host-vector) variant lowers through OpenCL; "
+                  "use --kernels opencl", file=sys.stderr)
+            return 2
         macros = CUDA_MACROS if args.kernels == "cuda" else OPENCL_MACROS
         config = KernelConfig(
             state_count=args.states, precision=args.precision,
-            variant="gpu" if args.kernels == "cuda" else "gpu",
+            variant=args.variant,
         )
         print(generate_kernel_source(config, macros))
         return 0
@@ -582,6 +597,139 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         print(f"\nwrote report to {args.json}")
 
     return 0 if parity_ok else 1
+
+
+def tune_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-tune",
+        description="Autotune kernel configurations per device and "
+                    "persist the winners in the tuning cache",
+    )
+    parser.add_argument(
+        "--device", action="append", metavar="NAME",
+        help="device-catalog name substring (repeatable; default: "
+             "every device in the simulated catalog)",
+    )
+    parser.add_argument(
+        "--states", type=int, nargs="+", default=[4, 61],
+        help="state counts to tune (default: 4 61)",
+    )
+    parser.add_argument(
+        "--precision", default="double", choices=("single", "double")
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH",
+        help="tuning-cache file (default: $PYBEAGLE_TUNE_CACHE or "
+             "~/.cache/pybeagle/tuning.json)",
+    )
+    parser.add_argument(
+        "--patterns", type=int, nargs="+", default=None,
+        help="pattern counts of the tuning workload",
+    )
+    parser.add_argument("--top-k", type=int, default=4,
+                        help="model-ranked candidates to measure")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="measurement repetitions per candidate")
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write every tuning record as a JSON report",
+    )
+    parser.add_argument(
+        "--assert-gain", action="store_true",
+        help="exit non-zero if any tuned config underperforms the "
+             "validator-suggested default (measured gain < 1)",
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.accel.autotune import (
+        DEFAULT_PATTERN_COUNTS,
+        AutoTuner,
+        TuningCache,
+        get_cache,
+    )
+    from repro.accel.device import DEVICE_CATALOG, ProcessorType, get_device
+
+    if args.device:
+        try:
+            devices = [get_device(name) for name in args.device]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        devices = list(DEVICE_CATALOG.values())
+    cache = (
+        TuningCache(Path(args.cache)) if args.cache else get_cache()
+    )
+    patterns = tuple(args.patterns) if args.patterns \
+        else DEFAULT_PATTERN_COUNTS
+
+    def describe(config):
+        knob = (
+            f"block={config.pattern_block_size}"
+            if config.variant == "gpu"
+            else f"wg={config.workgroup_patterns}"
+        )
+        return f"{knob} fma={'on' if config.use_fma else 'off'}"
+
+    records = []
+    rows = []
+    for device in devices:
+        variants = (
+            [None, "cpu"]
+            if device.processor == ProcessorType.CPU
+            else [None]
+        )
+        tuner = AutoTuner(
+            device, cache=cache, pattern_counts=patterns,
+            top_k=args.top_k, reps=args.reps,
+        )
+        for states in args.states:
+            for variant in variants:
+                result = tuner.tune(
+                    states, precision=args.precision, variant=variant
+                )
+                records.append(result.to_dict())
+                rows.append([
+                    device.name, str(states),
+                    result.best.variant,
+                    describe(result.baseline),
+                    describe(result.best),
+                    f"{result.gain:.3f}",
+                    str(result.n_candidates),
+                ])
+    print(format_table(
+        ["device", "states", "variant", "default", "tuned", "gain",
+         "candidates"],
+        rows,
+        title=f"Autotune sweep ({args.precision} precision)",
+    ))
+    print(f"\ncache: {cache.path} ({cache.entry_count()} entries)")
+
+    if args.json:
+        report = {
+            "precision": args.precision,
+            "pattern_counts": list(patterns),
+            "cache_path": str(cache.path),
+            "records": records,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.assert_gain:
+        losers = [r for r in records if r["gain"] < 1.0]
+        if losers:
+            for r in losers:
+                print(
+                    f"REGRESSION: {r['device']} {r['key']} tuned config "
+                    f"underperforms default (gain {r['gain']:.3f})",
+                    file=sys.stderr,
+                )
+            return 1
+        print("all tuned configs at least match their defaults")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

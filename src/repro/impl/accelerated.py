@@ -15,6 +15,10 @@ Backend naming matches the paper's Fig. 3 leaves:
 * ``OpenCL-GPU``  — :class:`repro.accel.opencl.OpenCLInterface` on a GPU
 * ``OpenCL-x86``  — the same OpenCL interface on a CPU device, which
   selects the loop-over-states kernel variant (section VII-B.2)
+* ``CPU-vector``  — the OpenCL interface on a CPU device with the new
+  host-vector ``cpu`` kernel variant (``kernel_variant="cpu"``): x86-style
+  pattern work-groups dispatching one batched product, numerically
+  bit-identical to the GPU backends
 """
 
 from __future__ import annotations
@@ -65,6 +69,8 @@ class AcceleratedImplementation(BaseImplementation):
         use_fma: bool = True,
         workgroup_patterns: int = 256,
         scaling_mode: str = "always",
+        kernel_variant: Optional[str] = None,
+        autotune: bool = True,
     ) -> None:
         super().__init__(config, precision, scaling_mode)
         if interface is None:
@@ -77,11 +83,12 @@ class AcceleratedImplementation(BaseImplementation):
         kernel_config = KernelConfig(
             state_count=config.state_count,
             precision=precision,
+            variant=kernel_variant if kernel_variant is not None else "gpu",
             use_fma=use_fma,
             workgroup_patterns=workgroup_patterns,
             category_count=config.category_count,
         )
-        interface.build_program(kernel_config)
+        interface.build_program(kernel_config, autotune=autotune)
 
         c = config
         shape = (c.category_count, c.pattern_count, c.state_count)
@@ -123,6 +130,8 @@ class AcceleratedImplementation(BaseImplementation):
     def _backend_name(self) -> str:
         if self.interface.framework_name == "CUDA":
             return "CUDA"
+        if self.interface.kernel_config.variant == "cpu":
+            return "CPU-vector"
         if self.device.processor == ProcessorType.CPU:
             return "OpenCL-x86"
         return "OpenCL-GPU"

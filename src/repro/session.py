@@ -53,6 +53,10 @@ BACKEND_FLAGS = {
     "opencl-x86": dict(
         requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
     ),
+    "cpu-vector": dict(
+        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU,
+        kernel_variant="cpu",
+    ),
     "opencl-gpu": dict(
         requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
     ),
@@ -278,8 +282,9 @@ class Session:
         Rate-heterogeneity categories; default single rate.
     backend:
         One of :data:`BACKEND_FLAGS` (``"cpu-serial"``, ``"cpu-sse"``,
-        ``"cpp-threads"``, ``"opencl-x86"``, ``"opencl-gpu"``,
-        ``"cuda"``) or ``None``/``"auto"`` for the manager's choice.
+        ``"cpp-threads"``, ``"opencl-x86"``, ``"cpu-vector"``,
+        ``"opencl-gpu"``, ``"cuda"``) or ``None``/``"auto"`` for the
+        manager's choice.
     deferred:
         Start in deferred (plan-recording) execution mode.
     trace:

@@ -11,6 +11,20 @@ from repro.seq import compress_patterns, simulate_alignment
 from repro.tree import plan_traversal, yule_tree
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tuning_cache(tmp_path, monkeypatch):
+    """Point the kernel tuning cache at a per-test temp file.
+
+    Keeps the suite hermetic: no test reads the developer's
+    ``~/.cache/pybeagle/tuning.json`` or leaves entries behind.
+    ``repro.accel.autotune.get_cache`` re-resolves the path on every
+    call, so setting the env var is enough to swap caches.
+    """
+    monkeypatch.setenv(
+        "PYBEAGLE_TUNE_CACHE", str(tmp_path / "tuning.json")
+    )
+
+
 @pytest.fixture(scope="session")
 def small_tree():
     return yule_tree(8, rng=101)

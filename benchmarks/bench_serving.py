@@ -1,0 +1,374 @@
+"""Serving benchmark: multi-tenant load, latency percentiles, chaos parity.
+
+Drives :class:`repro.serve.LikelihoodServer` with a synthetic tenant
+population sharing one alignment — the public-dataset service scenario:
+every tenant explores its own trees (and branch-length updates) over the
+same patterns, so all requests share a single pool key and the warm
+instance pool is exercised across tenants (hits, rebinds, and builds all
+occur).  Three phases:
+
+* **load** — every tenant submits a stream of likelihood/update
+  requests; the server schedules them with weighted DRR.  Reported:
+  per-tenant p50/p99 latency, saturation throughput (completed requests
+  over the busy window), batch occupancy, and pool hit/rebind/build
+  counts.
+* **chaos** — the same load with a scripted device-loss
+  :class:`~repro.resil.FaultPlan` against the first pooled instance;
+  every accepted request must still complete, bit-identically to a
+  serial per-tenant baseline evaluated outside the server.
+* **backpressure** — a tiny queue is deliberately overfilled on a
+  stopped dispatcher; the reject count must equal the deterministic
+  excess.
+
+Run standalone for CI (gates on the p99 budget and the invariants)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --assert \
+        --json serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import SessionConfig
+from repro.core import TreeLikelihood
+from repro.model import HKY85, SiteModel
+from repro.resil import FaultEvent, FaultPlan, RetryPolicy
+from repro.serve import LikelihoodServer
+from repro.seq import synthetic_pattern_set
+from repro.tree import yule_tree
+from repro.util.errors import AdmissionError
+from repro.util.tables import format_table
+
+#: Default p99 latency gate (seconds) for the CI-sized workload.  The
+#: load phase submits every request up front, so tail latency is the
+#: full queue-drain time (~5 s locally for the default workload); the
+#: budget is a regression alarm with CI headroom, not a tight SLO.
+P99_BUDGET_S = 20.0
+
+
+def _workload(tips: int, patterns: int, n_tenants: int):
+    """One shared alignment, one private tree per tenant."""
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(tips, patterns, 4, rng=7)
+    trees = [yule_tree(tips, rng=100 + i) for i in range(n_tenants)]
+    return model, site_model, data, trees
+
+
+def _serial_baselines(config: SessionConfig, model, site_model, data,
+                      trees) -> list:
+    """Per-tenant reference values evaluated outside the server."""
+    baselines = []
+    kwargs = config.replace(deferred=False).likelihood_kwargs()
+    for tree in trees:
+        with TreeLikelihood(tree, data, model, site_model, **kwargs) as tl:
+            baselines.append(tl.log_likelihood())
+    return baselines
+
+
+def _run_load(server: LikelihoodServer, model, site_model, data, trees,
+              requests_per_tenant: int, weights) -> dict:
+    clients = [
+        server.register(f"tenant{i}", weight=weights[i % len(weights)],
+                        quota=max(4, requests_per_tenant))
+        for i in range(len(trees))
+    ]
+    t0 = time.perf_counter()
+    tickets = []
+    for round_index in range(requests_per_tenant):
+        for i, client in enumerate(clients):
+            edits = None
+            if round_index % 2 == 1:
+                # Alternate update requests: perturb one branch length
+                # deterministically per round.
+                node = trees[i].root.children[0]
+                edits = {node.index: 0.05 + 0.01 * round_index}
+            tickets.append(
+                client.submit(data, trees[i], model, site_model,
+                              branch_edits=edits)
+            )
+    values = [ticket.result(timeout=120) for ticket in tickets]
+    busy_s = time.perf_counter() - t0
+    # Sequential probes once the load has drained: with no concurrent
+    # branch edits in flight, each probe is a deterministic function of
+    # the tree's settled state and must match the serial baseline.
+    probes = [
+        client.submit(data, trees[i], model, site_model).result(timeout=120)
+        for i, client in enumerate(clients)
+    ]
+    return {
+        "clients": clients,
+        "values": values,
+        "probes": probes,
+        "busy_s": busy_s,
+        "throughput_rps": len(values) / busy_s,
+    }
+
+
+def measure(tips: int = 12, patterns: int = 2_000, n_tenants: int = 3,
+            requests_per_tenant: int = 8, pool_per_key: int = 2,
+            backend: str = "cpu-serial") -> dict:
+    model, site_model, data, trees = _workload(tips, patterns, n_tenants)
+    weights = [2.0] + [1.0] * max(1, n_tenants - 1)
+
+    # -- load phase -------------------------------------------------------
+    config = SessionConfig(backend=backend, deferred=True)
+    with LikelihoodServer(config, max_queue=4 * n_tenants
+                          * requests_per_tenant,
+                          batch_limit=2 * n_tenants,
+                          pool_per_key=pool_per_key) as server:
+        load = _run_load(server, model, site_model, data, trees,
+                         requests_per_tenant, weights)
+        tenant_stats = server.tenant_stats()
+        pool_sizes = {str(k): v for k, v in server.pool_sizes().items()}
+        shared_keys = len(server.pool_sizes())
+        metrics = server.metrics
+        occupancy = metrics.histogram("serve.batch.occupancy")
+        pool_counts = {
+            kind: metrics.counter(f"serve.pool.{kind}").value
+            for kind in ("hit", "rebind", "miss")
+        }
+        batches = metrics.counter("serve.batches").value
+        load_result = {
+            "throughput_rps": load["throughput_rps"],
+            "busy_s": load["busy_s"],
+            "requests": len(load["values"]),
+            "batches": batches,
+            "batch_occupancy_mean": occupancy.mean,
+            "batch_occupancy_p99": occupancy.percentile(0.99),
+            "pool": pool_counts,
+            "pool_keys": shared_keys,
+            "pool_sizes": pool_sizes,
+            "tenants": tenant_stats,
+        }
+
+    # The load phase's update requests left each tree at its settled
+    # edited state; the post-drain probes must match serial baselines
+    # evaluated against that same state.
+    baselines = _serial_baselines(config, model, site_model, data, trees)
+    load_parity = load["probes"] == baselines
+
+    # -- chaos phase ------------------------------------------------------
+    plan = FaultPlan([FaultEvent("device-loss", "serve-0", at=2)], seed=11)
+    chaos_config = SessionConfig(
+        backend=backend, deferred=True,
+        retry_policy=RetryPolicy(max_attempts=3, failover=True,
+                                 seed=plan.seed),
+        fault_plan=plan, fault_level="wrapper",
+    )
+    chaos_trees = [yule_tree(tips, rng=200 + i) for i in range(n_tenants)]
+    with LikelihoodServer(chaos_config, max_queue=64,
+                          batch_limit=n_tenants,
+                          pool_per_key=1) as server:
+        clients = [server.register(f"tenant{i}") for i in range(n_tenants)]
+        tickets = [
+            client.submit(data, chaos_trees[i], model, site_model)
+            for _ in range(4)
+            for i, client in enumerate(clients)
+        ]
+        chaos_values = [t.result(timeout=120) for t in tickets]
+        failovers = server.metrics.counter("serve.failover.events").value
+        retired = server.metrics.counter("serve.pool.retired").value
+    chaos_baselines = _serial_baselines(
+        SessionConfig(backend=backend), model, site_model, data, chaos_trees
+    )
+    chaos_parity = all(
+        value == chaos_baselines[i % n_tenants]
+        for i, value in enumerate(chaos_values)
+    )
+
+    # -- backpressure phase ----------------------------------------------
+    bp = LikelihoodServer(SessionConfig(backend=backend), max_queue=4,
+                          start=False)
+    client = bp.register("bursty", quota=16)
+    accepted = rejected = 0
+    for _ in range(10):
+        try:
+            client.submit(data, trees[0], model, site_model)
+            accepted += 1
+        except AdmissionError:
+            rejected += 1
+    rejects_counter = bp.metrics.counter("serve.admission.rejects").value
+    bp.shutdown(drain=False)
+    backpressure = {
+        "submitted": 10,
+        "max_queue": 4,
+        "accepted": accepted,
+        "rejected": rejected,
+        "rejects_counter": rejects_counter,
+    }
+
+    return {
+        "workload": {
+            "tips": tips,
+            "patterns": patterns,
+            "tenants": n_tenants,
+            "requests_per_tenant": requests_per_tenant,
+            "backend": backend,
+            "weights": weights,
+        },
+        "load": load_result,
+        "load_parity": load_parity,
+        "chaos": {
+            "requests": len(chaos_values),
+            "failovers": failovers,
+            "retired_instances": retired,
+            "parity": chaos_parity,
+        },
+        "backpressure": backpressure,
+    }
+
+
+def report_table(report: dict) -> str:
+    load = report["load"]
+    rows = []
+    for name, stats in sorted(load["tenants"].items()):
+        rows.append([
+            name,
+            f"{stats['weight']:g}",
+            f"{stats['completed']:.0f}",
+            f"{stats['p50_s'] * 1e3:.1f}",
+            f"{stats['p99_s'] * 1e3:.1f}",
+        ])
+    table = format_table(
+        ["tenant", "weight", "completed", "p50 ms", "p99 ms"], rows,
+        title=(
+            f"Serving load: {load['requests']} requests, "
+            f"{load['throughput_rps']:.1f} req/s saturation, "
+            f"occupancy mean {load['batch_occupancy_mean']:.2f}"
+        ),
+    )
+    pool = load["pool"]
+    chaos = report["chaos"]
+    lines = [
+        table,
+        "",
+        f"pool: {pool['hit']:.0f} hits / {pool['rebind']:.0f} rebinds / "
+        f"{pool['miss']:.0f} builds across {load['pool_keys']} key(s)",
+        f"chaos: {chaos['requests']} requests, {chaos['failovers']:.0f} "
+        f"failover(s), parity={'OK' if chaos['parity'] else 'BROKEN'}",
+        f"backpressure: {report['backpressure']['accepted']} accepted, "
+        f"{report['backpressure']['rejected']} rejected "
+        f"(queue bound {report['backpressure']['max_queue']})",
+    ]
+    return "\n".join(lines)
+
+
+def check(report: dict, p99_budget_s: float = P99_BUDGET_S) -> list:
+    """Acceptance assertions; returns failure messages."""
+    failures = []
+    load = report["load"]
+    if report["workload"]["tenants"] < 2:
+        failures.append("need >= 2 concurrent tenants")
+    if load["pool_keys"] != 1:
+        failures.append(
+            f"tenants did not share one warm pool: {load['pool_keys']} keys"
+        )
+    if load["pool"]["rebind"] < 1:
+        failures.append(
+            "no cross-tenant rebind happened — pool sharing not exercised"
+        )
+    if load["batch_occupancy_mean"] <= 1.0 and load["batches"] > 1:
+        failures.append(
+            f"batches never held more than one request "
+            f"(mean occupancy {load['batch_occupancy_mean']:.2f})"
+        )
+    if not report["load_parity"]:
+        failures.append("load-phase values diverge from serial baseline")
+    worst_p99 = max(
+        stats["p99_s"] for stats in load["tenants"].values()
+    )
+    if worst_p99 > p99_budget_s:
+        failures.append(
+            f"worst tenant p99 {worst_p99 * 1e3:.1f} ms exceeds the "
+            f"budget {p99_budget_s * 1e3:.0f} ms"
+        )
+    chaos = report["chaos"]
+    if not chaos["parity"]:
+        failures.append(
+            "chaos run is not bit-identical to the serial baseline"
+        )
+    if chaos["failovers"] < 1:
+        failures.append("chaos run did not exercise a device-loss failover")
+    bp = report["backpressure"]
+    expected_rejects = bp["submitted"] - bp["max_queue"]
+    if bp["rejected"] != expected_rejects:
+        failures.append(
+            f"expected exactly {expected_rejects} deterministic rejects, "
+            f"saw {bp['rejected']}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the multi-tenant likelihood server"
+    )
+    parser.add_argument("--tips", type=int, default=12)
+    parser.add_argument("--patterns", type=int, default=2_000)
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per tenant in the load phase")
+    parser.add_argument("--backend", default="cpu-serial")
+    parser.add_argument("--p99-budget", type=float, default=P99_BUDGET_S,
+                        metavar="S", help="p99 latency gate in seconds")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 unless pool sharing, parity, fairness, and the "
+             "p99 budget all hold",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(
+        tips=args.tips, patterns=args.patterns, n_tenants=args.tenants,
+        requests_per_tenant=args.requests, backend=args.backend,
+    )
+    print(report_table(report))
+
+    try:
+        from benchmarks.trajectory import write_record
+    except ImportError:
+        from trajectory import write_record
+    load = report["load"]
+    write_record("serving", {
+        "tenants": args.tenants,
+        "requests": load["requests"],
+        "throughput_rps": load["throughput_rps"],
+        "p50_s": {
+            name: stats["p50_s"]
+            for name, stats in load["tenants"].items()
+        },
+        "p99_s": {
+            name: stats["p99_s"]
+            for name, stats in load["tenants"].items()
+        },
+        "batch_occupancy_mean": load["batch_occupancy_mean"],
+        "pool": load["pool"],
+        "chaos_parity": report["chaos"]["parity"],
+        "chaos_failovers": report["chaos"]["failovers"],
+        "rejects": report["backpressure"]["rejected"],
+        "p99_budget_s": args.p99_budget,
+    })
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        failures = check(report, p99_budget_s=args.p99_budget)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

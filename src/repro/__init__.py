@@ -45,6 +45,8 @@ from repro.model import (
 from repro.obs import MetricsRegistry, NullTracer, Span, Tracer
 from repro.resil import FaultEvent, FaultPlan, RetryPolicy
 from repro.sched import ConcurrentExecutor, RebalancingExecutor
+from repro.config import SessionConfig
+from repro.serve import LikelihoodServer
 from repro.session import (
     BACKEND_FLAGS,
     MultiDeviceSession,
@@ -59,6 +61,8 @@ __all__ = [
     "BeagleInstance",
     "create_instance",
     "Session",
+    "SessionConfig",
+    "LikelihoodServer",
     "MultiDeviceSession",
     "ConcurrentExecutor",
     "RebalancingExecutor",

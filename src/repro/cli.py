@@ -20,6 +20,15 @@ the top model-ranked candidates with real simulated launches, persists
 the winner in the on-disk tuning cache, and reports the measured gain
 over the validator-suggested default.
 
+``pybeagle-serve`` runs a multi-tenant load drill against the
+likelihood service (:mod:`repro.serve`): several tenants share one
+alignment and submit concurrent likelihood/update requests through the
+server's admission control, DRR scheduler, and warm instance pool.  It
+prints per-tenant latency percentiles and pool/batch statistics, can
+script a device-loss fault into the pool, and gates on a p99 latency
+budget plus bit-exact parity with serial baselines — the same checks
+the ``serve`` CI job enforces.
+
 ``pybeagle-chaos`` runs a scripted fault-injection drill
 (:mod:`repro.resil`) against a multi-device session: it installs a
 :class:`~repro.resil.FaultPlan` (from a JSON file or a built-in
@@ -597,6 +606,188 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         print(f"\nwrote report to {args.json}")
 
     return 0 if parity_ok else 1
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-serve",
+        description="Run a multi-tenant load drill against the "
+                    "likelihood service and report per-tenant latency",
+    )
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per tenant")
+    parser.add_argument("--taxa", type=int, default=12)
+    parser.add_argument("--patterns", type=int, default=1000)
+    parser.add_argument(
+        "--backend", default="cpu-serial",
+        help="backend name (cpu-serial, cpu-sse, cpp-threads, "
+             "opencl-x86, opencl-gpu, cuda)",
+    )
+    parser.add_argument("--pool", type=int, default=2,
+                        help="warm instances per pool key")
+    parser.add_argument("--batch-limit", type=int, default=8)
+    parser.add_argument(
+        "--weights", type=float, nargs="+", default=None,
+        help="per-tenant DRR weights (cycled; default: 2 then 1s)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="script a device-loss fault into the first pooled "
+             "instance and recover through retry/failover",
+    )
+    parser.add_argument(
+        "--p99-budget", type=float, default=None, metavar="S",
+        help="fail (exit 1) if any tenant's p99 exceeds this budget",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.config import SessionConfig
+    from repro.core import TreeLikelihood
+    from repro.model import HKY85, SiteModel
+    from repro.resil import FaultEvent, FaultPlan, RetryPolicy
+    from repro.seq.simulate import synthetic_pattern_set
+    from repro.serve import LikelihoodServer
+    from repro.session import backend_flags
+    from repro.tree.generate import yule_tree
+
+    try:
+        backend_flags(args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.tenants < 2:
+        print("need --tenants >= 2 for a multi-tenant drill",
+              file=sys.stderr)
+        return 2
+
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(args.taxa, args.patterns, 4,
+                                 rng=args.seed)
+    trees = [yule_tree(args.taxa, rng=args.seed + 100 + i)
+             for i in range(args.tenants)]
+    weights = args.weights or [2.0] + [1.0] * (args.tenants - 1)
+
+    if args.chaos:
+        config = SessionConfig(
+            backend=args.backend, deferred=True,
+            retry_policy=RetryPolicy(max_attempts=3, failover=True,
+                                     seed=args.seed),
+            fault_plan=FaultPlan(
+                [FaultEvent("device-loss", "serve-0", at=2)],
+                seed=args.seed,
+            ),
+            fault_level="wrapper",
+        )
+    else:
+        config = SessionConfig(backend=args.backend, deferred=True)
+
+    with LikelihoodServer(
+        config,
+        max_queue=4 * args.tenants * args.requests,
+        batch_limit=args.batch_limit,
+        pool_per_key=args.pool,
+    ) as server:
+        clients = [
+            server.register(
+                f"tenant{i}",
+                weight=weights[i % len(weights)],
+                quota=max(4, args.requests),
+            )
+            for i in range(args.tenants)
+        ]
+        tickets = [
+            client.submit(data, trees[i], model, site_model)
+            for _ in range(args.requests)
+            for i, client in enumerate(clients)
+        ]
+        values = [ticket.result(timeout=300) for ticket in tickets]
+        stats = server.tenant_stats()
+        pool_keys = len(server.pool_sizes())
+        counters = {
+            name: server.metrics.counter(f"serve.{name}").value
+            for name in ("pool.hit", "pool.rebind", "pool.miss",
+                         "pool.retired", "failover.events",
+                         "admission.rejects")
+        }
+        occupancy_mean = server.metrics.histogram(
+            "serve.batch.occupancy"
+        ).mean
+
+    rows = [
+        [name, f"{s['weight']:g}", f"{s['completed']:.0f}",
+         f"{s['p50_s'] * 1e3:.1f}", f"{s['p99_s'] * 1e3:.1f}"]
+        for name, s in sorted(stats.items())
+    ]
+    print(format_table(
+        ["tenant", "weight", "completed", "p50 ms", "p99 ms"], rows,
+        title=f"Serving drill: {len(values)} requests, "
+              f"{args.backend}, pool keys: {pool_keys}",
+    ))
+    print(f"pool: {counters['pool.hit']:.0f} hits / "
+          f"{counters['pool.rebind']:.0f} rebinds / "
+          f"{counters['pool.miss']:.0f} builds; "
+          f"batch occupancy mean {occupancy_mean:.2f}")
+    if args.chaos:
+        print(f"chaos: {counters['failover.events']:.0f} failover(s), "
+              f"{counters['pool.retired']:.0f} retired instance(s)")
+
+    # Parity: every served value must be bit-identical to a serial
+    # evaluation of the same (tree, data, model) outside the server.
+    kwargs = config.replace(
+        deferred=False, fault_plan=None, retry_policy=None,
+    ).likelihood_kwargs()
+    baselines = []
+    for tree in trees:
+        with TreeLikelihood(tree, data, model, site_model,
+                            **kwargs) as tl:
+            baselines.append(tl.log_likelihood())
+    parity_ok = all(
+        value == baselines[i % args.tenants]
+        for i, value in enumerate(values)
+    )
+    print(f"parity: {'OK (bit-identical)' if parity_ok else 'FAIL'}")
+
+    worst_p99 = max(s["p99_s"] for s in stats.values())
+    budget_ok = True
+    if args.p99_budget is not None:
+        budget_ok = worst_p99 <= args.p99_budget
+        print(f"worst p99: {worst_p99 * 1e3:.1f} ms "
+              f"(budget {args.p99_budget * 1e3:.0f} ms: "
+              f"{'OK' if budget_ok else 'EXCEEDED'})")
+
+    if args.json:
+        report = {
+            "workload": {
+                "tenants": args.tenants,
+                "requests_per_tenant": args.requests,
+                "taxa": args.taxa,
+                "patterns": args.patterns,
+                "backend": args.backend,
+                "chaos": args.chaos,
+                "weights": weights,
+            },
+            "tenants": stats,
+            "pool_keys": pool_keys,
+            "counters": counters,
+            "batch_occupancy_mean": occupancy_mean,
+            "parity_ok": parity_ok,
+            "worst_p99_s": worst_p99,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if not parity_ok:
+        return 1
+    if args.chaos and counters["failover.events"] < 1:
+        print("chaos drill fired no failover", file=sys.stderr)
+        return 1
+    return 0 if budget_ok else 1
 
 
 def tune_main(argv: Optional[List[str]] = None) -> int:

@@ -134,8 +134,8 @@ def beagle_create_instance(
             exc = ValueError("pass resource_list or resource_ids, not both")
             return _record_failure("beagle_create_instance", exc), None
         warnings.warn(
-            "beagle_create_instance(resource_ids=...) is deprecated; "
-            "use resource_list=...",
+            "beagle_create_instance(resource_ids=...) is deprecated and "
+            "will be removed in 2.0; use resource_list=...",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -415,14 +415,77 @@ def beagle_get_site_log_likelihoods(instance: int, out: np.ndarray) -> int:
     return _wrap("beagle_get_site_log_likelihoods", go)
 
 
+#: Option name -> applier for :func:`beagle_configure`.  Every mutable
+#: per-instance toggle lives here so the valid-option list, the error
+#: message, and the application order stay in one place.
+_CONFIGURE_APPLIERS: Dict[str, Callable[[BeagleInstance, Any], None]] = {
+    "deferred": lambda inst, value: inst.set_execution_mode(bool(value)),
+    "strict_plans": lambda inst, value: inst.set_plan_verification(bool(value)),
+}
+
+
+def _apply_configure(instance: int, opts: Dict[str, Any]) -> None:
+    """Validate then apply configuration options to an instance.
+
+    Unknown keys are rejected before *any* option is applied, so a
+    failed call never leaves the instance half-configured.
+    """
+    if not opts:
+        raise ValueError(
+            "no options given; valid options: "
+            + ", ".join(sorted(_CONFIGURE_APPLIERS))
+        )
+    unknown = sorted(set(opts) - set(_CONFIGURE_APPLIERS))
+    if unknown:
+        raise ValueError(
+            "unknown option(s) "
+            + ", ".join(unknown)
+            + "; valid options: "
+            + ", ".join(sorted(_CONFIGURE_APPLIERS))
+        )
+    inst = _get(instance)
+    for key in sorted(opts):
+        _CONFIGURE_APPLIERS[key](inst, opts[key])
+
+
+def beagle_configure(instance: int, **opts: Any) -> int:
+    """Apply one or more per-instance configuration options atomically.
+
+    The single entry point for the mutable toggles that previously had
+    one ``beagle_set_*`` function each:
+
+    - ``deferred`` (bool): deferred plan recording — matrix updates and
+      partials operations accumulate into an execution plan that runs at
+      the next likelihood call or :func:`beagle_flush`; results are
+      bit-identical to eager mode.
+    - ``strict_plans`` (bool): fail-fast static verification of deferred
+      plans — every flush first runs the
+      :class:`~repro.analysis.planverify.PlanVerifier` and refuses to
+      execute a plan with error-severity diagnostics.
+
+    Unknown option names fail with ``BEAGLE_ERROR_OUT_OF_RANGE`` before
+    any option is applied.
+    """
+    return _wrap("beagle_configure", lambda: _apply_configure(instance, dict(opts)))
+
+
 def beagle_set_execution_mode(instance: int, deferred: bool) -> int:
-    """Opt in to (or out of) deferred plan recording for an instance.
+    """Deprecated: use ``beagle_configure(instance, deferred=...)``.
 
     In deferred mode, matrix updates and partials operations accumulate
     into an execution plan that runs at the next likelihood call or
     :func:`beagle_flush`; results are bit-identical to eager mode.
     """
-    return _wrap("beagle_set_execution_mode", lambda: _get(instance).set_execution_mode(deferred))
+    warnings.warn(
+        "beagle_set_execution_mode is deprecated and will be removed in "
+        "2.0; use beagle_configure(instance, deferred=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _wrap(
+        "beagle_set_execution_mode",
+        lambda: _apply_configure(instance, {"deferred": deferred}),
+    )
 
 
 def beagle_flush(instance: int) -> int:
@@ -438,7 +501,7 @@ def beagle_flush(instance: int) -> int:
 
 
 def beagle_set_plan_verification(instance: int, strict: bool) -> int:
-    """Toggle fail-fast static verification of deferred plans.
+    """Deprecated: use ``beagle_configure(instance, strict_plans=...)``.
 
     When strict, every flush first runs the
     :class:`~repro.analysis.planverify.PlanVerifier` over the recorded
@@ -447,7 +510,13 @@ def beagle_set_plan_verification(instance: int, strict: bool) -> int:
     reads).  Off by default: verification walks the whole DAG, which is
     measurable on large trees.
     """
+    warnings.warn(
+        "beagle_set_plan_verification is deprecated and will be removed "
+        "in 2.0; use beagle_configure(instance, strict_plans=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _wrap(
         "beagle_set_plan_verification",
-        lambda: _get(instance).set_plan_verification(strict),
+        lambda: _apply_configure(instance, {"strict_plans": strict}),
     )

@@ -135,18 +135,36 @@ class TreeLikelihood:
         )
         self.derivative_matrix_indices = (n_nodes, n_nodes + 1)
         self.enable_upper_partials = enable_upper_partials
+        self.use_tip_states = use_tip_states
+        self.data = data
         self.instance = BeagleInstance(config, deferred=deferred, **instance_kwargs)
         self._upper = None
 
-        # Load tip data, pairing by name for real alignments and by row
-        # index for synthetic benchmark data.
-        tips = sorted(tree.root.tips(), key=lambda n: n.index)
+        self.load_tip_data(data)
+        self.instance.set_category_rates(site_model.rates)
+        self.instance.set_category_weights(0, site_model.weights)
+        self.instance.set_substitution_model(0, model)
+        self._matrices_current = False
+
+    def load_tip_data(
+        self, data: Union[PatternSet, SyntheticPatterns]
+    ) -> None:
+        """Load tip buffers and pattern weights from ``data``.
+
+        Pairs by name for real alignments and by row index for synthetic
+        benchmark data.  Called at construction, and again by
+        :meth:`rebind` when a warm instance is reused for new data of the
+        same shape.
+        """
+        n_patterns = self.instance.config.pattern_count
+        state_count = self.instance.config.state_count
+        tips = sorted(self.tree.root.tips(), key=lambda n: n.index)
         if isinstance(data, PatternSet):
             aln = data.alignment
             for tip in tips:
                 name = tip.name or f"taxon{tip.index}"
                 row = aln.names.index(name)
-                if use_tip_states:
+                if self.use_tip_states:
                     self.instance.set_tip_states(
                         tip.index,
                         aln.state_space.encode_states(aln.rows[row]),
@@ -158,7 +176,7 @@ class TreeLikelihood:
                     )
         else:
             for tip in tips:
-                if use_tip_states:
+                if self.use_tip_states:
                     self.instance.set_tip_states(
                         tip.index, data.tip_states[tip.index]
                     )
@@ -170,11 +188,48 @@ class TreeLikelihood:
                     dense[rows[known], codes[known]] = 1.0
                     dense[~known] = 1.0
                     self.instance.set_tip_partials(tip.index, dense)
+        self.instance.set_pattern_weights(data.weights)
+        self.data = data
 
-        self.instance.set_pattern_weights(weights)
-        self.instance.set_category_rates(site_model.rates)
-        self.instance.set_category_weights(0, site_model.weights)
-        self.instance.set_substitution_model(0, model)
+    def rebind(
+        self,
+        data: Union[PatternSet, SyntheticPatterns],
+        tree: Optional[Tree] = None,
+    ) -> None:
+        """Repoint a warm instance at new data (and optionally a new tree).
+
+        The replacement must match the shape the instance's buffers were
+        sized for — same pattern count, state count, and tip count — so
+        only tip buffers and pattern weights are rewritten; eigensystem,
+        category rates, and model parameters are untouched.  This is what
+        lets a serving pool reuse one built instance across tenants
+        whose analyses share a configuration signature instead of paying
+        a fresh allocation per request.
+        """
+        if tree is not None:
+            if tree.n_tips != self.tree.n_tips:
+                raise ValueError(
+                    f"rebind tree has {tree.n_tips} tips; instance was "
+                    f"built for {self.tree.n_tips}"
+                )
+            self.tree = tree
+        n_patterns = data.n_patterns
+        state_count = (
+            data.alignment.n_states
+            if isinstance(data, PatternSet)
+            else data.state_count
+        )
+        if n_patterns != self.instance.config.pattern_count:
+            raise ValueError(
+                f"rebind data has {n_patterns} patterns; instance was "
+                f"built for {self.instance.config.pattern_count}"
+            )
+        if state_count != self.instance.config.state_count:
+            raise ValueError(
+                f"rebind data has {state_count} states; instance was "
+                f"built for {self.instance.config.state_count}"
+            )
+        self.load_tip_data(data)
         self._matrices_current = False
 
     # -- observability -------------------------------------------------------

@@ -490,8 +490,8 @@ def create_instance(
     """
     if resource_list is not None:
         warnings.warn(
-            "create_instance(resource_list=...) is deprecated; use "
-            "resource_ids=...",
+            "create_instance(resource_list=...) is deprecated and will "
+            "be removed in 2.0; use resource_ids=...",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -148,6 +148,36 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the containing bucket, clamped to the
+        observed min/max so small-count histograms don't report bucket
+        bounds no sample ever reached.  Serving latency gates (p50/p99)
+        read this; it is an estimate with bucket-width resolution, not an
+        exact order statistic.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            assert self._min is not None and self._max is not None
+            rank = q * self._count
+            cumulative = 0
+            lower = self._min
+            for i, bound in enumerate(self.buckets):
+                in_bucket = self._counts[i]
+                if cumulative + in_bucket >= rank and in_bucket > 0:
+                    frac = (rank - cumulative) / in_bucket
+                    upper = min(bound, self._max)
+                    lower = max(lower, self._min)
+                    return min(max(lower + frac * (upper - lower),
+                                   self._min), self._max)
+                cumulative += in_bucket
+                lower = bound
+            return self._max
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "name": self.name,

@@ -32,6 +32,7 @@ from repro.resil.faults import (
     FaultInjector,
     FaultPlan,
     FaultyComponent,
+    install_fault_injector,
     install_fault_plan,
 )
 from repro.resil.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -45,6 +46,7 @@ __all__ = [
     "FaultPlan",
     "FaultyComponent",
     "RetryPolicy",
+    "install_fault_injector",
     "install_fault_plan",
     "load_checkpoint",
     "resil_entrypoint",

@@ -278,6 +278,22 @@ def _install_on_component(component, injector: FaultInjector, level: str):
 
 
 @resil_entrypoint
+def install_fault_injector(component, injector: FaultInjector,
+                           level: str = "auto"):
+    """Attach *injector* to a single likelihood component.
+
+    Public single-component counterpart of :func:`install_fault_plan`
+    for callers that manage their own component slots — the serving
+    layer's instance pool installs injectors on pooled
+    :class:`~repro.core.highlevel.TreeLikelihood` instances one at a
+    time as they are built.  Returns the component to put in the slot
+    (the original at hardware level, or a :class:`FaultyComponent`
+    wrapper).
+    """
+    return _install_on_component(component, injector, level)
+
+
+@resil_entrypoint
 def install_fault_plan(likelihood, plan: FaultPlan, level: str = "auto"):
     """Install *plan* on a likelihood's components.
 

@@ -18,11 +18,13 @@ from repro.sched.executor import (
     RebalanceEvent,
     RebalancingExecutor,
 )
+from repro.sched.workers import LabelledWorkerPool
 
 __all__ = [
     "ComponentTiming",
     "ConcurrentExecutor",
     "FailoverEvent",
+    "LabelledWorkerPool",
     "QuarantineRecord",
     "RebalanceEvent",
     "RebalancingExecutor",

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.obs import NULL_TRACER
 from repro.partition.autoselect import proportions_from_rates
+from repro.sched.workers import LabelledWorkerPool
 from repro.util.errors import DeviceError
 
 __all__ = [
@@ -184,7 +185,7 @@ class ConcurrentExecutor:
         # in-flight evaluation per instance, overlap across instances.
         # Created on demand so quarantine/readmit can retire and revive
         # workers without index bookkeeping.
-        self._workers: Dict[str, ThreadPoolExecutor] = {}
+        self._pool = LabelledWorkerPool()
         self._last_timings: List[ComponentTiming] = []
         self._evaluations = 0
         self._closed = False
@@ -229,13 +230,7 @@ class ConcurrentExecutor:
         return dict(self._quarantined)
 
     def _worker_for(self, label: str) -> ThreadPoolExecutor:
-        worker = self._workers.get(label)
-        if worker is None:
-            worker = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"hetero-{label}"
-            )
-            self._workers[label] = worker
-        return worker
+        return self._pool.worker_for(label)
 
     def _attempt_component(self, component, label: str, parent_id,
                            method: str, args: tuple):
@@ -373,9 +368,7 @@ class ConcurrentExecutor:
             rebuilt = self.likelihood.drop_device(label)
         # The lost device's worker is released immediately — failover
         # must never leak threads.
-        worker = self._workers.pop(label, None)
-        if worker is not None:
-            worker.shutdown(wait=True)
+        self._pool.retire(label, wait=True)
         self._quarantined[label] = QuarantineRecord(
             label=label,
             error=f"{type(exc).__name__}: {exc}",
@@ -566,18 +559,7 @@ class ConcurrentExecutor:
         if self._closed:
             return
         self._closed = True
-        first_error: Optional[BaseException] = None
-        try:
-            for worker in self._workers.values():
-                try:
-                    worker.shutdown(wait=wait)
-                except BaseException as exc:
-                    if first_error is None:
-                        first_error = exc
-        finally:
-            self._workers.clear()
-        if first_error is not None:
-            raise first_error
+        self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "ConcurrentExecutor":
         return self

@@ -1,0 +1,38 @@
+"""Multi-tenant likelihood serving on top of sessions and the scheduler.
+
+BEAGLE 4.1's direction (PAPERS.md) is many client analyses sharing one
+library; this package is that serving layer for the reproduction.  A
+:class:`LikelihoodServer` admits requests from concurrent tenants
+against bounded queues, schedules them with weighted deficit
+round-robin (:mod:`repro.serve.scheduler`), binds them to warm
+instances pooled by analysis shape (:mod:`repro.serve.pool`), and runs
+each batch on per-instance workers with device loss folded into the
+resilience layer's retry/failover semantics.  Clients use one small
+API — ``server.register(name)`` then ``client.submit(...)`` — and the
+returned :class:`Ticket` is both blockable and ``await``-able.
+
+Everything is observable under the ``serve.*`` span/metric namespace:
+queue depth, admission rejects, batch occupancy, pool hit/rebind/build
+counts, per-tenant latency histograms.
+"""
+
+from repro.serve.pool import InstancePool, PoolKey, PooledInstance
+from repro.serve.scheduler import DeficitRoundRobin, TenantQueue
+from repro.serve.server import (
+    LikelihoodServer,
+    ServeRequest,
+    TenantClient,
+    Ticket,
+)
+
+__all__ = [
+    "DeficitRoundRobin",
+    "InstancePool",
+    "LikelihoodServer",
+    "PoolKey",
+    "PooledInstance",
+    "ServeRequest",
+    "TenantClient",
+    "TenantQueue",
+    "Ticket",
+]

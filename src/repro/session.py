@@ -24,13 +24,20 @@ registry is attached.
 :class:`MultiDeviceSession` that splits one dataset's patterns across
 several backends, evaluates them concurrently, and rebalances the split
 from measured throughput (see :mod:`repro.sched`).
+
+Both session kinds are configured by one declarative object,
+:class:`~repro.config.SessionConfig` (``Session(data, tree, model,
+config=cfg)``); the keyword spellings above remain as a compatibility
+shim that builds a config internally.  The backend-name table
+(:data:`~repro.config.BACKEND_FLAGS`) lives in :mod:`repro.config` and
+is re-exported here.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from repro.core.flags import Flag
+from repro.config import BACKEND_FLAGS, SessionConfig, backend_flags
 from repro.core.highlevel import TreeLikelihood
 from repro.model.ratematrix import SubstitutionModel
 from repro.model.sitemodel import SiteModel
@@ -40,45 +47,13 @@ from repro.seq.patterns import PatternSet, compress_patterns
 from repro.seq.simulate import SyntheticPatterns
 from repro.tree.tree import Tree
 
-#: Backend name -> instance flag keywords.  The names match the paper's
-#: benchmark configurations and the ``--backend`` options of the CLI and
-#: MCMC runner.  ``None`` / ``"auto"`` lets the resource manager pick.
-BACKEND_FLAGS = {
-    "cpu-serial": dict(requirement_flags=Flag.VECTOR_NONE),
-    "cpu-sse": dict(
-        requirement_flags=Flag.VECTOR_SSE,
-        preference_flags=Flag.THREADING_NONE,
-    ),
-    "cpp-threads": dict(requirement_flags=Flag.THREADING_CPP),
-    "opencl-x86": dict(
-        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU
-    ),
-    "cpu-vector": dict(
-        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_CPU,
-        kernel_variant="cpu",
-    ),
-    "opencl-gpu": dict(
-        requirement_flags=Flag.FRAMEWORK_OPENCL | Flag.PROCESSOR_GPU
-    ),
-    "cuda": dict(requirement_flags=Flag.FRAMEWORK_CUDA),
-}
-
-
-def backend_flags(backend: Optional[str]) -> dict:
-    """Instance flag keywords for a named backend.
-
-    ``None`` or ``"auto"`` returns no constraints (manager's choice).
-    Raises ``ValueError`` for unknown names, listing the valid ones.
-    """
-    if backend is None or backend == "auto":
-        return {}
-    try:
-        return dict(BACKEND_FLAGS[backend])
-    except KeyError:
-        choices = ", ".join(sorted(BACKEND_FLAGS) + ["auto"])
-        raise ValueError(
-            f"unknown backend {backend!r}; choose from {choices}"
-        ) from None
+__all__ = [
+    "BACKEND_FLAGS",
+    "MultiDeviceSession",
+    "Session",
+    "SessionConfig",
+    "backend_flags",
+]
 
 
 class MultiDeviceSession:
@@ -123,6 +98,10 @@ class MultiDeviceSession:
     fault_level:
         Where to install the plan: ``"auto"`` (hardware choke point
         where available), ``"hardware"``, or ``"wrapper"``.
+    config:
+        A :class:`~repro.config.SessionConfig` with ``devices`` set.
+        Mutually exclusive with the per-keyword spellings above, which
+        are a compatibility shim that builds a config internally.
     """
 
     def __init__(
@@ -132,51 +111,54 @@ class MultiDeviceSession:
         model: SubstitutionModel,
         site_model: Optional[SiteModel] = None,
         *,
-        device_requests: dict,
-        proportions=None,
-        rebalance: bool = True,
-        threshold: float = 0.15,
-        seed_backends=None,
-        deferred: bool = False,
-        trace: bool = False,
-        retry_policy=None,
-        fault_plan=None,
-        fault_level: str = "auto",
+        config: Optional[SessionConfig] = None,
+        **kwargs,
     ) -> None:
         from repro.partition.multi import MultiDeviceLikelihood
         from repro.sched import ConcurrentExecutor, RebalancingExecutor
 
+        if config is None:
+            config = SessionConfig.from_multi_device_kwargs(**kwargs)
+        elif kwargs:
+            raise ValueError(
+                "pass either config= or legacy keyword arguments, "
+                f"not both (got {sorted(kwargs)})"
+            )
+        if not config.is_multi_device:
+            raise ValueError(
+                "MultiDeviceSession needs a config with devices set"
+            )
+        self.config = config
+        md = config.multi_device_kwargs()
         if isinstance(data, Alignment):
             data = compress_patterns(data)
-        requests = {
-            label: backend_flags(spec) if isinstance(spec, str) else dict(spec)
-            for label, spec in device_requests.items()
-        }
         self.likelihood = MultiDeviceLikelihood(
             tree, data, model, site_model,
-            device_requests=requests,
-            proportions=proportions,
-            deferred=deferred,
+            device_requests=md["device_requests"],
+            proportions=md["proportions"],
+            deferred=config.deferred,
         )
         self._tracer, self._metrics = self.likelihood.instrument(
-            Tracer(enabled=trace), MetricsRegistry()
+            Tracer(enabled=config.trace), MetricsRegistry()
         )
-        if fault_plan is not None:
+        if config.fault_plan is not None:
             from repro.resil import install_fault_plan
 
             install_fault_plan(
-                self.likelihood, fault_plan, level=fault_level
+                self.likelihood, config.fault_plan,
+                level=config.fault_level,
             )
-        if rebalance:
+        if config.rebalance:
             self.executor = RebalancingExecutor(
                 self.likelihood, self._tracer, self._metrics,
-                threshold=threshold, seed_backends=seed_backends,
-                retry_policy=retry_policy,
+                threshold=config.rebalance_threshold,
+                seed_backends=md["seed_backends"],
+                retry_policy=config.retry_policy,
             )
         else:
             self.executor = ConcurrentExecutor(
                 self.likelihood, self._tracer, self._metrics,
-                retry_policy=retry_policy,
+                retry_policy=config.retry_policy,
             )
         self._closed = False
 
@@ -290,6 +272,12 @@ class Session:
     trace:
         Enable span tracing from the start.  Tracing can also be toggled
         later via ``session.tracer.enabled``.
+    config:
+        A :class:`~repro.config.SessionConfig` — the declarative
+        spelling of everything above.  Mutually exclusive with the
+        per-keyword spellings, which are a compatibility shim that
+        builds a config internally (``session.config`` exposes it
+        either way).
     kwargs:
         Extra :class:`TreeLikelihood` / instance keywords
         (``use_scaling``, ``precision``, ``thread_count``, ...).
@@ -302,22 +290,34 @@ class Session:
         model: SubstitutionModel,
         site_model: Optional[SiteModel] = None,
         *,
+        config: Optional[SessionConfig] = None,
         backend: Optional[str] = None,
         deferred: bool = False,
         trace: bool = False,
         **kwargs,
     ) -> None:
+        if config is None:
+            config = SessionConfig.from_kwargs(
+                backend=backend, deferred=deferred, trace=trace, **kwargs
+            )
+        elif backend is not None or deferred or trace or kwargs:
+            raise ValueError(
+                "pass either config= or legacy keyword arguments, not both"
+            )
+        if config.is_multi_device:
+            raise ValueError(
+                "config has devices set; use Session.multi_device "
+                "(or MultiDeviceSession) for multi-device configs"
+            )
+        self.config = config
         if isinstance(data, Alignment):
             data = compress_patterns(data)
-        flag_kwargs = backend_flags(backend)
-        for key, value in flag_kwargs.items():
-            kwargs.setdefault(key, value)
-        self.backend = backend or "auto"
+        self.backend = config.backend_name
         self.likelihood = TreeLikelihood(
-            tree, data, model, site_model, deferred=deferred, **kwargs
+            tree, data, model, site_model, **config.likelihood_kwargs()
         )
         self._tracer, self._metrics = self.likelihood.instrument(
-            Tracer(enabled=trace), MetricsRegistry()
+            Tracer(enabled=config.trace), MetricsRegistry()
         )
         self._closed = False
 

@@ -124,6 +124,23 @@ class DeviceLostError(DeviceError):
 
 
 # ---------------------------------------------------------------------------
+# Serving errors (multi-tenant service layer)
+# ---------------------------------------------------------------------------
+
+class AdmissionError(BeagleError):
+    """The serving layer refused to enqueue a request (backpressure).
+
+    Raised by :meth:`repro.serve.LikelihoodServer.submit` when a
+    tenant's queue or the global admission queue is full; the client
+    should back off and resubmit.  Deterministic: admission is decided
+    at submit time from queue occupancy alone, never by timing races
+    inside the scheduler.
+    """
+
+    code = -2  # BEAGLE_ERROR_OUT_OF_MEMORY (resource exhaustion analogue)
+
+
+# ---------------------------------------------------------------------------
 # Checkpoint errors (resilience layer)
 # ---------------------------------------------------------------------------
 

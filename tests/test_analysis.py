@@ -19,6 +19,7 @@ from repro.analysis import (
 )
 from repro.analysis.planverify import PlanVerifier, verify_plan
 from repro.core.api import (
+    beagle_configure,
     beagle_create_instance,
     beagle_finalize_instance,
     beagle_get_last_error_message,
@@ -288,12 +289,16 @@ class TestInstanceVerification:
             category_count=1, scale_buffer_count=0,
         )
         try:
-            assert beagle_set_plan_verification(handle, True) == int(
+            assert beagle_configure(handle, strict_plans=True) == int(
                 ReturnCode.SUCCESS
             )
+            with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+                assert beagle_set_plan_verification(handle, False) == int(
+                    ReturnCode.SUCCESS
+                )
         finally:
             beagle_finalize_instance(handle)
-        assert beagle_set_plan_verification(987654, True) != int(
+        assert beagle_configure(987654, strict_plans=True) != int(
             ReturnCode.SUCCESS
         )
 

@@ -10,6 +10,7 @@ from repro.core import (
     RootLikelihoodRequest,
 )
 from repro.core.api import (
+    beagle_configure,
     beagle_create_instance,
     beagle_finalize_instance,
     beagle_flush,
@@ -345,13 +346,38 @@ class TestFunctionalApi:
 
     def test_execution_mode_and_flush(self):
         handle = self.make_handle()
-        assert beagle_set_execution_mode(handle, True) == int(
+        assert beagle_configure(handle, deferred=True) == int(
             ReturnCode.SUCCESS
         )
         assert beagle_flush(handle) == int(ReturnCode.SUCCESS)
-        assert beagle_set_execution_mode(handle, False) == int(
+        assert beagle_configure(handle, deferred=False) == int(
             ReturnCode.SUCCESS
         )
+        assert beagle_finalize_instance(handle) == int(ReturnCode.SUCCESS)
+
+    def test_deprecated_setter_delegates_and_warns(self):
+        handle = self.make_handle()
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            assert beagle_set_execution_mode(handle, True) == int(
+                ReturnCode.SUCCESS
+            )
+        assert beagle_flush(handle) == int(ReturnCode.SUCCESS)
+        with pytest.warns(DeprecationWarning, match="beagle_configure"):
+            assert beagle_set_execution_mode(handle, False) == int(
+                ReturnCode.SUCCESS
+            )
+        assert beagle_finalize_instance(handle) == int(ReturnCode.SUCCESS)
+
+    def test_configure_rejects_unknown_options_atomically(self):
+        handle = self.make_handle()
+        assert beagle_configure(handle, deferred=True, bogus=1) != int(
+            ReturnCode.SUCCESS
+        )
+        message = beagle_get_last_error_message()
+        assert message is not None and "bogus" in message
+        # The unknown key aborted the call before any option applied.
+        assert beagle_flush(handle) == int(ReturnCode.SUCCESS)
+        assert beagle_configure(handle) != int(ReturnCode.SUCCESS)
         assert beagle_finalize_instance(handle) == int(ReturnCode.SUCCESS)
 
     def test_last_error_message_set_and_cleared(self):

@@ -397,10 +397,11 @@ class TestLifecycle:
                     self.inner.shutdown(wait=wait)
                     raise RuntimeError("refusing to die quietly")
 
-            ex._workers["dev0"] = Stubborn(ex._workers["dev0"])
+            pool_workers = ex._pool._workers
+            pool_workers["dev0"] = Stubborn(pool_workers["dev0"])
             with pytest.raises(RuntimeError, match="refusing"):
                 ex.shutdown()
-            assert ex._workers == {}
+            assert ex._pool._workers == {}
             ex.shutdown()  # already closed: no second raise
         assert _hetero_threads() == []
 

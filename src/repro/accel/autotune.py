@@ -445,10 +445,12 @@ class AutoTuner:
 
         Every raw candidate is normalised through
         :func:`fit_config_for_device` (so measurement rebuilds produce
-        the identical config) and pruned by the static validator; the
-        baseline is always first.
+        the identical config) and pruned by the static validator and the
+        IR dataflow verifier; the baseline is always first.
         """
+        from repro.accel.ir import IRError, build_program_ir
         from repro.accel.lower import fit_config_for_device
+        from repro.analysis.irverify import verify_program_ir
         from repro.analysis.kernelcheck import validate_kernel_config
 
         fma_options = (
@@ -499,6 +501,17 @@ class AutoTuner:
                 d.severity.name == "ERROR"
                 for d in validate_kernel_config(fitted, self.device)
             ):
+                continue
+            try:
+                program = build_program_ir(fitted)
+            except IRError:
+                self._count("tune.candidates_ir_rejected")
+                continue
+            if any(
+                d.severity.name == "ERROR"
+                for d in verify_program_ir(program)
+            ):
+                self._count("tune.candidates_ir_rejected")
                 continue
             seen.add(key)
             result.append(fitted)

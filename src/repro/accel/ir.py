@@ -63,16 +63,29 @@ class Param:
     ``kind`` records the argument class the launch path will supply:
     device buffers, compact tip-state index buffers, scalars, lists of
     buffers, or the fused-dispatch batch.
+
+    ``role`` and ``extent`` are the dataflow contract the static
+    verifier (:mod:`repro.analysis.irverify`) checks the body against:
+    ``"in"`` buffers are read-only, ``"out"`` buffers must be written
+    before any read, ``"inout"`` may do both; ``extent`` names the
+    buffer's symbolic dimensions (``"category"``, ``"pattern"``,
+    ``"state"``, ``"state+1"`` for the gap-column-extended matrices,
+    ``"branch"``), with ``None`` leaving the buffer unchecked.
     """
 
     name: str
     kind: str = "buffer"   # buffer | states | scalar | buffer_list | batch
+    role: str = "in"       # in | out | inout
+    extent: Optional[Tuple[str, ...]] = None
 
     _KINDS = ("buffer", "states", "scalar", "buffer_list", "batch")
+    _ROLES = ("in", "out", "inout")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise IRError(f"bad param kind {self.kind!r} for {self.name!r}")
+        if self.role not in self._ROLES:
+            raise IRError(f"bad param role {self.role!r} for {self.name!r}")
 
 
 @dataclass(frozen=True)
@@ -117,11 +130,18 @@ class LocalTile(Stmt):
     ``reals`` is the per-work-group staging size in REALs; the sum over a
     kernel's tiles is the ``2s² + 2sP`` local-memory budget of section
     VII-B.1 that the config validator checks against the device.
+
+    ``stages`` names the parameters whose blocks the tile copies in.
+    Every work-item participates in the copy, so any read of a staged
+    operand before the next :class:`Barrier` races with another
+    work-item's in-flight write — the shared-memory hazard the dataflow
+    verifier rejects.
     """
 
     name: str
     reals: int
     contents: str
+    stages: Tuple[str, ...] = ()
 
     def dest_names(self) -> Tuple[str, ...]:
         return ()
@@ -271,6 +291,32 @@ class FusedDispatch(Stmt):
 
 
 @dataclass(frozen=True)
+class Guarded(Stmt):
+    """Execute ``body`` only where ``cond`` holds (predicated region).
+
+    ``cond`` is a boolean expression over scalar params and iteration
+    indices.  No catalog kernel is predicated today; the statement
+    exists so the dataflow verifier can reason about work-item-divergent
+    control flow — a :class:`Barrier` under a guard that mentions a
+    parallel axis deadlocks the work-group, because only some work-items
+    reach it (the barrier-divergence hazard).
+    """
+
+    cond: str
+    body: Tuple[Stmt, ...]
+
+
+def walk_stmts(body, guards=()):
+    """Yield ``(stmt, guards)`` in program order, descending into
+    :class:`Guarded` regions; ``guards`` is the tuple of enclosing
+    conditions."""
+    for stmt in body:
+        yield stmt, guards
+        if isinstance(stmt, Guarded):
+            yield from walk_stmts(stmt.body, guards + (stmt.cond,))
+
+
+@dataclass(frozen=True)
 class KernelIR:
     """One kernel: parameters, iteration space, body."""
 
@@ -291,7 +337,7 @@ class KernelIR:
             raise IRError(f"{self.name}: duplicate parameter names {names}")
         defined = set(names)
         tile_seen = False
-        for stmt in self.body:
+        for stmt, _guards in walk_stmts(self.body):
             if isinstance(stmt, LocalTile):
                 if not config.use_local_memory:
                     raise IRError(
@@ -374,7 +420,12 @@ class ProgramIR:
         def stmt_repr(stmt: Stmt) -> List[object]:
             entry: List[object] = [type(stmt).__name__]
             for f in fields(stmt):  # type: ignore[arg-type]
-                entry.append([f.name, getattr(stmt, f.name)])
+                value = getattr(stmt, f.name)
+                if isinstance(value, tuple) and any(
+                    isinstance(v, Stmt) for v in value
+                ):
+                    value = [stmt_repr(v) for v in value]
+                entry.append([f.name, value])
             return entry
 
         payload = {
@@ -388,7 +439,7 @@ class ProgramIR:
             "kernels": [
                 [
                     k.name,
-                    [[p.name, p.kind] for p in k.params],
+                    [[p.name, p.kind, p.role, p.extent] for p in k.params],
                     [[a.name, a.extent, a.parallel] for a in k.space],
                     [stmt_repr(s) for s in k.body],
                 ]
@@ -420,12 +471,18 @@ def _partials_space(config: KernelConfig) -> Tuple[IterAxis, ...]:
     )
 
 
-def _partials_tiles(config: KernelConfig, child_partials: int) -> List[Stmt]:
+def _partials_tiles(
+    config: KernelConfig,
+    matrices: Tuple[str, ...],
+    partials: Tuple[str, ...] = (),
+) -> List[Stmt]:
     """Local staging statements for one partials kernel (gpu variant).
 
-    Two transition matrices (``s²`` REALs each) plus ``child_partials``
-    blocks of staged child partials (``s·P`` REALs each) — together the
-    ``2s² + 2sP`` budget of section VII-B.1.
+    Two transition matrices (``s²`` REALs each) plus one staged block
+    per child-partials param (``s·P`` REALs each) — together the
+    ``2s² + 2sP`` budget of section VII-B.1.  ``matrices``/``partials``
+    name the params each tile stages, which is what lets the dataflow
+    verifier prove reads of staged operands sit behind the barrier.
     """
     if not (config.use_local_memory and config.variant == "gpu"):
         return []
@@ -433,15 +490,23 @@ def _partials_tiles(config: KernelConfig, child_partials: int) -> List[Stmt]:
     p = config.pattern_block_size
     tiles: List[Stmt] = [
         LocalTile("tile_matrices", 2 * s * s,
-                  "both children's transition matrices"),
+                  "both children's transition matrices",
+                  stages=tuple(matrices)),
     ]
-    if child_partials:
+    if partials:
         tiles.append(LocalTile(
-            "tile_partials", child_partials * s * p,
-            f"{child_partials} staged child-partials block(s)",
+            "tile_partials", len(partials) * s * p,
+            f"{len(partials)} staged child-partials block(s)",
+            stages=tuple(partials),
         ))
     tiles.append(Barrier())
     return tiles
+
+
+#: Shorthand extents for the catalog's buffer shapes.
+_CPS = ("category", "pattern", "state")        # partials blocks
+_CSS = ("category", "state", "state")          # transition matrices
+_CSX = ("category", "state", "state+1")        # gap-column-extended
 
 
 def build_program_ir(config: KernelConfig) -> ProgramIR:
@@ -454,9 +519,12 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelMatrixMulADB",
             params=(
-                Param("matrices_out"), Param("eigenvectors"),
-                Param("inv_eigenvectors"), Param("eigenvalues"),
-                Param("lengths_rates"),
+                Param("matrices_out", role="out",
+                      extent=("branch", "category", "state", "state")),
+                Param("eigenvectors", extent=("state", "state")),
+                Param("inv_eigenvectors", extent=("state", "state")),
+                Param("eigenvalues", extent=("state",)),
+                Param("lengths_rates", extent=("branch", "category")),
             ),
             space=(IterAxis("branch", None), IterAxis("category", None)),
             body=(
@@ -470,14 +538,18 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelPartialsPartialsNoScale",
             params=(
-                Param("dest"), Param("partials1"), Param("matrices1"),
-                Param("partials2"), Param("matrices2"),
+                Param("dest", role="out", extent=_CPS),
+                Param("partials1", extent=_CPS),
+                Param("matrices1", extent=_CSS),
+                Param("partials2", extent=_CPS),
+                Param("matrices2", extent=_CSS),
             ),
             space=space,
             body=tuple(
                 [Comment("{KW_GLOBAL_KERNEL}: one work-item per partials "
                          "entry ({VARIANT}).")]
-                + _partials_tiles(config, child_partials=2)
+                + _partials_tiles(config, ("matrices1", "matrices2"),
+                                  ("partials1", "partials2"))
                 + [
                     InnerProduct("a", "partials1", "matrices1", fma=fma),
                     InnerProduct("b", "partials2", "matrices2", fma=fma),
@@ -488,9 +560,11 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelStatesPartialsNoScale",
             params=(
-                Param("dest"), Param("states1", kind="states"),
-                Param("matrices1_ext"), Param("partials2"),
-                Param("matrices2"),
+                Param("dest", role="out", extent=_CPS),
+                Param("states1", kind="states", extent=("pattern",)),
+                Param("matrices1_ext", extent=_CSX),
+                Param("partials2", extent=_CPS),
+                Param("matrices2", extent=_CSS),
             ),
             space=space,
             body=tuple(
@@ -498,7 +572,8 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
                          "each observed state"),
                  Comment("(column STATE_COUNT is the all-ones gap "
                          "column).")]
-                + _partials_tiles(config, child_partials=1)
+                + _partials_tiles(config, ("matrices1_ext", "matrices2"),
+                                  ("partials2",))
                 + [
                     StateGather("a", "states1", "matrices1_ext"),
                     InnerProduct("b", "partials2", "matrices2", fma=fma),
@@ -509,13 +584,16 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelStatesStatesNoScale",
             params=(
-                Param("dest"), Param("states1", kind="states"),
-                Param("matrices1_ext"), Param("states2", kind="states"),
-                Param("matrices2_ext"),
+                Param("dest", role="out", extent=_CPS),
+                Param("states1", kind="states", extent=("pattern",)),
+                Param("matrices1_ext", extent=_CSX),
+                Param("states2", kind="states", extent=("pattern",)),
+                Param("matrices2_ext", extent=_CSX),
             ),
             space=space,
             body=tuple(
-                _partials_tiles(config, child_partials=0)
+                _partials_tiles(config,
+                                ("matrices1_ext", "matrices2_ext"))
                 + [
                     StateGather("a", "states1", "matrices1_ext"),
                     StateGather("b", "states2", "matrices2_ext"),
@@ -536,7 +614,9 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelPartialsDynamicScaling",
             params=(
-                Param("partials"), Param("scale_factors_log"),
+                Param("partials", role="inout", extent=_CPS),
+                Param("scale_factors_log", role="out",
+                      extent=("pattern",)),
                 Param("threshold", kind="scalar"),
             ),
             space=serial_pattern,
@@ -551,7 +631,8 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelAccumulateFactorsScale",
             params=(
-                Param("cumulative_log"),
+                Param("cumulative_log", role="inout",
+                      extent=("pattern",)),
                 Param("factor_buffers", kind="buffer_list"),
             ),
             space=serial_pattern,
@@ -563,10 +644,12 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelIntegrateLikelihoods",
             params=(
-                Param("out_log_like"), Param("root_partials"),
-                Param("weights"), Param("frequencies"),
-                Param("pattern_weights"),
-                Param("cumulative_scale_log"),
+                Param("out_log_like", role="out", extent=("pattern",)),
+                Param("root_partials", extent=_CPS),
+                Param("weights", extent=("category",)),
+                Param("frequencies", extent=("state",)),
+                Param("pattern_weights", extent=("pattern",)),
+                Param("cumulative_scale_log", extent=("pattern",)),
             ),
             space=serial_pattern,
             body=(
@@ -577,11 +660,14 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
         KernelIR(
             name="kernelIntegrateLikelihoodsEdge",
             params=(
-                Param("out_log_like"), Param("parent_partials"),
-                Param("child_partials"), Param("edge_matrices"),
-                Param("weights"), Param("frequencies"),
-                Param("pattern_weights"),
-                Param("cumulative_scale_log"),
+                Param("out_log_like", role="out", extent=("pattern",)),
+                Param("parent_partials", extent=_CPS),
+                Param("child_partials", extent=_CPS),
+                Param("edge_matrices", extent=_CSS),
+                Param("weights", extent=("category",)),
+                Param("frequencies", extent=("state",)),
+                Param("pattern_weights", extent=("pattern",)),
+                Param("cumulative_scale_log", extent=("pattern",)),
             ),
             space=serial_pattern,
             body=(

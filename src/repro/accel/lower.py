@@ -36,6 +36,7 @@ from repro.accel.ir import (
     Comment,
     DynamicRescale,
     FusedDispatch,
+    Guarded,
     InnerProduct,
     KernelIR,
     LocalTile,
@@ -217,8 +218,31 @@ class Lowering:
     # -- top-level emission --------------------------------------------------
 
     def lower(self, program: ProgramIR) -> str:
-        """Emit the full kernel-program source for ``program``."""
+        """Emit the full kernel-program source for ``program``.
+
+        Validates before emitting: structural checks
+        (:meth:`ProgramIR.validate`) raise directly, then the dataflow
+        verifier (:mod:`repro.analysis.irverify`) gates emission on
+        error-severity hazards — a racy tile body or divergent barrier
+        never reaches a framework compile, on any backend.
+        """
         program.validate()
+        from repro.analysis.diagnostics import (
+            Severity,
+            format_diagnostics,
+            has_errors,
+        )
+        from repro.analysis.irverify import verify_program_ir
+
+        diagnostics = verify_program_ir(program)
+        if has_errors(diagnostics):
+            errors = [
+                d for d in diagnostics if d.severity >= Severity.ERROR
+            ]
+            raise LoweringError(
+                "IR verification failed:\n"
+                + format_diagnostics(errors)
+            )
         config = self.config
         pattern_block = (
             config.pattern_block_size
@@ -349,6 +373,11 @@ class Lowering:
                 f"    for kind, args in {stmt.batch}:",
                 "        KERNELS[kind](*args, geom)",
             ]
+        if isinstance(stmt, Guarded):
+            lines = [f"    if {stmt.cond}:"]
+            for inner in stmt.body:
+                lines.extend("    " + ln for ln in self._emit_stmt(inner))
+            return lines
         if isinstance(stmt, DynamicRescale):
             return [
                 f"    maxima = {stmt.partials}.max(axis=(0, 2))",

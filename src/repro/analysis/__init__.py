@@ -12,13 +12,19 @@ without executing a single kernel:
 * :mod:`repro.analysis.kernelcheck` — kernel-config limits against the
   :mod:`repro.accel.device` catalog;
 * :mod:`repro.analysis.astlint` — AST lock-discipline and error-surface
-  lint over the source tree itself.
+  lint over the source tree itself;
+* :mod:`repro.analysis.irverify` — dataflow verification of kernel-IR
+  bodies (tile races, barrier divergence, param roles/extents, fused
+  dispatch aliasing);
+* :mod:`repro.analysis.locksan` — the runtime lockset race detector and
+  lock-order deadlock-cycle graph (``PYBEAGLE_SANITIZE=1``).
 
-All three speak :class:`~repro.analysis.diagnostics.Diagnostic`, so the
-CLI (``pybeagle-verify``), :meth:`repro.session.Session.verify`, and CI
-consume one uniform record type.
+All of them speak :class:`~repro.analysis.diagnostics.Diagnostic`, so
+the CLI (``pybeagle-verify``), :meth:`repro.session.Session.verify`,
+and CI consume one uniform record type.
 """
 
+from repro.analysis import locksan
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
@@ -32,6 +38,7 @@ from repro.analysis.kernelcheck import (
     suggest_kernel_config,
     validate_kernel_config,
 )
+from repro.analysis.irverify import verify_kernel_ir, verify_program_ir
 from repro.analysis.planverify import PlanVerifier, verify_plan
 
 __all__ = [
@@ -48,4 +55,7 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "verify_kernel_ir",
+    "verify_program_ir",
+    "locksan",
 ]

@@ -35,6 +35,16 @@ Two further rules guard the resilience subsystem (:mod:`repro.resil`):
   ``beagle_get_last_error_message`` — the one surface the recovery
   machinery promises to keep accurate.
 
+* **bare-lock-acquire / bare-lock-release** — explicit
+  ``<lock>.acquire()`` with no ``try/finally`` releasing the same lock
+  in the function, or ``<lock>.release()`` outside a ``finally`` block.
+  An exception between the pair leaves the lock held forever (the
+  deadlock the lockset sanitizer can only observe at runtime); ``with
+  lock:`` or ``try/finally`` make the release unconditional.  Functions
+  that *implement* a lock protocol (``acquire``/``release``/
+  ``__enter__``/``__exit__``/``wait``/``wait_for``/``locked``) are
+  exempt — they are the wrapper, not a client.
+
 The lint is purely syntactic — it never imports the linted code — so it
 runs on any tree, is immune to import side effects, and is safe in CI.
 """
@@ -396,6 +406,102 @@ def _lint_resil_entrypoints(
     return out
 
 
+#: Functions that legitimately call ``acquire``/``release`` directly:
+#: implementations of the lock protocol itself (proxies, re-exports).
+_LOCK_PROTOCOL_METHODS = frozenset({
+    "acquire", "release", "__enter__", "__exit__",
+    "wait", "wait_for", "locked",
+})
+
+
+def _lock_call(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """``(receiver_source, method)`` for a lock acquire/release call.
+
+    The receiver must *look like* a lock (a name or attribute whose
+    final component ends in ``lock``) — ``pool.acquire()`` and other
+    resource-pool verbs are not lock operations.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    method = node.func.attr
+    if method not in ("acquire", "release"):
+        return None
+    receiver = node.func.value
+    if isinstance(receiver, ast.Attribute):
+        if not _is_lock_name(receiver.attr):
+            return None
+    elif isinstance(receiver, ast.Name):
+        if not _is_lock_name(receiver.id):
+            return None
+    else:
+        return None
+    return ast.unparse(receiver), method
+
+
+def _lint_bare_lock_calls(
+    tree: ast.Module, filename: str
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fn in _iter_all_functions(tree):
+        if fn.name in _LOCK_PROTOCOL_METHODS:
+            continue
+        #: release calls that sit inside some ``finally`` block, and the
+        #: receivers those blocks release (which pardon the acquires).
+        finally_release_ids: Set[int] = set()
+        finally_released: Set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    call = _lock_call(sub)
+                    if call is not None and call[1] == "release":
+                        finally_release_ids.add(id(sub))
+                        finally_released.add(call[0])
+        for node in ast.walk(fn):
+            call = _lock_call(node)
+            if call is None:
+                continue
+            receiver, method = call
+            if method == "release":
+                if id(node) in finally_release_ids:
+                    continue
+                out.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="bare-lock-release",
+                    message=(
+                        f"{fn.name} calls {receiver}.release() outside "
+                        "a finally block — if the guarded code raises, "
+                        "the release never runs and the lock is held "
+                        "forever"
+                    ),
+                    source=_SOURCE,
+                    location=f"{filename}:{node.lineno}",
+                    suggestion=f"use `with {receiver}:` or move the "
+                               "release into try/finally",
+                ))
+            else:
+                if receiver in finally_released:
+                    continue
+                out.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="bare-lock-acquire",
+                    message=(
+                        f"{fn.name} calls {receiver}.acquire() with no "
+                        "try/finally releasing it in the same function "
+                        "— an exception between acquire and release "
+                        "leaks the lock"
+                    ),
+                    source=_SOURCE,
+                    location=f"{filename}:{node.lineno}",
+                    suggestion=f"use `with {receiver}:` or pair the "
+                               "acquire with a finally release",
+                ))
+    return out
+
+
 def lint_source(
     source: str, filename: str = "<string>"
 ) -> List[Diagnostic]:
@@ -418,6 +524,7 @@ def lint_source(
     out.extend(_lint_api_wrapping(tree, filename))
     out.extend(_lint_unbounded_retry(tree, filename))
     out.extend(_lint_resil_entrypoints(tree, filename))
+    out.extend(_lint_bare_lock_calls(tree, filename))
     return out
 
 

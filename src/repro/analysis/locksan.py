@@ -1,0 +1,397 @@
+"""Runtime lock sanitizer: lockset race + lock-order deadlock detection.
+
+The concurrency layers (``sched``, ``serve``, ``obs``) guard shared
+state with ``threading`` primitives; PR 3's astlint checks that guard
+*syntactically*.  This module checks it *dynamically*, Eraser-style
+(Savage et al. 1997): every instrumented shared state ``v`` carries a
+candidate lockset ``C(v)`` — initialised to the locks held the first
+time a second thread touches ``v``, then intersected with the held set
+on every subsequent access.  If ``C(v)`` goes empty and ``v`` has been
+written *while shared* (exclusive-phase initialisation writes are
+forgiven, per Eraser's Shared state), no single lock consistently
+protected it: that is reported as
+a ``lockset-race`` diagnostic regardless of whether the unlucky
+interleaving actually occurred on this run.  A lock-*order* graph rides
+along: acquiring ``B`` while holding ``A`` adds the edge ``A -> B``,
+and any cycle in that graph is a latent ABBA deadlock, reported as
+``lock-cycle`` even though the run itself never deadlocked.  (DESIGN
+choice 15 records why lockset beats happens-before here.)
+
+Everything funnels through two choke points:
+
+* :func:`instrument` wraps a lock (``Lock``/``RLock``/``Condition``)
+  in a :class:`SanitizedLock` proxy that notes acquire/release — and
+  returns the raw lock untouched when the sanitizer is off;
+* :func:`access` notes one read/write of a named shared state — a
+  single boolean test when off.
+
+Enable with ``PYBEAGLE_SANITIZE=1`` (read once at import, the same
+zero-cost-when-disabled pattern as :mod:`repro.obs`), or
+programmatically via :func:`enable`.  Findings are ordinary
+:class:`~repro.analysis.diagnostics.Diagnostic` records
+(``source="sanitize"``) from :func:`report`, and ``sanitize.*``
+counters when a metrics registry is attached.  This module must not
+import :mod:`repro.obs` (obs instruments *its* locks here).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "LockSanitizer",
+    "SanitizedLock",
+    "access",
+    "attach_metrics",
+    "disable",
+    "enable",
+    "enabled",
+    "instrument",
+    "report",
+    "reset",
+    "scoped_name",
+]
+
+_SOURCE = "sanitize"
+
+#: Per-instance name disambiguation; monotonic so names never alias
+#: even after an instance is garbage-collected (unlike ``id()``).
+_SCOPE_COUNTER = itertools.count(1)
+
+
+def scoped_name(prefix: str) -> str:
+    """A process-unique name for one instance's lock or shared state.
+
+    Eraser state is keyed by *name*; two server instances must not
+    share a record or each other's locking habits would pollute the
+    candidate locksets.
+    """
+    return f"{prefix}#{next(_SCOPE_COUNTER)}"
+
+
+class _SharedState:
+    """Eraser bookkeeping for one named shared state."""
+
+    __slots__ = ("first_thread", "lockset", "any_write", "reported")
+
+    def __init__(self, first_thread: int) -> None:
+        self.first_thread = first_thread
+        #: ``None`` while only one thread has ever touched the state
+        #: (Exclusive); a candidate lockset once it becomes shared.
+        self.lockset: Optional[Set[str]] = None
+        self.any_write = False
+        self.reported = False
+
+
+class LockSanitizer:
+    """One sanitizer universe: held-lock tracking, Eraser records,
+    lock-order graph, and the diagnostics they produce.
+
+    The module-level singleton serves the library; tests build private
+    instances so seeded-bad fixtures never dirty the global report.
+    """
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("PYBEAGLE_SANITIZE", "") not in (
+                "", "0", "false", "False",
+            )
+        self._enabled = bool(enabled)
+        self._state_lock = threading.Lock()  # raw: guards everything below
+        self._held = threading.local()
+        self._states: Dict[str, _SharedState] = {}
+        #: lock-order edges: held -> acquired, with every edge recorded
+        self._order: Dict[str, Set[str]] = {}
+        self._reported_cycles: Set[frozenset] = set()
+        self._diagnostics: List[Diagnostic] = []
+        self._metrics: Optional[Any] = None
+
+    # -- switches -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Feed ``sanitize.*`` counters to a metrics registry.
+
+        Deliberately duck-typed (anything with ``counter(name).inc()``)
+        so this module never imports :mod:`repro.obs`.
+        """
+        self._metrics = registry
+
+    # -- public choke points ------------------------------------------------
+
+    def instrument(self, lock: Any, name: Optional[str] = None) -> Any:
+        """Wrap ``lock`` for acquisition tracking; identity when off."""
+        if not self._enabled:
+            return lock
+        if isinstance(lock, SanitizedLock):
+            return lock
+        if name is None:
+            name = scoped_name(type(lock).__name__.lower())
+        self._count("sanitize.locks")
+        return SanitizedLock(lock, name, self)
+
+    def access(self, name: str, write: bool = True) -> None:
+        """Note one access to the named shared state; no-op when off."""
+        if not self._enabled:
+            return
+        tid = threading.get_ident()
+        held = self._held_names()
+        raced = False
+        with self._state_lock:
+            rec = self._states.get(name)
+            if rec is None:
+                rec = _SharedState(tid)
+                rec.any_write = write
+                self._states[name] = rec
+                return
+            if rec.lockset is None:
+                if rec.first_thread == tid:
+                    rec.any_write = rec.any_write or write
+                    return  # still exclusive to its first thread
+                # Becomes shared: exclusive-phase writes stop counting
+                # (Eraser's Shared state — initialise-then-share-read-
+                # only must not report), only writes from here on do.
+                rec.lockset = set(held)
+                rec.any_write = write
+            else:
+                rec.lockset.intersection_update(held)
+                rec.any_write = rec.any_write or write
+            if not rec.lockset and rec.any_write and not rec.reported:
+                rec.reported = True
+                raced = True
+                self._diagnostics.append(Diagnostic(
+                    severity=Severity.ERROR,
+                    code="lockset-race",
+                    message=(
+                        f"shared state {name!r} is accessed by multiple "
+                        "threads with no lock held consistently "
+                        "(candidate lockset is empty, writes observed)"
+                    ),
+                    source=_SOURCE,
+                    location=name,
+                    suggestion="guard every access with one common lock",
+                ))
+        # Counting happens outside _state_lock: the metrics registry's
+        # own locks are instrumented by this very sanitizer, and noting
+        # their acquisition needs _state_lock.
+        if raced:
+            self._count("sanitize.lockset_races")
+
+    # -- report / reset -----------------------------------------------------
+
+    def report(self) -> List[Diagnostic]:
+        """All findings so far (copy; safe to hold across resets)."""
+        with self._state_lock:
+            return list(self._diagnostics)
+
+    def reset(self) -> None:
+        """Drop all state and findings (test isolation)."""
+        with self._state_lock:
+            self._states.clear()
+            self._order.clear()
+            self._reported_cycles.clear()
+            self._diagnostics.clear()
+        self._held = threading.local()
+
+    # -- proxy callbacks ----------------------------------------------------
+
+    def _held_map(self) -> Dict[str, int]:
+        held = getattr(self._held, "names", None)
+        if held is None:
+            held = {}
+            self._held.names = held
+        return held
+
+    def _held_names(self) -> Tuple[str, ...]:
+        return tuple(self._held_map())
+
+    def _note_acquire(self, name: str, record_order: bool = True) -> None:
+        held = self._held_map()
+        prior = [h for h in held if h != name]
+        held[name] = held.get(name, 0) + 1
+        if not record_order or held[name] > 1:
+            return  # reentrant re-acquire orders nothing new
+        cycles = 0
+        with self._state_lock:
+            for h in prior:
+                edges = self._order.setdefault(h, set())
+                if name in edges:
+                    continue
+                edges.add(name)
+                cycle = self._find_path(name, h)
+                if cycle is not None and self._report_cycle(
+                    cycle + [name]
+                ):
+                    cycles += 1
+        for _ in range(cycles):  # outside _state_lock, see access()
+            self._count("sanitize.lock_cycles")
+
+    def _note_release(self, name: str) -> None:
+        held = self._held_map()
+        n = held.get(name, 0)
+        if n <= 1:
+            held.pop(name, None)
+        else:
+            held[name] = n - 1
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS path start -> goal in the order graph (caller holds
+        ``_state_lock``); a path closes the just-added ``goal -> start``
+        edge into a cycle."""
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._order.get(node, ()):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    def _report_cycle(self, cycle: List[str]) -> bool:
+        key = frozenset(cycle)
+        if key in self._reported_cycles:
+            return False
+        self._reported_cycles.add(key)
+        self._diagnostics.append(Diagnostic(
+            severity=Severity.ERROR,
+            code="lock-cycle",
+            message=(
+                "lock-order cycle "
+                + " -> ".join(cycle)
+                + ": threads taking these locks in different orders "
+                "can deadlock (ABBA)"
+            ),
+            source=_SOURCE,
+            location=cycle[0],
+            suggestion="impose one global acquisition order",
+        ))
+        return True
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+
+class SanitizedLock:
+    """Acquisition-tracking proxy around a ``threading`` primitive.
+
+    Supports the union of the ``Lock``/``RLock``/``Condition``
+    protocols that the instrumented subsystems use; everything else
+    delegates untouched.  ``Condition.wait`` releases the underlying
+    lock while blocked, so the proxy drops and re-notes the held state
+    around it (re-acquisition after a wait establishes no new lock
+    order — every waiter re-takes the same lock it already held).
+    """
+
+    __slots__ = ("_lock", "_name", "_sanitizer")
+
+    def __init__(self, lock: Any, name: str,
+                 sanitizer: LockSanitizer) -> None:
+        self._lock = lock
+        self._name = name
+        self._sanitizer = sanitizer
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, *args: Any, **kwargs: Any) -> Any:
+        got = self._lock.acquire(*args, **kwargs)
+        if got is not False:  # Lock.acquire returns False on timeout
+            self._sanitizer._note_acquire(self._name)
+        return got
+
+    def release(self) -> None:
+        self._sanitizer._note_release(self._name)
+        self._lock.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self._lock.__enter__()
+        self._sanitizer._note_acquire(self._name)
+        return self
+
+    def __exit__(self, *exc: Any) -> Any:
+        self._sanitizer._note_release(self._name)
+        return self._lock.__exit__(*exc)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._sanitizer._note_release(self._name)
+        try:
+            return bool(self._lock.wait(timeout))
+        finally:
+            self._sanitizer._note_acquire(self._name, record_order=False)
+
+    def wait_for(self, predicate: Any,
+                 timeout: Optional[float] = None) -> Any:
+        self._sanitizer._note_release(self._name)
+        try:
+            return self._lock.wait_for(predicate, timeout)
+        finally:
+            self._sanitizer._note_acquire(self._name, record_order=False)
+
+    def __getattr__(self, attr: str) -> Any:
+        # notify/notify_all/locked/... pass straight through
+        return getattr(self._lock, attr)
+
+
+#: The library-wide sanitizer; constructed once, honouring
+#: ``PYBEAGLE_SANITIZE`` the way obs honours its own enable flags.
+_SANITIZER = LockSanitizer()
+
+
+def enabled() -> bool:
+    """Whether the global sanitizer is recording."""
+    return _SANITIZER.enabled
+
+
+def enable() -> None:
+    """Turn the global sanitizer on (tests; prefer the env var)."""
+    _SANITIZER.enable()
+
+
+def disable() -> None:
+    """Turn the global sanitizer off."""
+    _SANITIZER.disable()
+
+
+def instrument(lock: Any, name: Optional[str] = None) -> Any:
+    """Wrap ``lock`` for the global sanitizer; identity when off."""
+    return _SANITIZER.instrument(lock, name)
+
+
+def access(name: str, write: bool = True) -> None:
+    """Note a shared-state access on the global sanitizer; no-op off."""
+    _SANITIZER.access(name, write)
+
+
+def report() -> List[Diagnostic]:
+    """The global sanitizer's findings so far."""
+    return _SANITIZER.report()
+
+
+def reset() -> None:
+    """Clear the global sanitizer's state and findings."""
+    _SANITIZER.reset()
+
+
+def attach_metrics(registry: Any) -> None:
+    """Point the global sanitizer's ``sanitize.*`` counters somewhere."""
+    _SANITIZER.attach_metrics(registry)

@@ -306,6 +306,11 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
         help="run the concurrency/API lint (default: the repro package)",
     )
     parser.add_argument(
+        "--ir", action="store_true",
+        help="dataflow-verify the kernel IR catalog and lower it "
+             "under every backend",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="exit non-zero if any error-severity diagnostic remains",
     )
@@ -316,6 +321,7 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.analysis import (
+        Diagnostic,
         Severity,
         format_diagnostics,
         lint_paths,
@@ -323,7 +329,9 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
         validate_kernel_config,
     )
 
-    run_all = not (args.plan or args.kernels or args.lint is not None)
+    run_all = not (
+        args.plan or args.kernels or args.ir or args.lint is not None
+    )
     gating = []  # error diagnostics that should fail a strict run
 
     if args.plan or run_all:
@@ -396,6 +404,71 @@ def verify_main(argv: Optional[List[str]] = None) -> int:
                         f"fma={fitted.use_fma} "
                         f"local={fitted.use_local_memory}"
                     )
+        print()
+
+    if args.ir or run_all:
+        from repro.accel.ir import IRError, build_program_ir
+        from repro.accel.kernelgen import (
+            CUDA_MACROS,
+            KernelConfig,
+            OPENCL_MACROS,
+        )
+        from repro.accel.lower import LoweringError, lowering_for
+        from repro.analysis.irverify import verify_program_ir
+
+        print("kernel-IR dataflow verification (catalog sweep):")
+        for variant in ("gpu", "x86", "cpu"):
+            for states in (4, 20, 61):
+                config = KernelConfig(
+                    state_count=states,
+                    precision="double",
+                    variant=variant,
+                    use_local_memory=variant == "gpu",
+                )
+                label = f"  variant={variant:<4s} states={states:<3d}"
+                try:
+                    program = build_program_ir(config)
+                except IRError as exc:
+                    print(f"{label} IR build failed: {exc}")
+                    gating.append(Diagnostic(
+                        severity=Severity.ERROR, code="ir-build",
+                        message=str(exc), source="ir", location=label,
+                    ))
+                    continue
+                diags = verify_program_ir(program)
+                gating.extend(
+                    d for d in diags if d.severity is Severity.ERROR
+                )
+                macro_sets = (
+                    [CUDA_MACROS, OPENCL_MACROS]
+                    if variant == "gpu"
+                    else [OPENCL_MACROS]
+                )
+                if variant == "cpu":
+                    macro_sets = [CUDA_MACROS, OPENCL_MACROS]
+                lowered = []
+                for macros in macro_sets:
+                    try:
+                        lowering = lowering_for(config, macros)
+                        lowering.lower(program)
+                        lowered.append(lowering.lowering_name)
+                    except LoweringError as exc:
+                        print(f"{label} lowering failed: {exc}")
+                        gating.append(Diagnostic(
+                            severity=Severity.ERROR, code="ir-lowering",
+                            message=str(exc), source="ir",
+                            location=label,
+                        ))
+                if not diags:
+                    print(
+                        f"{label} {len(program.kernels)} kernels clean "
+                        f"(lowered: {', '.join(lowered)})"
+                    )
+                else:
+                    for d in sorted(
+                        diags, key=lambda d: d.severity, reverse=True
+                    ):
+                        print(f"    {d.format()}")
         print()
 
     if args.lint is not None or run_all:

@@ -22,6 +22,22 @@ from typing import Any, Dict, IO, List, Optional, Sequence, Union
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
+def _instrumented_lock(prefix: str) -> Any:
+    """A (possibly sanitizer-wrapped) lock for one instrument.
+
+    The import is deferred to the call: obs is imported by nearly
+    everything, and :mod:`repro.analysis.locksan` must stay downstream
+    of it at module-import time (the sanitizer instruments *these*
+    locks).  When the sanitizer is off this is a plain ``Lock``.
+    """
+    from repro.analysis import locksan
+
+    lock = threading.Lock()
+    if not locksan.enabled():
+        return lock
+    return locksan.instrument(lock, locksan.scoped_name(prefix))
+
+
 class Counter:
     """Monotonically increasing value (float increments allowed)."""
 
@@ -29,7 +45,7 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = _instrumented_lock("metrics.counter")
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -60,7 +76,7 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = _instrumented_lock("metrics.gauge")
         self._value = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
@@ -116,7 +132,7 @@ class Histogram:
         self.buckets = tuple(
             sorted(buckets if buckets is not None else self.DEFAULT_BUCKETS)
         )
-        self._lock = threading.Lock()
+        self._lock = _instrumented_lock("metrics.histogram")
         self._counts = [0] * (len(self.buckets) + 1)
         self._count = 0
         self._sum = 0.0
@@ -210,7 +226,7 @@ class MetricsRegistry:
     """Get-or-create home for every instrument, keyed by name."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = _instrumented_lock("metrics.registry")
         self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
 
     def _get_or_create(self, name: str, cls, **kwargs):

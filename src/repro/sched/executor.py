@@ -52,8 +52,9 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import locksan
 from repro.obs import NULL_TRACER
 from repro.partition.autoselect import proportions_from_rates
 from repro.sched.workers import LabelledWorkerPool
@@ -133,7 +134,15 @@ class QuarantineRecord:
     probes: int = 0
 
 
-def _component_labels(likelihood) -> List[str]:
+#: One round's per-component outcome: (label, component, value, timing,
+#: exception) with exactly one of value/exception present.
+_Outcome = Tuple[
+    str, Any, Optional[float], Optional["ComponentTiming"],
+    Optional[BaseException],
+]
+
+
+def _component_labels(likelihood: Any) -> List[str]:
     """Display labels for a multi-instance likelihood's components."""
     if hasattr(likelihood, "labels"):
         return list(likelihood.labels)
@@ -170,8 +179,9 @@ class ConcurrentExecutor:
     manager or call :meth:`shutdown`.
     """
 
-    def __init__(self, likelihood, tracer=None, metrics=None,
-                 retry_policy=None) -> None:
+    def __init__(self, likelihood: Any, tracer: Any = None,
+                 metrics: Any = None,
+                 retry_policy: Any = None) -> None:
         if not getattr(likelihood, "components", None):
             raise ValueError("likelihood has no components to execute")
         self.likelihood = likelihood
@@ -186,6 +196,10 @@ class ConcurrentExecutor:
         # Created on demand so quarantine/readmit can retire and revive
         # workers without index bookkeeping.
         self._pool = LabelledWorkerPool()
+        #: Coordinator state below is single-thread-owned by contract
+        #: (one thread drives the executor; workers never touch it).
+        #: The sanitizer enforces that contract when enabled.
+        self._coord_state = locksan.scoped_name("executor.state")
         self._last_timings: List[ComponentTiming] = []
         self._evaluations = 0
         self._closed = False
@@ -204,11 +218,12 @@ class ConcurrentExecutor:
         return self._evaluations
 
     @property
-    def retry_policy(self):
+    def retry_policy(self) -> Any:
         return self._retry_policy
 
     def timings(self) -> List[ComponentTiming]:
         """Per-component timings of the most recent evaluation."""
+        locksan.access(self._coord_state, write=False)
         return list(self._last_timings)
 
     def critical_path_s(self) -> float:
@@ -223,17 +238,21 @@ class ConcurrentExecutor:
 
     def failover_events(self) -> List[FailoverEvent]:
         """Every executed failover, oldest first."""
+        locksan.access(self._coord_state, write=False)
         return list(self._failover_events)
 
     def quarantined(self) -> Dict[str, QuarantineRecord]:
         """Currently quarantined devices, by label."""
+        locksan.access(self._coord_state, write=False)
         return dict(self._quarantined)
 
     def _worker_for(self, label: str) -> ThreadPoolExecutor:
         return self._pool.worker_for(label)
 
-    def _attempt_component(self, component, label: str, parent_id,
-                           method: str, args: tuple):
+    def _attempt_component(
+        self, component: Any, label: str, parent_id: Optional[str],
+        method: str, args: Tuple[Any, ...],
+    ) -> Tuple[float, ComponentTiming]:
         impl = component.instance.impl
         sim0 = getattr(impl, "simulated_time", None)
         tracer = self._tracer
@@ -261,7 +280,7 @@ class ConcurrentExecutor:
         )
         return value, timing
 
-    def _note_retry(self, component, label: str, attempt: int,
+    def _note_retry(self, component: Any, label: str, attempt: int,
                     exc: BaseException) -> None:
         policy = self._retry_policy
         delay = policy.delay_s(attempt, salt=label)
@@ -289,8 +308,10 @@ class ConcurrentExecutor:
         elif delay > 0:
             time.sleep(delay)
 
-    def _run_component(self, component, label: str, parent_id,
-                       method: str, args: tuple):
+    def _run_component(
+        self, component: Any, label: str, parent_id: Optional[str],
+        method: str, args: Tuple[Any, ...],
+    ) -> Tuple[float, ComponentTiming]:
         policy = self._retry_policy
         attempts = 1 if policy is None else policy.max_attempts
         for attempt in range(1, attempts + 1):
@@ -306,7 +327,7 @@ class ConcurrentExecutor:
                 self._note_retry(component, label, attempt, exc)
         raise AssertionError("unreachable: bounded retry loop fell through")
 
-    def _record_component_failure(self, label: str, component,
+    def _record_component_failure(self, label: str, component: Any,
                                   exc: BaseException) -> None:
         """Satellite contract: worker failures reach the ``beagle_*``
         error surface with the failing component/device named."""
@@ -318,7 +339,8 @@ class ConcurrentExecutor:
             backend = "unknown"
         _record_failure(f"executor.component[{label}]@{backend}", exc)
 
-    def _submit_round(self, method: str, args: tuple, parent_id):
+    def _submit_round(self, method: str, args: Tuple[Any, ...],
+                      parent_id: Optional[str]) -> List[_Outcome]:
         """Run one concurrent round; every future is always collected.
 
         Returns ``(label, component, value, timing, exc)`` per
@@ -340,7 +362,7 @@ class ConcurrentExecutor:
                 self.likelihood.components, self.labels
             )
         ]
-        outcomes = []
+        outcomes: List[_Outcome] = []
         for label, component, future in submitted:
             try:
                 value, timing = future.result()
@@ -442,9 +464,10 @@ class ConcurrentExecutor:
                         len(self._quarantined)
                     )
 
-    def _evaluate_resilient(self, method: str, args: tuple,
-                            parent_id) -> float:
+    def _evaluate_resilient(self, method: str, args: Tuple[Any, ...],
+                            parent_id: Optional[str]) -> float:
         policy = self._retry_policy
+        locksan.access(self._coord_state)
         self._maybe_probe()
         budget = 0
         can_failover = policy is not None and policy.failover and hasattr(
@@ -505,7 +528,7 @@ class ConcurrentExecutor:
             self._failover(label, exc, wasted)
         raise AssertionError("unreachable: bounded failover loop")
 
-    def _evaluate(self, method: str, *args) -> float:
+    def _evaluate(self, method: str, *args: Any) -> float:
         if self._closed:
             raise RuntimeError("executor has been shut down")
         tracer = self._tracer
@@ -564,7 +587,7 @@ class ConcurrentExecutor:
     def __enter__(self) -> "ConcurrentExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.shutdown()
 
 
@@ -597,14 +620,14 @@ class RebalancingExecutor(ConcurrentExecutor):
 
     def __init__(
         self,
-        likelihood,
-        tracer=None,
-        metrics=None,
+        likelihood: Any,
+        tracer: Any = None,
+        metrics: Any = None,
         threshold: float = 0.15,
         alpha: float = 0.6,
         seed_backends: Optional[Sequence[str]] = None,
         min_evaluations: int = 1,
-        retry_policy=None,
+        retry_policy: Any = None,
     ) -> None:
         if not hasattr(likelihood, "resplit"):
             raise TypeError(
@@ -638,10 +661,12 @@ class RebalancingExecutor(ConcurrentExecutor):
     @property
     def rates(self) -> Dict[str, float]:
         """Current EWMA throughput estimate per device (patterns/s)."""
+        locksan.access(self._coord_state, write=False)
         return dict(self._rates)
 
     def rebalance_events(self) -> List[RebalanceEvent]:
         """Every executed rebalance, oldest first."""
+        locksan.access(self._coord_state, write=False)
         return list(self._events)
 
     def predicted_imbalance(self) -> float:
@@ -721,7 +746,7 @@ class RebalancingExecutor(ConcurrentExecutor):
             ):
                 metrics.gauge(f"rebalance.share.{label}").set(share)
 
-    def _evaluate(self, method: str, *args) -> float:
+    def _evaluate(self, method: str, *args: Any) -> float:
         value = super()._evaluate(method, *args)
         self._update_rates()
         self._maybe_rebalance()

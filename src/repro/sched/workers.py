@@ -17,6 +17,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis import locksan
+
 __all__ = ["LabelledWorkerPool"]
 
 
@@ -30,13 +32,17 @@ class LabelledWorkerPool:
 
     def __init__(self, thread_name_prefix: str = "hetero") -> None:
         self._prefix = thread_name_prefix
-        self._lock = threading.Lock()
+        self._state = locksan.scoped_name("workers.state")
+        self._lock = locksan.instrument(
+            threading.Lock(), locksan.scoped_name("workers.lock")
+        )
         self._workers: Dict[str, ThreadPoolExecutor] = {}
         self._closed = False
 
     def worker_for(self, label: str) -> ThreadPoolExecutor:
         """The label's worker, creating it on first use."""
         with self._lock:
+            locksan.access(self._state)
             if self._closed:
                 raise RuntimeError("worker pool has been shut down")
             worker = self._workers.get(label)
@@ -56,10 +62,12 @@ class LabelledWorkerPool:
     def labels(self) -> List[str]:
         """Labels with a live worker."""
         with self._lock:
+            locksan.access(self._state, write=False)
             return list(self._workers)
 
     def __contains__(self, label: str) -> bool:
         with self._lock:
+            locksan.access(self._state, write=False)
             return label in self._workers
 
     def retire(self, label: str, wait: bool = True) -> bool:
@@ -69,6 +77,7 @@ class LabelledWorkerPool:
         the pool lock so a slow in-flight task cannot block other labels.
         """
         with self._lock:
+            locksan.access(self._state)
             worker = self._workers.pop(label, None)
         if worker is None:
             return False
@@ -84,6 +93,7 @@ class LabelledWorkerPool:
         any) is re-raised at the end.
         """
         with self._lock:
+            locksan.access(self._state)
             if self._closed:
                 return
             self._closed = True

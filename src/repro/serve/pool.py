@@ -32,8 +32,9 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis import locksan
 from repro.config import SessionConfig
 from repro.core.highlevel import TreeLikelihood
 from repro.model.sitemodel import SiteModel
@@ -42,7 +43,7 @@ from repro.resil import install_fault_injector
 __all__ = ["InstancePool", "PoolKey", "PooledInstance", "model_signature"]
 
 
-def model_signature(model, site_model: Optional[SiteModel]) -> str:
+def model_signature(model: Any, site_model: Optional[SiteModel]) -> str:
     """Content hash of everything the instance bakes in beyond tips.
 
     Rebinding reloads only tip buffers and pattern weights, so two
@@ -73,7 +74,8 @@ class PoolKey:
     backend: str
 
     @classmethod
-    def for_request(cls, config: SessionConfig, data, tree, model,
+    def for_request(cls, config: SessionConfig, data: Any, tree: Any,
+                    model: Any,
                     site_model: Optional[SiteModel]) -> "PoolKey":
         state_count = (
             data.alignment.n_states
@@ -93,7 +95,8 @@ class PoolKey:
 class PooledInstance:
     """One built likelihood plus the binding it currently holds."""
 
-    def __init__(self, key: PoolKey, label: str, likelihood) -> None:
+    def __init__(self, key: PoolKey, label: str,
+                 likelihood: Any) -> None:
         self.key = key
         self.label = label
         self.likelihood = likelihood
@@ -101,10 +104,10 @@ class PooledInstance:
         #: by object identity: a tenant resubmitting the same data/tree
         #: objects gets a pure warm hit with no reload at all.
         self.tenant: Optional[str] = None
-        self.bound_data = None
-        self.bound_tree = None
+        self.bound_data: Any = None
+        self.bound_tree: Any = None
 
-    def bound_to(self, tenant: str, data, tree) -> bool:
+    def bound_to(self, tenant: str, data: Any, tree: Any) -> bool:
         return (
             self.tenant == tenant
             and self.bound_data is data
@@ -121,7 +124,7 @@ class InstancePool:
     """
 
     def __init__(self, config: SessionConfig, per_key: int = 2,
-                 tracer=None, metrics=None) -> None:
+                 tracer: Any = None, metrics: Any = None) -> None:
         if per_key < 1:
             raise ValueError(f"per_key must be >= 1, got {per_key}")
         if config.is_multi_device:
@@ -133,7 +136,10 @@ class InstancePool:
         self.per_key = per_key
         self._tracer = tracer
         self._metrics = metrics
-        self._lock = threading.Lock()
+        self._state = locksan.scoped_name("pool.state")
+        self._lock = locksan.instrument(
+            threading.Lock(), locksan.scoped_name("pool.lock")
+        )
         self._idle: Dict[PoolKey, List[PooledInstance]] = {}
         self._total: Dict[PoolKey, int] = {}
         self._seq = 0
@@ -144,15 +150,17 @@ class InstancePool:
     def sizes(self) -> Dict[PoolKey, int]:
         """Instances per key (busy + idle)."""
         with self._lock:
+            locksan.access(self._state, write=False)
             return dict(self._total)
 
     def idle_count(self) -> int:
         with self._lock:
+            locksan.access(self._state, write=False)
             return sum(len(v) for v in self._idle.values())
 
     # -- acquisition -------------------------------------------------------
 
-    def acquire(self, tenant: str, data, tree, model,
+    def acquire(self, tenant: str, data: Any, tree: Any, model: Any,
                 site_model: Optional[SiteModel]
                 ) -> Optional[Tuple[PooledInstance, str]]:
         """An instance bound to the request, or ``None`` when saturated.
@@ -165,6 +173,7 @@ class InstancePool:
         pooled: Optional[PooledInstance] = None
         outcome = ""
         with self._lock:
+            locksan.access(self._state)
             if self._closed:
                 raise RuntimeError("instance pool has been shut down")
             idle = self._idle.get(key, [])
@@ -188,6 +197,7 @@ class InstancePool:
                                      site_model)
             except BaseException:
                 with self._lock:
+                    locksan.access(self._state)
                     self._total[key] -= 1
                 raise
             outcome = "miss"
@@ -201,7 +211,8 @@ class InstancePool:
             self._metrics.counter(f"serve.pool.{outcome}").inc()
         return pooled, outcome
 
-    def _build(self, key: PoolKey, label: str, data, tree, model,
+    def _build(self, key: PoolKey, label: str, data: Any, tree: Any,
+               model: Any,
                site_model: Optional[SiteModel]) -> PooledInstance:
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
@@ -213,7 +224,8 @@ class InstancePool:
                                           site_model)
         return self._build_inner(key, label, data, tree, model, site_model)
 
-    def _build_inner(self, key: PoolKey, label: str, data, tree, model,
+    def _build_inner(self, key: PoolKey, label: str, data: Any,
+                     tree: Any, model: Any,
                      site_model: Optional[SiteModel]) -> PooledInstance:
         likelihood = TreeLikelihood(
             tree, data, model, site_model,
@@ -235,6 +247,7 @@ class InstancePool:
         """Return a healthy instance to the idle list."""
         finalize = False
         with self._lock:
+            locksan.access(self._state)
             if self._closed:
                 finalize = True
                 self._total[pooled.key] -= 1
@@ -246,6 +259,7 @@ class InstancePool:
     def retire(self, pooled: PooledInstance) -> None:
         """Drop an instance whose device was lost; never re-pooled."""
         with self._lock:
+            locksan.access(self._state)
             self._total[pooled.key] -= 1
         if self._metrics is not None:
             self._metrics.counter("serve.pool.retired").inc()
@@ -257,6 +271,7 @@ class InstancePool:
     def shutdown(self) -> None:
         """Finalize every idle instance; busy ones finalize on release."""
         with self._lock:
+            locksan.access(self._state)
             if self._closed:
                 return
             self._closed = True

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.analysis import locksan
+
 __all__ = ["DeficitRoundRobin", "TenantQueue"]
 
 
@@ -57,6 +59,11 @@ class DeficitRoundRobin:
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
         self.quantum = float(quantum)
+        #: Shared-state name for the lock sanitizer: the class is not
+        #: thread-safe by contract, so every access is noted and the
+        #: sanitizer proves the server really does wrap each one in its
+        #: condition lock.
+        self._state = locksan.scoped_name("drr.state")
         self._tenants: Dict[str, TenantQueue] = {}
         #: Fixed visit order (registration order) — determinism matters
         #: more than per-round shuffling for reproducible benchmarks.
@@ -67,6 +74,7 @@ class DeficitRoundRobin:
 
     def register(self, name: str, weight: float = 1.0,
                  quota: int = 8) -> TenantQueue:
+        locksan.access(self._state)
         if name in self._tenants:
             raise ValueError(f"tenant {name!r} already registered")
         tenant = TenantQueue(name, weight, quota)
@@ -88,13 +96,16 @@ class DeficitRoundRobin:
 
     def queued(self) -> int:
         """Requests waiting across all tenants."""
+        locksan.access(self._state, write=False)
         return sum(len(t.queue) for t in self._tenants.values())
 
     def can_enqueue(self, name: str) -> bool:
+        locksan.access(self._state, write=False)
         return len(self.tenant(name).queue) < self.tenant(name).quota
 
     def enqueue(self, name: str, item: Any, cost: float = 1.0) -> None:
         """Append to the tenant's queue; caller checks admission first."""
+        locksan.access(self._state)
         tenant = self.tenant(name)
         if len(tenant.queue) >= tenant.quota:
             raise OverflowError(
@@ -111,6 +122,7 @@ class DeficitRoundRobin:
         not be rejected — or reordered behind later arrivals — because
         the pool happened to be busy.
         """
+        locksan.access(self._state)
         tenant = self.tenant(name)
         tenant.queue.appendleft((item, float(cost)))
 
@@ -123,6 +135,7 @@ class DeficitRoundRobin:
         empty queues have their deficit reset (idle credit must not
         accumulate — that is what bounds latency for the others).
         """
+        locksan.access(self._state)
         if max_items < 1:
             return []
         picked: List[Tuple[str, Any]] = []

@@ -42,8 +42,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.analysis import locksan
 from repro.config import SessionConfig
 from repro.obs import MetricsRegistry, Tracer
+from repro.resil import RetryPolicy
 from repro.sched.workers import LabelledWorkerPool
 from repro.serve.pool import InstancePool, PoolKey, PooledInstance
 from repro.serve.scheduler import DeficitRoundRobin
@@ -86,10 +88,12 @@ class Ticket:
         """The request's log-likelihood (blocks until complete)."""
         return self._future.result(timeout)
 
-    def exception(self, timeout: Optional[float] = None):
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
         return self._future.exception(timeout)
 
-    def __await__(self):
+    def __await__(self) -> Any:
         """Awaitable from asyncio without the server owning a loop."""
         return asyncio.wrap_future(self._future).__await__()
 
@@ -107,7 +111,8 @@ class TenantClient:
         self.server = server
         self.name = name
 
-    def submit(self, data, tree, model, site_model=None,
+    def submit(self, data: Any, tree: Any, model: Any,
+               site_model: Any = None,
                branch_edits: Optional[Mapping[int, float]] = None,
                cost: float = 1.0) -> Ticket:
         """Queue one request; raises :class:`AdmissionError` when full."""
@@ -116,7 +121,8 @@ class TenantClient:
             branch_edits=branch_edits, cost=cost,
         )
 
-    async def likelihood(self, data, tree, model, site_model=None,
+    async def likelihood(self, data: Any, tree: Any, model: Any,
+                         site_model: Any = None,
                          branch_edits: Optional[Mapping[int, float]] = None
                          ) -> float:
         """Submit and await in one call (asyncio convenience)."""
@@ -181,7 +187,10 @@ class LikelihoodServer:
         self._drr = DeficitRoundRobin(quantum=quantum)
         #: Condition guarding every piece of queue/lifecycle state below
         #: (named so the lock-discipline lint recognises it).
-        self._lock = threading.Condition()
+        self._state = locksan.scoped_name("server.state")
+        self._lock = locksan.instrument(
+            threading.Condition(), locksan.scoped_name("server.lock")
+        )
         self._started = False
         self._stopping = False
         self._draining = True
@@ -201,6 +210,7 @@ class LikelihoodServer:
         """Add a tenant; its ``weight`` sets its fair share under load,
         its ``quota`` bounds how many of its requests may queue."""
         with self._lock:
+            locksan.access(self._state)
             self._drr.register(tenant, weight=weight, quota=quota)
             self._latencies[tenant] = []
             self._rejects[tenant] = 0
@@ -209,12 +219,14 @@ class LikelihoodServer:
     def client(self, tenant: str) -> TenantClient:
         """A client handle for an already-registered tenant."""
         with self._lock:
+            locksan.access(self._state, write=False)
             self._drr.tenant(tenant)  # raises KeyError if unknown
         return TenantClient(self, tenant)
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, tenant: str, data, tree, model, site_model=None,
+    def submit(self, tenant: str, data: Any, tree: Any, model: Any,
+               site_model: Any = None,
                branch_edits: Optional[Mapping[int, float]] = None,
                cost: float = 1.0) -> Ticket:
         """Admit one request or reject it with backpressure.
@@ -230,6 +242,7 @@ class LikelihoodServer:
                                branch_edits=branch_edits, cost=cost)
         ticket = Ticket(tenant, request.kind)
         with self._lock:
+            locksan.access(self._state)
             # A not-yet-started server still admits (requests queue until
             # start()) — that is what makes overflow tests deterministic:
             # occupancy is a pure function of submissions, not of how
@@ -279,6 +292,7 @@ class LikelihoodServer:
 
     def _dispatch_once(self) -> bool:
         with self._lock:
+            locksan.access(self._state)
             while True:
                 queued = self._drr.queued()
                 if self._stopping:
@@ -357,12 +371,14 @@ class LikelihoodServer:
                     )
                     if acquired is None:
                         with self._lock:
+                            locksan.access(self._state)
                             self._drr.requeue_front(
                                 tenant, (request, ticket), request.cost
                             )
                         continue
                     pooled, outcome = acquired
                     with self._lock:
+                        locksan.access(self._state)
                         self._inflight += 1
                     self._workers.submit(
                         pooled.label, self._execute,
@@ -397,10 +413,12 @@ class LikelihoodServer:
                 f"serve.latency_s.{request.tenant}"
             ).observe(latency)
             with self._lock:
+                locksan.access(self._state)
                 self._latencies[request.tenant].append(latency)
             ticket._future.set_result(value)
         finally:
             with self._lock:
+                locksan.access(self._state)
                 self._inflight -= 1
                 self._lock.notify_all()
 
@@ -465,7 +483,7 @@ class LikelihoodServer:
         raise cause
 
     def _charge_backoff(self, pooled: PooledInstance, attempt: int,
-                        policy) -> None:
+                        policy: RetryPolicy) -> None:
         delay = policy.delay_s(attempt, salt=pooled.label)
         interface = getattr(
             pooled.likelihood.instance.impl, "interface", None
@@ -505,6 +523,7 @@ class LikelihoodServer:
 
     def queue_depth(self) -> int:
         with self._lock:
+            locksan.access(self._state, write=False)
             return self._drr.queued()
 
     def pool_sizes(self) -> Dict[PoolKey, int]:
@@ -519,6 +538,7 @@ class LikelihoodServer:
         """
         out: Dict[str, Dict[str, float]] = {}
         with self._lock:
+            locksan.access(self._state, write=False)
             for name in self._drr.tenants():
                 queue = self._drr.tenant(name)
                 latencies = sorted(self._latencies[name])
@@ -540,6 +560,7 @@ class LikelihoodServer:
 
     def start(self) -> None:
         with self._lock:
+            locksan.access(self._state)
             if self._started:
                 return
             self._started = True
@@ -555,6 +576,7 @@ class LikelihoodServer:
         finish.  Idempotent.
         """
         with self._lock:
+            locksan.access(self._state)
             started = self._started
             self._stopping = True
             self._draining = drain

@@ -344,7 +344,10 @@ class Session:
         buffer ranges, uninitialized reads, dead nodes), and — when the
         session runs on an accelerated backend — validates the compiled
         kernel configuration against the selected device's limits with
-        :class:`~repro.analysis.kernelcheck.KernelConfigValidator`.
+        :class:`~repro.analysis.kernelcheck.KernelConfigValidator` and
+        dataflow-verifies the kernel IR bodies with
+        :func:`~repro.analysis.irverify.verify_program_ir` (tile races,
+        barrier divergence, param roles/extents).
 
         Diagnostics are emitted through the session tracer/metrics
         (``verify.*`` counters, a ``verify`` span when tracing) and
@@ -381,6 +384,15 @@ class Session:
                     interface.kernel_config, interface.device
                 )
             )
+            from repro.accel.ir import IRError, build_program_ir
+            from repro.analysis.irverify import verify_program_ir
+
+            try:
+                program = build_program_ir(interface.kernel_config)
+            except IRError:
+                program = None
+            if program is not None:
+                diagnostics.extend(verify_program_ir(program))
         emit(diagnostics, self._tracer, self._metrics, analyzer="session")
         if strict:
             errors = [d for d in diagnostics if d.severity.name == "ERROR"]

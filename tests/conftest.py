@@ -11,6 +11,36 @@ from repro.seq import compress_patterns, simulate_alignment
 from repro.tree import plan_traversal, yule_tree
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Fail the run if the lock sanitizer recorded any violation.
+
+    With ``PYBEAGLE_SANITIZE=1`` (the CI sanitize job) the instrumented
+    concurrency layers report into the module singleton; a race or
+    lock-order cycle anywhere in the suite must fail the build even
+    though no individual test asserted on it.  Seeded-bad fixtures in
+    ``test_locksan.py`` use private sanitizer instances, so anything in
+    the global report is a real finding.
+    """
+    from repro.analysis import locksan
+
+    if not locksan.enabled():
+        return
+    findings = locksan.report()
+    if findings:
+        reporter = session.config.pluginmanager.get_plugin(
+            "terminalreporter"
+        )
+        if reporter is not None:
+            reporter.write_line("")
+            reporter.write_line(
+                f"lock sanitizer recorded {len(findings)} violation(s):",
+                red=True,
+            )
+            for diag in findings:
+                reporter.write_line("  " + diag.format(), red=True)
+        session.exitstatus = 1
+
+
 @pytest.fixture(autouse=True)
 def _isolated_tuning_cache(tmp_path, monkeypatch):
     """Point the kernel tuning cache at a per-test temp file.

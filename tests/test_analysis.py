@@ -676,3 +676,184 @@ class TestErrorMessageLifecycle:
         # ...and this thread still sees its own message afterwards.
         assert beagle_get_last_error_message() is not None
         beagle_get_resource_list()
+
+
+# ---------------------------------------------------------------------------
+# Bare lock acquire/release lint
+# ---------------------------------------------------------------------------
+
+class TestBareLockLint:
+    def test_bare_acquire_and_release_flagged(self):
+        source = (
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def leak():\n"
+            "    _lock.acquire()\n"
+            "    work()\n"
+            "    _lock.release()\n"
+        )
+        diags = lint_source(source, "x.py")
+        assert codes(diags) == ["bare-lock-acquire", "bare-lock-release"]
+        assert all(d.severity is Severity.ERROR for d in diags)
+        locations = sorted(d.location for d in diags)
+        assert locations == ["x.py:4", "x.py:6"]
+
+    def test_try_finally_pair_is_clean(self):
+        source = (
+            "def safe(self):\n"
+            "    self._lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self._lock.release()\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_with_statement_is_clean(self):
+        source = (
+            "def safe(self):\n"
+            "    with self._lock:\n"
+            "        work()\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_acquire_with_unrelated_finally_still_flagged(self):
+        # The finally releases a *different* lock: the acquire leaks.
+        source = (
+            "def leaky(self):\n"
+            "    self._a_lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        self._b_lock.release()\n"
+        )
+        diags = lint_source(source, "x.py")
+        assert "bare-lock-acquire" in codes(diags)
+
+    def test_lock_protocol_methods_are_exempt(self):
+        # A proxy's own acquire/release delegate by design.
+        source = (
+            "class Proxy:\n"
+            "    def acquire(self, *a, **k):\n"
+            "        return self._lock.acquire(*a, **k)\n"
+            "    def release(self):\n"
+            "        self._lock.release()\n"
+            "    def __exit__(self, *exc):\n"
+            "        self._lock.release()\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_non_lock_receivers_ignored(self):
+        # Resource-pool verbs are not lock operations.
+        source = (
+            "def run(self):\n"
+            "    inst = self._pool.acquire()\n"
+            "    self.ctx.release()\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_source_tree_is_clean(self):
+        diags = [
+            d for d in lint_paths(["src/repro"])
+            if d.code.startswith("bare-lock")
+        ]
+        assert diags == []
+
+
+# ---------------------------------------------------------------------------
+# Plan verification of serve's pooled deferred instances
+# ---------------------------------------------------------------------------
+
+class TestServePlanVerification:
+    """PlanVerifier over the plans serve actually dispatches.
+
+    The serving pool hands one warm deferred instance to many tenants
+    in turn (``rebind``); every tenant's batched traversal is recorded
+    into the instance's execution plan before it runs.  Those organic
+    cross-tenant plans must verify clean against the pooled instance's
+    buffer bounds — and a corrupted plan must still be caught after a
+    rebind, on the second tenant's traversal.
+    """
+
+    @pytest.fixture()
+    def serve_pool(self):
+        from repro.config import SessionConfig
+        from repro.serve.pool import InstancePool
+
+        pool = InstancePool(
+            SessionConfig(backend="cpu-serial", deferred=True), per_key=1
+        )
+        yield pool
+        pool.shutdown()
+
+    @pytest.fixture()
+    def serve_workload(self):
+        from repro.model import HKY85, SiteModel
+        from repro.seq import synthetic_pattern_set
+        from repro.tree import yule_tree
+
+        model = HKY85(kappa=2.0)
+        site_model = SiteModel.gamma(0.5, 4)
+        data = synthetic_pattern_set(6, 40, 4, rng=7)
+        trees = [yule_tree(6, rng=11), yule_tree(6, rng=13)]
+        return model, site_model, data, trees
+
+    def _record_traversal(self, instance, tree):
+        from repro.tree import plan_traversal
+
+        traversal = plan_traversal(tree)
+        instance.update_transition_matrices(
+            0, list(traversal.branch_node_indices),
+            traversal.branch_lengths,
+        )
+        instance.update_partials(traversal.operations)
+        instance._plan.record_root_likelihood(traversal.root_index)
+        return traversal
+
+    def test_cross_tenant_rebind_plans_verify_clean(self, serve_pool,
+                                                    serve_workload):
+        model, site_model, data, trees = serve_workload
+        outcomes = []
+        for tenant, tree in (("a", trees[0]), ("b", trees[1]),
+                             ("a", trees[0])):
+            pooled, outcome = serve_pool.acquire(
+                tenant, data, tree, model, site_model
+            )
+            outcomes.append(outcome)
+            instance = pooled.likelihood.instance
+            self._record_traversal(instance, tree)
+            assert instance.verify_plan() == [], (
+                f"plan for tenant {tenant} after {outcome} is dirty"
+            )
+            results = instance.flush()
+            assert len(results) == 1
+            assert np.isfinite(next(iter(results.values())))
+            serve_pool.release(pooled)
+        # One warm instance served both tenants: the second and third
+        # acquires exercised rebind and the same-binding warm hit.
+        assert outcomes == ["miss", "rebind", "rebind"]
+
+    def test_corrupted_plan_caught_after_rebind(self, serve_pool,
+                                                serve_workload):
+        model, site_model, data, trees = serve_workload
+        pooled, _ = serve_pool.acquire("a", data, trees[0], model,
+                                       site_model)
+        instance = pooled.likelihood.instance
+        self._record_traversal(instance, trees[0])
+        instance.flush()
+        serve_pool.release(pooled)
+
+        pooled, outcome = serve_pool.acquire("b", data, trees[1], model,
+                                             site_model)
+        assert outcome == "rebind"
+        instance = pooled.likelihood.instance
+        self._record_traversal(instance, trees[1])
+        # Sever the final operation's hazard edges: it now races the
+        # matrix update feeding it, exactly what strict flush rejects.
+        instance._plan.nodes[-2].deps.clear()
+        instance.set_plan_verification(True)
+        with pytest.raises(PlanVerificationError, match="plan-hazard"):
+            instance.flush()
+        # Drop the corrupted plan so pool shutdown can finalize cleanly.
+        instance._plan = ExecutionPlan()
+        serve_pool.release(pooled)

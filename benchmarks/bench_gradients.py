@@ -1,0 +1,211 @@
+"""Batched-gradient benchmark: fused sweep vs the serial Newton path.
+
+The serial derivative path pays one derivative-matrix update plus one
+edge integration *per branch* — the ``N + 1`` traversal pattern Newton
+branch optimisers used before the batched kernel existed.  The fused
+path refreshes the lower and upper partials once and evaluates every
+branch in a single ``kernelEdgeGradientsBatch`` launch: two traversals
+regardless of ``N``.
+
+Both paths run on the simulated CUDA device, so the comparison is the
+device model's deterministic kernel clock (plus launch counts), not the
+host's wall clock — stable in CI.
+
+Every run appends one trajectory record per tree size to
+``results/BENCH_gradients.json`` (simulated times, launch counts,
+speedup vs branch count), charting the fused path's advantage as the
+kernels and the perf model evolve.
+
+Run standalone for CI (exits non-zero if the fused sweep loses to the
+serial path on any tree with >= 16 branches)::
+
+    PYTHONPATH=src python benchmarks/bench_gradients.py --assert \
+        --json gradients.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.flags import Flag
+from repro.core.highlevel import TreeLikelihood
+from repro.model import HKY85, SiteModel
+from repro.seq import compress_patterns, simulate_alignment
+from repro.tree import yule_tree
+from repro.util.tables import format_table
+
+try:  # package import under pytest, script import standalone
+    from benchmarks.trajectory import write_record
+except ImportError:  # pragma: no cover - script mode
+    from trajectory import write_record
+
+#: Tip counts giving 8, 16, 32, and 64 non-root branches.
+TIP_COUNTS = (5, 9, 17, 33)
+
+#: Threshold above which the CI gate requires the fused path to win.
+GATE_BRANCHES = 16
+
+
+def _setup(tips: int, patterns: int):
+    tree = yule_tree(tips, rng=tips)
+    model = HKY85(2.0, [0.3, 0.2, 0.2, 0.3])
+    sm = SiteModel.gamma(0.5, 4)
+    aln = simulate_alignment(tree, model, patterns, sm, rng=tips + 1)
+    data = compress_patterns(aln)
+    tl = TreeLikelihood(
+        tree, data, model, sm,
+        enable_upper_partials=True,
+        requirement_flags=Flag.FRAMEWORK_CUDA,
+    )
+    return tree, tl
+
+
+def measure(pattern_count: int = 500) -> list:
+    """One record per tree size: fused vs serial simulated cost."""
+    records = []
+    for tips in TIP_COUNTS:
+        tree, tl = _setup(tips, pattern_count)
+        impl = tl.instance.impl
+        branches = [
+            n.index for n in tree.root.preorder() if not n.is_root
+        ]
+
+        # Both paths share the same refresh: one upward sweep for the
+        # lower partials, one downward sweep for the upper partials.
+        tl.invalidate()
+        impl.reset_simulated_time()
+        tl.log_likelihood()
+        tl.upper.update()
+        refresh_time = impl.simulated_time
+        refresh_launches = impl.kernel_launch_count
+
+        # Fused: every branch in one batched gradient launch.
+        impl.reset_simulated_time()
+        fused = tl.upper.branch_gradients(branches)
+        fused_stage_time = impl.simulated_time
+        fused_stage_launches = impl.kernel_launch_count
+
+        # Serial: one derivative-matrix update and one edge integration
+        # per branch (the old Newton inner loop).
+        impl.reset_simulated_time()
+        serial = np.array([
+            tl.upper.branch_derivatives(idx) for idx in branches
+        ])
+        serial_stage_time = impl.simulated_time
+        tl.finalize()
+
+        fused_time = refresh_time + fused_stage_time
+        serial_time = refresh_time + serial_stage_time
+
+        # atol covers ordinary magnitudes (the parity test suite holds
+        # the paths to 1e-10 absolute); rtol covers the huge-|d2| rows
+        # these random trees produce on near-zero branches, where the
+        # one-ulp difference between device- and host-computed
+        # transition matrices is amplified through the 1/f site terms.
+        if not np.allclose(fused, serial, rtol=1e-12, atol=1e-10):
+            raise AssertionError(
+                f"fused/serial gradient mismatch on {len(branches)} "
+                f"branches"
+            )
+        records.append({
+            "n_branches": len(branches),
+            "n_patterns": pattern_count,
+            "fused_sim_ms": fused_time * 1e3,
+            "serial_sim_ms": serial_time * 1e3,
+            "refresh_launches": refresh_launches,
+            "fused_stage_launches": fused_stage_launches,
+            "speedup": serial_time / fused_time if fused_time else 0.0,
+        })
+    return records
+
+
+def speedup_table(records: list) -> str:
+    rows = [
+        [
+            str(r["n_branches"]),
+            f"{r['serial_sim_ms']:.3f}",
+            f"{r['fused_sim_ms']:.3f}",
+            str(r["fused_stage_launches"]),
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in records
+    ]
+    return format_table(
+        ["branches", "serial ms", "fused ms", "gradient launches",
+         "speedup"],
+        rows,
+        title="Batched gradient sweep vs per-branch serial (simulated CUDA)",
+    )
+
+
+def _losers(records: list) -> list:
+    return [
+        r for r in records
+        if r["n_branches"] >= GATE_BRANCHES
+        and r["fused_sim_ms"] > r["serial_sim_ms"]
+    ]
+
+
+def test_fused_beats_serial_at_scale(record):
+    """Tier-2 guard: the fused sweep wins from 16 branches up."""
+    records = measure()
+    record("gradient_speedup", speedup_table(records))
+    for entry in records:
+        write_record("gradients", entry)
+    assert not _losers(records), (
+        "fused gradient sweep lost to the serial path: "
+        + json.dumps(_losers(records))
+    )
+    # The batched stage stays a constant number of launches as the
+    # branch count grows — the whole point of fusing the sweep.
+    stage_launches = {r["fused_stage_launches"] for r in records}
+    assert len(stage_launches) == 1, stage_launches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the batched gradient sweep against the "
+        "per-branch serial derivative path"
+    )
+    parser.add_argument("--patterns", type=int, default=500)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full records as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help=f"exit 1 if the fused path loses at >= {GATE_BRANCHES} "
+        "branches",
+    )
+    args = parser.parse_args(argv)
+
+    records = measure(pattern_count=args.patterns)
+    print(speedup_table(records))
+    for entry in records:
+        path = write_record("gradients", entry)
+    print(f"\ntrajectory: {path}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        losers = _losers(records)
+        for r in losers:
+            print(
+                f"FAIL: fused sweep slower than serial at "
+                f"{r['n_branches']} branches "
+                f"({r['fused_sim_ms']:.3f} ms vs "
+                f"{r['serial_sim_ms']:.3f} ms)",
+                file=sys.stderr,
+            )
+        if losers:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

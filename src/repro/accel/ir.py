@@ -7,7 +7,7 @@ backend at run time, so adding a backend means adding a lowering pass
 rather than another copy of the kernel text.  This module is that
 representation for the reproduction's kernel programs.
 
-An IR program (:class:`ProgramIR`) is a typed declaration of the nine
+An IR program (:class:`ProgramIR`) is a typed declaration of the eleven
 BEAGLE kernels for one :class:`~repro.accel.kernelgen.KernelConfig`:
 
 * each kernel (:class:`KernelIR`) declares its parameters, its parallel
@@ -49,6 +49,8 @@ REQUIRED_KERNELS = (
     "kernelAccumulateFactorsScale",
     "kernelIntegrateLikelihoods",
     "kernelIntegrateLikelihoodsEdge",
+    "kernelEdgeDerivatives",
+    "kernelEdgeGradientsBatch",
 )
 
 
@@ -281,6 +283,38 @@ class LogWithScale(Stmt):
 
 
 @dataclass(frozen=True)
+class GradientReduce(Stmt):
+    """Per-pattern edge log-likelihood plus first/second log-derivatives.
+
+    Consumes the three lifted child blocks (``P·L``, ``P'·L``, ``P''·L``
+    from preceding :class:`InnerProduct` statements), reduces each
+    against the parent partials, weights, and frequencies exactly like
+    :class:`SiteReduce`, and converts the raw site values ``f, f1, f2``
+    into log-space derivatives ``g1 = f1/f`` and ``g2 = f2/f - g1²``.
+    The scale term is branch-length independent, so it lands on the
+    log-likelihood output only — never on the derivatives.
+    """
+
+    out_log_like: str
+    out_d1: str
+    out_d2: str
+    parent: str
+    lifted: str
+    lifted1: str
+    lifted2: str
+    weights: str
+    frequencies: str
+    scale: str
+
+    def operands(self) -> Tuple[str, ...]:
+        return (self.parent, self.lifted, self.lifted1, self.lifted2,
+                self.weights, self.frequencies, self.scale)
+
+    def dest_names(self) -> Tuple[str, ...]:
+        return (self.out_log_like, self.out_d1, self.out_d2)
+
+
+@dataclass(frozen=True)
 class FusedDispatch(Stmt):
     """Dispatch a batch of independent operations inside one launch."""
 
@@ -510,7 +544,7 @@ _CSX = ("category", "state", "state+1")        # gap-column-extended
 
 
 def build_program_ir(config: KernelConfig) -> ProgramIR:
-    """The nine-kernel BEAGLE program as portable IR for one config."""
+    """The eleven-kernel BEAGLE program as portable IR for one config."""
     fma = config.use_fma
     space = _partials_space(config)
     serial_pattern = (IterAxis("pattern", None, parallel=True),)
@@ -677,6 +711,50 @@ def build_program_ir(config: KernelConfig) -> ProgramIR:
                            "frequencies"),
                 LogWithScale("out_log_like", "cumulative_scale_log"),
             ),
+        ),
+        KernelIR(
+            name="kernelEdgeDerivatives",
+            params=(
+                Param("out_log_like", role="out", extent=("pattern",)),
+                Param("out_d1", role="out", extent=("pattern",)),
+                Param("out_d2", role="out", extent=("pattern",)),
+                Param("parent_partials", extent=_CPS),
+                Param("child_partials", extent=_CPS),
+                Param("edge_matrices", extent=_CSS),
+                Param("d1_matrices", extent=_CSS),
+                Param("d2_matrices", extent=_CSS),
+                Param("weights", extent=("category",)),
+                Param("frequencies", extent=("state",)),
+                Param("pattern_weights", extent=("pattern",)),
+                Param("cumulative_scale_log", extent=("pattern",)),
+            ),
+            space=serial_pattern,
+            body=(
+                InnerProduct("lifted", "child_partials", "edge_matrices",
+                             fma=fma),
+                InnerProduct("lifted1", "child_partials", "d1_matrices",
+                             fma=fma),
+                InnerProduct("lifted2", "child_partials", "d2_matrices",
+                             fma=fma),
+                GradientReduce("out_log_like", "out_d1", "out_d2",
+                               "parent_partials", "lifted", "lifted1",
+                               "lifted2", "weights", "frequencies",
+                               "cumulative_scale_log"),
+            ),
+            doc="Edge log-likelihood with analytic d/dt and d²/dt² per "
+                "pattern:\nthree lifted products (P, rQP, r²Q²P) against "
+                "one child, reduced\nagainst the parent in a single pass.",
+        ),
+        KernelIR(
+            name="kernelEdgeGradientsBatch",
+            params=(Param("batch", kind="batch"),),
+            space=(IterAxis("edge", None, parallel=True),)
+            + serial_pattern,
+            body=(FusedDispatch("batch"),),
+            doc="Fused dispatch of one gradient sweep: every entry is an "
+                "independent\nedge-derivative evaluation (one per branch), "
+                "so the whole batch\nshares one launch — the one-downward-"
+                "sweep half of the 2-traversal\ngradient cost model.",
         ),
     ]
     program = ProgramIR(config=config, kernels=tuple(kernels))

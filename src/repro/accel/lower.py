@@ -36,6 +36,7 @@ from repro.accel.ir import (
     Comment,
     DynamicRescale,
     FusedDispatch,
+    GradientReduce,
     Guarded,
     InnerProduct,
     KernelIR,
@@ -398,6 +399,31 @@ class Lowering:
                 f".astype(np.float64),",
                 f"                     {stmt.frequencies})",
             ]
+        if isinstance(stmt, GradientReduce):
+            lines = []
+            for site, lifted in (("f", stmt.lifted), ("f1", stmt.lifted1),
+                                 ("f2", stmt.lifted2)):
+                lines.extend([
+                    f'    {site} = np.einsum("c,cpi,i->p", {stmt.weights},',
+                    f"    {' ' * len(site)}({stmt.parent} * {lifted})"
+                    ".astype(np.float64),",
+                    f"    {' ' * len(site)}{stmt.frequencies}, "
+                    "optimize=True)",
+                ])
+            lines.extend([
+                '    with np.errstate(divide="ignore", invalid="ignore"):',
+                "        log_site = np.log(f)",
+                "        g1 = f1 / f",
+                "        g2 = f2 / f - g1 * g1",
+                f"    if {stmt.scale} is not None:",
+                "        # Scale factors are branch-length independent: an",
+                "        # additive constant on logL, zero on d1/d2.",
+                f"        log_site = log_site + {stmt.scale}",
+                f"    {stmt.out_log_like}[...] = log_site",
+                f"    {stmt.out_d1}[...] = g1",
+                f"    {stmt.out_d2}[...] = g2",
+            ])
+            return lines
         if isinstance(stmt, LogWithScale):
             return [
                 '    with np.errstate(divide="ignore"):',

@@ -13,6 +13,12 @@ backends.
 The pass is framework-agnostic: it accepts whichever macro set the
 owning interface speaks (OpenCL-on-CPU by default), since the emitted
 program never touches device-specific keywords outside comments.
+
+For the batched derivative kernels (``kernelEdgeDerivatives`` and the
+fused ``kernelEdgeGradientsBatch``) the edge axis of the IR's iteration
+space becomes the outer host loop: branches run serially on the host
+while each branch's pattern block still feeds the vector units, which
+keeps the fused sweep's results bit-identical to the GPU variants.
 """
 
 from __future__ import annotations

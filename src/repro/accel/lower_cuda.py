@@ -5,6 +5,11 @@ emitters; this pass only contributes the CUDA launch decoration
 (``__launch_bounds__``) and speaks through the CUDA macro set
 (``__global__`` qualifiers, ``CUdeviceptr`` device memory,
 pointer-arithmetic sub-buffer access).
+
+For the batched derivative kernels (``kernelEdgeDerivatives`` and the
+fused ``kernelEdgeGradientsBatch``) the edge axis of the IR's iteration
+space maps onto ``blockIdx.x``: one thread block per branch, so an
+N-branch gradient sweep is a single launch with an N-wide grid.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ emitters; this pass only contributes the OpenCL work-group size hint
 access).  It covers both the ``gpu`` variant (discrete GPUs) and the
 ``x86`` variant the OpenCL interface selects on CPU devices
 (section VII-B.2 of the paper).
+
+For the batched derivative kernels (``kernelEdgeDerivatives`` and the
+fused ``kernelEdgeGradientsBatch``) the edge axis of the IR's iteration
+space maps onto ``get_group_id(0)``: one work-group per branch, so an
+N-branch gradient sweep is a single enqueue with an N-wide NDRange.
 """
 
 from __future__ import annotations

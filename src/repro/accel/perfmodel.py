@@ -157,6 +157,45 @@ def partials_kernel_cost(
     )
 
 
+def gradient_kernel_cost(
+    pattern_count: int,
+    state_count: int,
+    category_count: int,
+    itemsize: int,
+    workgroup_patterns: int = 0,
+) -> KernelCost:
+    """Cost of one fused edge-derivative evaluation (kernelEdgeDerivatives).
+
+    Three states-reductions lift the child partials against ``P``,
+    ``P'``, and ``P''`` (three partials-kernel work units by the
+    effective-FLOP accounting), then three weighted site reductions and
+    the log/ratio arithmetic add roughly one more pass over the states.
+    Bytes cover reading the parent and child partials once each, the
+    three matrix operands, and writing three per-pattern outputs.
+    """
+    padded = pattern_count
+    n_wg = 1
+    if workgroup_patterns > 0:
+        n_wg = math.ceil(pattern_count / workgroup_patterns)
+        padded = n_wg * workgroup_patterns
+    entries = padded * category_count * state_count
+    flops = float(
+        padded * category_count
+        * (3 * partials_flops(state_count) + 2 * state_count + 2)
+    )
+    bytes_moved = float(
+        2 * entries * itemsize
+        + 3 * category_count * state_count * state_count * itemsize
+        + 3 * padded * 8
+    )
+    return KernelCost(
+        flops=flops,
+        bytes_moved=bytes_moved,
+        n_workgroups=n_wg,
+        working_set_bytes=bytes_moved,
+    )
+
+
 def accelerator_kernel_time(
     device: DeviceSpec,
     cost: KernelCost,

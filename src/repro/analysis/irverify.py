@@ -54,6 +54,7 @@ from repro.accel.ir import (
     Barrier,
     DynamicRescale,
     FusedDispatch,
+    GradientReduce,
     InnerProduct,
     KernelIR,
     LocalTile,
@@ -140,6 +141,19 @@ def _required_extents(stmt: Stmt) -> Dict[str, Tuple[str, ...]]:
         return {stmt.cumulative: ("pattern",)}
     if isinstance(stmt, LogWithScale):
         return {stmt.out: ("pattern",)}
+    if isinstance(stmt, GradientReduce):
+        return {
+            stmt.parent: _CPS,
+            stmt.lifted: _CPS,
+            stmt.lifted1: _CPS,
+            stmt.lifted2: _CPS,
+            stmt.weights: ("category",),
+            stmt.frequencies: ("state",),
+            stmt.scale: ("pattern",),
+            stmt.out_log_like: ("pattern",),
+            stmt.out_d1: ("pattern",),
+            stmt.out_d2: ("pattern",),
+        }
     if isinstance(stmt, Stmt) and type(stmt).__name__ == "SiteReduce":
         required = {}
         for name in _identifiers(getattr(stmt, "partials_expr")):

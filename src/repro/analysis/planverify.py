@@ -50,6 +50,7 @@ from repro.core.plan import (
     _MATRIX,
     _PARTIALS,
     _SCALE,
+    BranchGradientRequest,
     EdgeLikelihoodRequest,
     ExecutionPlan,
     MatrixUpdate,
@@ -379,7 +380,9 @@ class PlanVerifier:
         roots = [
             n for n in order
             if isinstance(
-                n.payload, (RootLikelihoodRequest, EdgeLikelihoodRequest)
+                n.payload,
+                (RootLikelihoodRequest, EdgeLikelihoodRequest,
+                 BranchGradientRequest),
             )
         ]
         if not roots:

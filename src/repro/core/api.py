@@ -310,6 +310,46 @@ def beagle_calculate_edge_derivatives(
     return _wrap("beagle_calculate_edge_derivatives", go)
 
 
+def beagle_calculate_branch_gradients(
+    instance: int,
+    eigen_index: int,
+    parent_buffer_indices: Sequence[int],
+    child_buffer_indices: Sequence[int],
+    branch_lengths: Sequence[float],
+    category_weights_index: int,
+    state_frequencies_index: int,
+    cumulative_scale_index: int,
+    out_log_likelihoods: np.ndarray,
+    out_first_derivatives: np.ndarray,
+    out_second_derivatives: np.ndarray,
+) -> int:
+    """Batched analytic branch gradients: one call, every edge.
+
+    Edge ``e`` runs between ``parent_buffer_indices[e]`` and
+    ``child_buffer_indices[e]`` at ``branch_lengths[e]``; its
+    ``(logL, dlogL/dt, d^2 logL/dt^2)`` lands in element ``e`` of the
+    three ``out_*`` arrays (each of length ``n_edges``).  Transition and
+    derivative matrices are derived from eigen buffer ``eigen_index`` on
+    the fly — no matrix buffer is read or written.
+    """
+
+    def go() -> None:
+        grads = _get(instance).calculate_branch_gradients(
+            eigen_index,
+            parent_buffer_indices,
+            child_buffer_indices,
+            branch_lengths,
+            category_weights_index,
+            state_frequencies_index,
+            cumulative_scale_index,
+        )
+        out_log_likelihoods[...] = grads[:, 0]
+        out_first_derivatives[...] = grads[:, 1]
+        out_second_derivatives[...] = grads[:, 2]
+
+    return _wrap("beagle_calculate_branch_gradients", go)
+
+
 def beagle_update_partials(
     instance: int, operations: Sequence[Sequence[int]]
 ) -> int:

@@ -60,6 +60,43 @@ def matrices_from_eigen(
     return np.ascontiguousarray(p, dtype=dtype)
 
 
+def derivative_matrices_from_eigen(
+    eigenvectors: np.ndarray,
+    inverse_eigenvectors: np.ndarray,
+    eigenvalues: np.ndarray,
+    branch_lengths: np.ndarray,
+    category_rates: np.ndarray,
+    order: int = 1,
+    dtype: np.dtype = np.float64,
+) -> np.ndarray:
+    """``d^order P/dt^order`` for every (branch, category) pair.
+
+    Differentiating ``P = V diag(exp(lambda r t)) V^{-1}`` in ``t`` scales
+    each spectral component by ``(lambda r)^order``, so the derivative is
+    ``(r Q)^order P`` without ever forming ``Q``.  Unlike
+    :func:`matrices_from_eigen` the result is *not* clamped: derivative
+    entries are legitimately negative.  Returns shape
+    ``(n_branches, n_categories, s, s)``.
+    """
+    if order < 1:
+        raise ValueError(f"derivative order must be >= 1, got {order}")
+    branch_lengths = np.asarray(branch_lengths, dtype=np.float64)
+    category_rates = np.asarray(category_rates, dtype=np.float64)
+    scaled = np.multiply.outer(branch_lengths, category_rates)  # (b, c)
+    exponent = np.multiply.outer(scaled, eigenvalues)  # (b, c, s)
+    rate_eig = np.multiply.outer(category_rates, eigenvalues)  # (c, s)
+    diag = (rate_eig**order)[np.newaxis] * np.exp(exponent)
+    d = np.einsum(
+        "ij,bcj,jk->bcik",
+        eigenvectors,
+        diag,
+        inverse_eigenvectors,
+        optimize=True,
+    )
+    d = d.real if np.iscomplexobj(d) else d
+    return np.ascontiguousarray(d, dtype=dtype)
+
+
 def extend_matrices_for_gaps(matrices: np.ndarray) -> np.ndarray:
     """Append a ones column so the gap state code ``s`` selects all-ones.
 

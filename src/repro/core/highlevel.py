@@ -366,20 +366,48 @@ class TreeLikelihood:
             raise ValueError("edge length must be non-negative")
         d1_idx, d2_idx = self.derivative_matrix_indices
         scratch = left.index  # reuse left's matrix slot for P(t_total)
-        self.instance.update_transition_matrices(
-            0, [scratch], [total_length],
-            first_derivative_indices=[d1_idx],
-            second_derivative_indices=[d2_idx],
-        )
-        result = self.instance.calculate_edge_derivatives(
-            right.index, left.index, scratch, d1_idx, d2_idx,
-            cumulative_scale_index=self._cumulative_scale,
-        )
-        # Restore left's true matrix for subsequent evaluations.
-        self.instance.update_transition_matrices(
-            0, [left.index], [left.branch_length]
-        )
-        return result
+        try:
+            self.instance.update_transition_matrices(
+                0, [scratch], [total_length],
+                first_derivative_indices=[d1_idx],
+                second_derivative_indices=[d2_idx],
+            )
+            return self.instance.calculate_edge_derivatives(
+                right.index, left.index, scratch, d1_idx, d2_idx,
+                cumulative_scale_index=self._cumulative_scale,
+            )
+        finally:
+            # Restore left's true matrix on every exit — an exception
+            # mid-derivative must not leave P(t_total) in left's slot,
+            # or every subsequent likelihood silently uses it.
+            self.instance.update_transition_matrices(
+                0, [left.index], [left.branch_length]
+            )
+
+    def branch_gradient(
+        self,
+        node_indices: Optional[Sequence[int]] = None,
+        refresh: bool = True,
+    ) -> np.ndarray:
+        """Analytic ``(logL, d logL/dt, d^2 logL/dt^2)`` for every branch.
+
+        One upward (post-order) sweep refreshes the lower partials, one
+        downward (pre-order) sweep refreshes the upper partials, and a
+        single batched gradient launch evaluates every requested branch
+        — two traversals total, independent of the number of branches,
+        versus ``N + 1`` for per-branch serial derivatives.
+
+        Requires ``enable_upper_partials=True`` and the restrictions of
+        :class:`~repro.core.upper.UpperPartials` (reversible model, no
+        scaling).  Row ``e`` of the ``(n_edges, 3)`` result describes
+        the branch above ``node_indices[e]`` (default: every non-root
+        node in preorder).  Pass ``refresh=False`` only when both lower
+        and upper partials are already current.
+        """
+        if refresh:
+            self.log_likelihood()
+            self.upper.update()
+        return self.upper.branch_gradients(node_indices)
 
     def finalize(self) -> None:
         self.instance.finalize()

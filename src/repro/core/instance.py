@@ -17,7 +17,7 @@ from repro.core.flags import OP_NONE, Flag
 from repro.core.manager import ResourceManager, default_manager
 from repro.core.plan import ExecutionPlan
 from repro.core.types import InstanceConfig, InstanceDetails, Operation
-from repro.impl.base import BaseImplementation
+from repro.impl.base import BaseImplementation, PlanResult
 from repro.model.ratematrix import EigenSystem, SubstitutionModel
 from repro.util.errors import PlanVerificationError, UninitializedInstanceError
 
@@ -139,8 +139,11 @@ class BeagleInstance:
 
         return _verify(self._plan, config=self.config, impl=self.impl)
 
-    def flush(self) -> Dict[int, float]:
-        """Execute the recorded plan; returns node-index -> log-likelihood.
+    def flush(self) -> Dict[int, PlanResult]:
+        """Execute the recorded plan; returns node-index -> result.
+
+        Root/edge likelihood requests map to a log-likelihood float;
+        branch-gradient requests map to an ``(n_edges, 3)`` array.
 
         A no-op (empty mapping) in eager mode or with nothing recorded.
         In strict mode (:meth:`set_plan_verification`) a plan with
@@ -290,6 +293,39 @@ class BeagleInstance:
         return self.impl.calculate_edge_derivatives(
             parent_index, child_index, matrix_index,
             first_derivative_index, second_derivative_index,
+            category_weights_index, state_frequencies_index,
+            cumulative_scale_index,
+        )
+
+    def calculate_branch_gradients(
+        self,
+        eigen_index: int,
+        parent_indices: Sequence[int],
+        child_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> np.ndarray:
+        """Batched ``(logL, dlogL/dt, d^2 logL/dt^2)`` for many branches.
+
+        Row ``e`` of the returned ``(n_edges, 3)`` array describes the
+        edge between ``parent_indices[e]`` and ``child_indices[e]`` at
+        ``branch_lengths[e]``.  In deferred mode the sweep is recorded
+        into the plan (after the partials it reads) and the plan is
+        flushed, so the gradient observes all recorded work — one fused
+        launch on accelerated backends.
+        """
+        if self._plan is not None:
+            node = self._plan.record_branch_gradients(
+                eigen_index, parent_indices, child_indices,
+                branch_lengths, category_weights_index,
+                state_frequencies_index, cumulative_scale_index,
+            )
+            result = self.flush()[node.index]
+            return np.asarray(result)
+        return self.impl.calculate_branch_gradients(
+            eigen_index, parent_indices, child_indices, branch_lengths,
             category_weights_index, state_frequencies_index,
             cumulative_scale_index,
         )

@@ -84,8 +84,39 @@ class EdgeLikelihoodRequest:
     cumulative_scale_index: int = OP_NONE
 
 
+@dataclass(frozen=True)
+class BranchGradientRequest:
+    """One recorded ``calculate_branch_gradients`` call.
+
+    A whole level-batched gradient sweep: every listed edge yields
+    ``(logL, dlogL/dt, d^2 logL/dt^2)`` in one launch.  Transition and
+    derivative matrices are derived from the eigen system at execution
+    time, so the request reads *no* matrix buffers — only the parent and
+    child partials of each edge (plus the optional cumulative scale
+    accumulator).
+    """
+
+    eigen_index: int
+    parent_indices: Tuple[int, ...]
+    child_indices: Tuple[int, ...]
+    branch_lengths: Tuple[float, ...]
+    category_weights_index: int = 0
+    state_frequencies_index: int = 0
+    cumulative_scale_index: int = OP_NONE
+
+    def __post_init__(self) -> None:
+        if not (len(self.parent_indices) == len(self.child_indices)
+                == len(self.branch_lengths)):
+            raise ValueError(
+                "parent, child, and branch-length counts differ"
+            )
+        if any(t < 0 for t in self.branch_lengths):
+            raise ValueError("branch lengths must be non-negative")
+
+
 PlanPayload = Union[
-    MatrixUpdate, Operation, RootLikelihoodRequest, EdgeLikelihoodRequest
+    MatrixUpdate, Operation, RootLikelihoodRequest, EdgeLikelihoodRequest,
+    BranchGradientRequest,
 ]
 
 #: Resource-key tags (buffer index spaces are independent per kind).
@@ -163,6 +194,20 @@ def _edge_resources(
     return reads, [(_SITE_OUTPUT, 0)]
 
 
+def _gradient_resources(
+    req: BranchGradientRequest,
+) -> Tuple[List[Resource], List[Resource]]:
+    reads: List[Resource] = []
+    seen: Set[int] = set()
+    for idx in (*req.parent_indices, *req.child_indices):
+        if idx not in seen:
+            seen.add(idx)
+            reads.append((_PARTIALS, idx))
+    if req.cumulative_scale_index != OP_NONE:
+        reads.append((_SCALE, req.cumulative_scale_index))
+    return reads, [(_SITE_OUTPUT, 0)]
+
+
 def node_resources(
     payload: PlanPayload,
 ) -> Tuple[List[Resource], List[Resource]]:
@@ -180,6 +225,8 @@ def node_resources(
         return _root_resources(payload)
     if isinstance(payload, EdgeLikelihoodRequest):
         return _edge_resources(payload)
+    if isinstance(payload, BranchGradientRequest):
+        return _gradient_resources(payload)
     raise TypeError(f"not a plan payload: {payload!r}")
 
 
@@ -287,6 +334,27 @@ class ExecutionPlan:
         )
         return self._add(req, *_edge_resources(req))
 
+    def record_branch_gradients(
+        self,
+        eigen_index: int,
+        parent_indices: Sequence[int],
+        child_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> PlanNode:
+        req = BranchGradientRequest(
+            eigen_index,
+            tuple(int(i) for i in parent_indices),
+            tuple(int(i) for i in child_indices),
+            tuple(float(t) for t in branch_lengths),
+            category_weights_index,
+            state_frequencies_index,
+            cumulative_scale_index,
+        )
+        return self._add(req, *_gradient_resources(req))
+
     # -- analysis ------------------------------------------------------------
 
     @property
@@ -320,7 +388,9 @@ class ExecutionPlan:
             1
             for n in self._nodes
             if isinstance(
-                n.payload, (RootLikelihoodRequest, EdgeLikelihoodRequest)
+                n.payload,
+                (RootLikelihoodRequest, EdgeLikelihoodRequest,
+                 BranchGradientRequest),
             )
         )
 

@@ -214,21 +214,58 @@ class UpperPartials:
         if t < 0:
             raise ValueError("branch length must be non-negative")
         d1_idx, d2_idx = self.tl.derivative_matrix_indices
-        self.tl.instance.update_transition_matrices(
-            0, [node_index], [t],
-            first_derivative_indices=[d1_idx],
-            second_derivative_indices=[d2_idx],
-        )
-        result = self.tl.instance.calculate_edge_derivatives(
-            self.tmp_index(node_index),
-            node_index,
-            node_index,
-            d1_idx,
-            d2_idx,
-        )
-        if branch_length is not None and t != node.branch_length:
-            # Restore the true matrix for this branch.
+        try:
             self.tl.instance.update_transition_matrices(
-                0, [node_index], [node.branch_length]
+                0, [node_index], [t],
+                first_derivative_indices=[d1_idx],
+                second_derivative_indices=[d2_idx],
             )
-        return result
+            return self.tl.instance.calculate_edge_derivatives(
+                self.tmp_index(node_index),
+                node_index,
+                node_index,
+                d1_idx,
+                d2_idx,
+            )
+        finally:
+            # Restore the true matrix for this branch on every exit —
+            # success or error.  Leaving the probe-length matrix behind
+            # after a failure silently corrupts every later likelihood.
+            if t != node.branch_length:
+                self.tl.instance.update_transition_matrices(
+                    0, [node_index], [node.branch_length]
+                )
+
+    def branch_gradients(
+        self, node_indices: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Batched ``(logL, d logL/dt, d^2 logL/dt^2)`` for many branches.
+
+        Row ``e`` describes the branch above ``node_indices[e]``
+        (default: every non-root node in preorder), evaluated at its
+        *current* length.  The whole sweep is a single
+        ``calculate_branch_gradients`` call — one fused launch on
+        accelerated backends — and the transition/derivative matrices
+        are derived from the eigen system on the fly, so unlike
+        :meth:`branch_derivatives` no matrix buffer (neither the node's
+        own slot nor the two derivative scratch slots) is ever written:
+        there is no state to restore and nothing to go stale on error.
+        """
+        self._require_current()
+        if node_indices is None:
+            node_indices = [
+                n.index for n in self.tree.root.preorder() if not n.is_root
+            ]
+        parents: List[int] = []
+        children: List[int] = []
+        lengths: List[float] = []
+        for idx in node_indices:
+            node = self.tree.node_by_index(idx)
+            if node.is_root:
+                raise ValueError("the root has no branch")
+            parents.append(self.tmp_index(idx))
+            children.append(idx)
+            lengths.append(node.branch_length)
+        return self.tl.instance.calculate_branch_gradients(
+            0, parents, children, lengths
+        )

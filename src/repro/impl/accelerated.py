@@ -31,7 +31,11 @@ import numpy as np
 from repro.accel.device import DeviceSpec, ProcessorType
 from repro.accel.framework import HardwareInterface, LaunchGeometry
 from repro.accel.kernelgen import KernelConfig
-from repro.accel.perfmodel import KernelCost, partials_kernel_cost
+from repro.accel.perfmodel import (
+    KernelCost,
+    gradient_kernel_cost,
+    partials_kernel_cost,
+)
 from repro.core import compute
 from repro.core.flags import OP_NONE, Flag
 from repro.core.types import InstanceConfig, Operation
@@ -565,6 +569,95 @@ class AcceleratedImplementation(BaseImplementation):
         log_site = self.interface.download(self._d_site_loglik)
         self._site_log_likelihoods = log_site
         return float(np.dot(self._pattern_weights, log_site))
+
+    def _compute_branch_gradients(
+        self,
+        eigen,
+        parent_indices,
+        child_indices,
+        lengths,
+        category_weights,
+        state_frequencies,
+        cumulative_scale_log,
+    ) -> np.ndarray:
+        """The whole gradient sweep as ONE fused device launch.
+
+        Every edge is an independent ``kernelEdgeDerivatives``
+        evaluation, so the batch dispatches through
+        ``kernelEdgeGradientsBatch`` exactly like a fused partials level:
+        launch overhead is paid once for all N branches.  The per-edge
+        transition/derivative matrices come straight from the eigen
+        system as host staging arrays (the ``_compute_matrices`` ``out``
+        convention) — the sweep never reads or writes the device matrix
+        pool, so no stale trial-length matrix can leak in or out.
+        """
+        v, v_inv, lam = eigen
+        rates = self._category_rates
+        p_mats = compute.matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, self.dtype
+        )
+        d1_mats = compute.derivative_matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, 1, self.dtype
+        )
+        d2_mats = compute.derivative_matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, 2, self.dtype
+        )
+        n = int(lengths.size)
+        c = self.config
+        site_ll = np.empty((n, c.pattern_count))
+        site_d1 = np.empty((n, c.pattern_count))
+        site_d2 = np.empty((n, c.pattern_count))
+        batch = []
+        for e in range(n):
+            batch.append((
+                "kernelEdgeDerivatives",
+                [site_ll[e], site_d1[e], site_d2[e],
+                 self._dense_partials(parent_indices[e]),
+                 self._dense_partials(child_indices[e]),
+                 p_mats[e], d1_mats[e], d2_mats[e],
+                 category_weights, state_frequencies,
+                 self._pattern_weights, cumulative_scale_log],
+            ))
+        geom, block = self._partials_geometry()
+        per_cost = gradient_kernel_cost(
+            c.pattern_count,
+            c.state_count,
+            c.category_count,
+            np.dtype(self.dtype).itemsize,
+            workgroup_patterns=block,
+        )
+        if self.interface.kernel_config.variant == "gpu":
+            g_pat, g_state = geom.global_size
+            l_pat, l_state = geom.local_size
+            sweep_geom = LaunchGeometry(
+                (g_pat, g_state * n), (l_pat, l_state)
+            )
+        else:
+            (g_pat,), (l_pat,) = geom.global_size, geom.local_size
+            sweep_geom = LaunchGeometry((g_pat * n,), (l_pat,))
+        sweep_cost = KernelCost(
+            flops=per_cost.flops * n,
+            bytes_moved=per_cost.bytes_moved * n,
+            n_workgroups=per_cost.n_workgroups * n,
+            working_set_bytes=per_cost.working_set_bytes * n,
+        )
+        self.interface.launch_batch(
+            "kernelEdgeGradientsBatch", batch, sweep_geom, sweep_cost
+        )
+        pw = self._pattern_weights
+        out = np.empty((n, 3))
+        for e in range(n):
+            out[e, 0] = float(np.dot(pw, site_ll[e]))
+            out[e, 1] = float(np.dot(pw, site_d1[e]))
+            out[e, 2] = float(np.dot(pw, site_d2[e]))
+        return out
+
+    def _cumulative_scale_log(self, index: int) -> np.ndarray:
+        if self._d_scales is None:
+            raise BeagleError("instance created without scale buffers")
+        return self.interface.view(
+            self.interface.slot(self._d_scales, index)
+        )
 
     def _dense_partials(self, index: int) -> np.ndarray:
         if index in self._tip_states:

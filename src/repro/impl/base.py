@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core import compute
 from repro.core.flags import OP_NONE, Flag
 from repro.core.plan import (
+    BranchGradientRequest,
     EdgeLikelihoodRequest,
     ExecutionPlan,
     MatrixUpdate,
@@ -33,6 +34,10 @@ from repro.util.errors import (
     InvalidIndexError,
     UnsupportedOperationError,
 )
+
+#: What one plan node evaluates to: a log-likelihood scalar for
+#: root/edge requests, an ``(n_edges, 3)`` array for gradient sweeps.
+PlanResult = Union[float, np.ndarray]
 
 
 class TransitionMatrixCache:
@@ -560,21 +565,20 @@ class BaseImplementation(abc.ABC):
     ) -> None:
         v, v_inv, lam = eigen
         rates = self._category_rates
-        for pos, idx in enumerate(matrix_indices):
-            t = float(branch_lengths[pos])
-            for order, targets in (
-                (1, first_derivative_indices),
-                (2, second_derivative_indices),
-            ):
-                if targets is None:
-                    continue
-                out = np.empty_like(self._matrices[idx])
-                for c, r in enumerate(rates):
-                    scaled = lam * r
-                    diag = (scaled**order) * np.exp(scaled * t)
-                    d = (v * diag) @ v_inv
-                    out[c] = d.real if np.iscomplexobj(d) else d
-                self._matrices[targets[pos]] = out
+        lengths = np.asarray(branch_lengths, dtype=float)
+        for order, targets in (
+            (1, first_derivative_indices),
+            (2, second_derivative_indices),
+        ):
+            if targets is None:
+                continue
+            # The same shared contraction the batched gradient path
+            # uses, so serial and fused derivatives stay bit-identical.
+            d = compute.derivative_matrices_from_eigen(
+                v, v_inv, lam, lengths, rates, order, self.dtype
+            )
+            for pos in range(len(matrix_indices)):
+                self._matrices[targets[pos]] = d[pos]
 
     def update_partials(self, operations: Sequence[Operation]) -> None:
         """Evaluate a dependency-ordered list of partials operations."""
@@ -609,7 +613,7 @@ class BaseImplementation(abc.ABC):
                 )
             )
 
-    def execute_plan(self, plan: ExecutionPlan) -> Dict[int, float]:
+    def execute_plan(self, plan: ExecutionPlan) -> Dict[int, PlanResult]:
         """Replay a recorded :class:`ExecutionPlan` level by level.
 
         Nodes within one level are mutually independent, so each level's
@@ -617,11 +621,12 @@ class BaseImplementation(abc.ABC):
         single batch — the hook threaded and accelerated backends
         override to exploit tree-level concurrency.  Returns a mapping
         of plan-node index to log-likelihood for every recorded root or
-        edge likelihood request.
+        edge likelihood request, and to an ``(n_edges, 3)`` array for
+        every branch-gradient request.
         """
         tracer = self._tracer
         if not tracer.enabled:
-            results: Dict[int, float] = {}
+            results: Dict[int, PlanResult] = {}
             for level in plan.levels():
                 self._run_plan_level(level, results)
             return results
@@ -665,7 +670,7 @@ class BaseImplementation(abc.ABC):
             )
         return results
 
-    def _run_plan_level(self, level, results: Dict[int, float]) -> None:
+    def _run_plan_level(self, level, results: Dict[int, PlanResult]) -> None:
         """Execute one already-grouped plan level into ``results``."""
         level_ops: List[Operation] = []
         for node in level:
@@ -700,6 +705,16 @@ class BaseImplementation(abc.ABC):
                     payload.parent_index,
                     payload.child_index,
                     payload.matrix_index,
+                    payload.category_weights_index,
+                    payload.state_frequencies_index,
+                    payload.cumulative_scale_index,
+                )
+            elif isinstance(payload, BranchGradientRequest):
+                results[node.index] = self.calculate_branch_gradients(
+                    payload.eigen_index,
+                    payload.parent_indices,
+                    payload.child_indices,
+                    payload.branch_lengths,
                     payload.category_weights_index,
                     payload.state_frequencies_index,
                     payload.cumulative_scale_index,
@@ -851,12 +866,134 @@ class BaseImplementation(abc.ABC):
             )
         return logl, d1, d2
 
+    def calculate_branch_gradients(
+        self,
+        eigen_index: int,
+        parent_indices: Sequence[int],
+        child_indices: Sequence[int],
+        branch_lengths: Sequence[float],
+        category_weights_index: int = 0,
+        state_frequencies_index: int = 0,
+        cumulative_scale_index: int = OP_NONE,
+    ) -> np.ndarray:
+        """Edge log-likelihood, d1, and d2 for a whole batch of branches.
+
+        Row ``e`` of the returned ``(n_edges, 3)`` array is ``(logL,
+        dlogL/dt, d^2 logL/dt^2)`` across the edge from
+        ``parent_indices[e]`` to ``child_indices[e]`` at trial length
+        ``branch_lengths[e]``.  The transition matrices and both
+        derivative matrices are derived directly from the eigen system
+        for the given lengths — no matrix buffer is read or written, so
+        the batch can never observe (or leave behind) a stale
+        trial-length matrix, unlike the per-branch path through
+        :meth:`update_transition_matrices` /
+        :meth:`calculate_edge_derivatives`.
+
+        The scale term is a branch-length-independent additive constant:
+        it lands on the log-likelihood column only, never on the
+        derivative columns.
+        """
+        parent_indices = list(parent_indices)
+        child_indices = list(child_indices)
+        lengths = np.asarray(branch_lengths, dtype=float)
+        self._check_eigen(eigen_index)
+        eigen = self._eigen[eigen_index]
+        if eigen is None:
+            raise BeagleError(f"eigen buffer {eigen_index} was never set")
+        if not (len(parent_indices) == len(child_indices) == lengths.size):
+            raise ValueError(
+                "parent, child, and branch-length counts differ"
+            )
+        if lengths.size and np.any(lengths < 0):
+            raise ValueError("branch lengths must be non-negative")
+        for idx in (*parent_indices, *child_indices):
+            self._check_buffer(idx)
+        scale = None
+        if cumulative_scale_index != OP_NONE:
+            self._check_scale(cumulative_scale_index)
+            scale = self._cumulative_scale_log(cumulative_scale_index)
+        if lengths.size == 0:
+            return np.zeros((0, 3))
+        weights = self._category_weights[category_weights_index]
+        frequencies = self._state_frequencies[state_frequencies_index]
+        tracer = self._tracer
+        if not tracer.enabled:
+            return self._compute_branch_gradients(
+                eigen, parent_indices, child_indices, lengths,
+                weights, frequencies, scale,
+            )
+        with tracer.span(
+            "calculate_branch_gradients",
+            kind="call",
+            backend=self.name,
+            n_edges=int(lengths.size),
+        ):
+            out = self._compute_branch_gradients(
+                eigen, parent_indices, child_indices, lengths,
+                weights, frequencies, scale,
+            )
+        metrics = self._metrics
+        metrics.counter("gradient.calls").inc()
+        metrics.counter("gradient.edges").inc(int(lengths.size))
+        return out
+
+    def _compute_branch_gradients(
+        self,
+        eigen: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        parent_indices: List[int],
+        child_indices: List[int],
+        lengths: np.ndarray,
+        category_weights: np.ndarray,
+        state_frequencies: np.ndarray,
+        cumulative_scale_log: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Gradient batch hook; accelerated backends fuse this launch."""
+        v, v_inv, lam = eigen
+        rates = self._category_rates
+        p_mats = compute.matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, self.dtype
+        )
+        d1_mats = compute.derivative_matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, 1, self.dtype
+        )
+        d2_mats = compute.derivative_matrices_from_eigen(
+            v, v_inv, lam, lengths, rates, 2, self.dtype
+        )
+        scale_term = 0.0
+        if cumulative_scale_log is not None:
+            scale_term = float(
+                np.dot(self._pattern_weights, cumulative_scale_log)
+            )
+        out = np.empty((lengths.size, 3))
+        for e in range(lengths.size):
+            logl, d1, d2 = compute.edge_derivatives(
+                self._dense_partials(parent_indices[e]),
+                self._dense_partials(child_indices[e]),
+                p_mats[e],
+                d1_mats[e],
+                d2_mats[e],
+                category_weights,
+                state_frequencies,
+                self._pattern_weights,
+            )
+            out[e] = (logl + scale_term, d1, d2)
+        return out
+
     def get_site_log_likelihoods(self) -> np.ndarray:
         if self._site_log_likelihoods is None:
             raise BeagleError("no likelihood has been calculated yet")
         return np.array(self._site_log_likelihoods)
 
     # -- helpers ---------------------------------------------------------------
+
+    def _cumulative_scale_log(self, index: int) -> np.ndarray:
+        """The live log scale factors for one (validated) scale buffer.
+
+        Accelerated backends override to read the device copy — the host
+        mirror in ``_scale_factors`` is not kept coherent with
+        device-side dynamic rescaling.
+        """
+        return self._scale_factors[index]
 
     def _dense_partials(self, index: int) -> np.ndarray:
         """View any buffer as dense partials (expanding compact tips)."""

@@ -23,11 +23,13 @@ from repro.mcmc.priors import (
 )
 from repro.mcmc.proposals import (
     BranchLengthMultiplier,
+    GradientBranchSweep,
     NNIMove,
     ParameterMultiplier,
     PhyloState,
     ProposalMix,
     default_mix,
+    gradient_mix,
 )
 from repro.mcmc.summary import (
     PosteriorSummary,
@@ -66,9 +68,11 @@ __all__ = [
     "PhyloState",
     "ProposalMix",
     "BranchLengthMultiplier",
+    "GradientBranchSweep",
     "NNIMove",
     "ParameterMultiplier",
     "default_mix",
+    "gradient_mix",
     "MrBayesRunner",
     "MrBayesRun",
     "AnalysisSpec",

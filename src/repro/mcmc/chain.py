@@ -63,6 +63,19 @@ class BeagleBackend:
     def initial(self, state: PhyloState) -> float:
         return self.tl.log_likelihood()
 
+    def branch_gradients(self, node_indices) -> np.ndarray:
+        """Batched ``(logL, d1, d2)`` rows for the branches above
+        ``node_indices`` at the tree's current lengths.
+
+        The gradient provider for
+        :class:`repro.mcmc.proposals.GradientBranchSweep`: one upward
+        and one downward traversal plus a single fused gradient launch,
+        regardless of how many branches are asked for.  Requires the
+        backend to have been built with ``enable_upper_partials=True``
+        (and without scaling).
+        """
+        return self.tl.branch_gradient(node_indices)
+
     def propose_eval(self, state: PhyloState, pr: ProposalResult) -> float:
         if pr.parameters_changed:
             self._refresh_model(state)

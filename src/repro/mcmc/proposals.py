@@ -86,6 +86,90 @@ class BranchLengthMultiplier(Proposal):
         )
 
 
+class GradientBranchSweep(Proposal):
+    """MALA move over *all* branch lengths, driven by batched gradients.
+
+    A Metropolis-adjusted Langevin proposal in log branch-length space:
+    with ``theta = log t`` and step size ``eps``, the drifted mean is
+    ``mu(theta) = theta + (eps^2 / 2) * t * dlogL/dt`` (the chain rule
+    maps the analytic ``d logL/dt`` into theta-space) and the proposal
+    draws ``theta' = mu(theta) + eps * z``.  The log Hastings ratio is
+    the usual MALA correction plus the ``sum(theta' - theta)`` Jacobian
+    for proposing in log space while the state lives in t-space.
+
+    ``gradient_provider(node_indices)`` must return the batched
+    ``(n_edges, 3)`` gradient array for the branches above those nodes,
+    evaluated at the tree's *current* lengths — e.g.
+    :meth:`repro.mcmc.chain.BeagleBackend.branch_gradients`.  Each
+    proposal costs two batched gradient evaluations (current and
+    proposed state), i.e. four traversals total, independent of the
+    branch count — versus one full evaluation per branch for
+    single-branch sweeps.
+
+    Non-finite gradients degrade gracefully: at the current state the
+    move becomes a null proposal; at the proposed state the move is
+    forced to reject (``log_hastings = -inf``), so the chain never
+    accepts a state it cannot evaluate.
+    """
+
+    name = "gradient-branch-sweep"
+
+    def __init__(
+        self,
+        gradient_provider: Callable[[Sequence[int]], np.ndarray],
+        step_size: float = 0.05,
+    ) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.gradient_provider = gradient_provider
+        self.step_size = step_size
+
+    def propose(self, state: PhyloState, rng) -> ProposalResult:
+        nodes = [n for n in state.tree.root.postorder() if not n.is_root]
+        indices = [n.index for n in nodes]
+        old = np.array([n.branch_length for n in nodes], dtype=float)
+
+        grads = np.asarray(self.gradient_provider(indices))
+        d1 = grads[:, 1]
+        if not np.all(np.isfinite(d1)):
+            return ProposalResult(0.0, [], False, False, lambda: None)
+
+        eps = self.step_size
+        # Zero-length branches have no log-coordinate; evaluate the
+        # drift from a tiny floor instead (undo still restores exactly).
+        theta = np.log(np.maximum(old, 1e-12))
+        drift = theta + 0.5 * eps * eps * old * d1
+        theta_new = drift + eps * rng.standard_normal(len(nodes))
+        new = np.exp(theta_new)
+
+        for node, t in zip(nodes, new):
+            node.branch_length = float(t)
+
+        def undo() -> None:
+            for node, t in zip(nodes, old):
+                node.branch_length = float(t)
+
+        grads_new = np.asarray(self.gradient_provider(indices))
+        d1_new = grads_new[:, 1]
+        if not np.all(np.isfinite(d1_new)):
+            return ProposalResult(
+                float("-inf"), indices, False, False, undo
+            )
+        drift_new = theta_new + 0.5 * eps * eps * new * d1_new
+        log_hastings = float(
+            (np.sum((theta_new - drift) ** 2)
+             - np.sum((theta - drift_new) ** 2)) / (2.0 * eps * eps)
+            + np.sum(theta_new - theta)
+        )
+        return ProposalResult(
+            log_hastings=log_hastings,
+            dirty_nodes=indices,
+            topology_changed=False,
+            parameters_changed=False,
+            undo=undo,
+        )
+
+
 class NNIMove(Proposal):
     """Nearest-neighbour interchange around a random internal edge.
 
@@ -193,4 +277,24 @@ def default_mix(parameters: Sequence[str]) -> ProposalMix:
     for p in parameters:
         proposals.append(ParameterMultiplier(p))
         weights.append(1.0)
+    return ProposalMix(proposals, weights)
+
+
+def gradient_mix(
+    parameters: Sequence[str],
+    gradient_provider: Callable[[Sequence[int]], np.ndarray],
+    sweep_weight: float = 5.0,
+    step_size: float = 0.05,
+) -> ProposalMix:
+    """:func:`default_mix` plus a batched-gradient MALA branch sweep.
+
+    ``gradient_provider`` is typically
+    :meth:`repro.mcmc.chain.BeagleBackend.branch_gradients`, which needs
+    the backend built with ``enable_upper_partials=True``.
+    """
+    base = default_mix(parameters)
+    proposals = list(base.proposals)
+    weights = list(base.weights)
+    proposals.append(GradientBranchSweep(gradient_provider, step_size))
+    weights.append(sweep_weight)
     return ProposalMix(proposals, weights)

@@ -132,6 +132,11 @@ def optimize_root_edge_newton(
     for iteration in range(max_iterations):
         logl, d1, d2 = tl.root_edge_derivatives(total)
         evaluations += 1
+        if not (np.isfinite(d1) and np.isfinite(d2)):
+            # A non-finite derivative (underflowed site likelihood)
+            # would turn the Newton step into NaN; keep the last good
+            # length instead of polluting the tree with it.
+            break
         if abs(d1) < tolerance:
             break
         if d2 < 0:
@@ -172,13 +177,18 @@ def optimize_branch_lengths_newton(
     Requires the tree likelihood to have been created with
     ``enable_upper_partials=True``.  Each sweep freezes the current
     lower/upper partials — the per-branch likelihood as a function of its
-    *own* length is exact under that freeze — runs a few Newton steps per
-    branch (coordinate optimisation), then applies all proposals at once
-    (Jacobi style) with backtracking if the joint step overshoots.
+    *own* length is exact under that freeze — runs a few *batched* Newton
+    rounds (one fused gradient launch evaluates every still-active branch
+    per round), then applies all proposals at once (Jacobi style) with
+    backtracking if the joint step overshoots.
 
     Far fewer likelihood evaluations than the Brent scheme
-    (:func:`optimize_branch_lengths`): one derivative evaluation per
-    Newton step instead of several full evaluations per Brent bracket.
+    (:func:`optimize_branch_lengths`): one batched gradient evaluation
+    per Newton round for *all* branches, instead of several full
+    evaluations per branch per Brent bracket.  Branches whose analytic
+    derivatives go non-finite (underflowed site likelihood, impossible
+    pattern) drop out of the Newton rounds and keep their sweep-start
+    length.
     """
     upper = tl.upper  # raises if not enabled
     best = tl.log_likelihood()
@@ -194,19 +204,36 @@ def optimize_branch_lengths_newton(
             idx: tl.tree.node_by_index(idx).branch_length
             for idx in node_indices
         }
-        proposals: dict = {}
-        for idx in node_indices:
-            t = old_lengths[idx]
-            for _ in range(newton_iterations):
-                _, d1, d2 = upper.branch_derivatives(idx, t)
-                evaluations += 1
+        proposals: Dict[int, float] = dict(old_lengths)
+        active = list(node_indices)
+        for _ in range(newton_iterations):
+            if not active:
+                break
+            # The batched gradient derives matrices from the eigen
+            # system at the tree's current lengths, so trial lengths go
+            # through the tree — no matrix buffer is ever disturbed.
+            for idx in active:
+                tl.tree.node_by_index(idx).branch_length = proposals[idx]
+            grads = upper.branch_gradients(active)
+            evaluations += 1
+            still_active = []
+            for row, idx in enumerate(active):
+                d1, d2 = grads[row, 1], grads[row, 2]
+                if not (np.isfinite(d1) and np.isfinite(d2)):
+                    # Bail out of Newton for this branch: a NaN/inf step
+                    # would propose garbage.  Fall back to the length it
+                    # entered the sweep with.
+                    proposals[idx] = old_lengths[idx]
+                    continue
                 if abs(d1) < 1e-10:
-                    break
+                    continue
                 step = -d1 / d2 if d2 < 0 else 0.1 * d1 / (abs(d2) + 1.0)
-                t = min(max(t + step, _MIN_BRANCH), _MAX_BRANCH)
-            proposals[idx] = t
-        # Restore the matrices branch_derivatives may have left at trial
-        # lengths, then apply the joint Jacobi step with backtracking.
+                proposals[idx] = min(
+                    max(proposals[idx] + step, _MIN_BRANCH), _MAX_BRANCH
+                )
+                still_active.append(idx)
+            active = still_active
+        # Apply the joint Jacobi step with backtracking.
         damping = 1.0
         improved = False
         for _ in range(6):

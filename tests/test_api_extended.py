@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import Flag, InstanceConfig
 from repro.core.api import (
+    beagle_calculate_branch_gradients,
     beagle_calculate_edge_derivatives,
     beagle_create_instance,
     beagle_finalize_instance,
@@ -86,6 +87,47 @@ class TestExtendedAPI:
         )
         assert rc == 0
         assert ll[0] < 0 and np.isfinite(d1[0]) and np.isfinite(d2[0])
+
+    def test_branch_gradients_match_edge_derivatives(self, instance):
+        _load_basics(instance)
+        assert beagle_update_transition_matrices(
+            instance, 0, [0, 1], [0.1, 0.2]
+        ) == 0
+        assert beagle_update_partials(
+            instance, [(3, -1, -1, 0, 0, 1, 1)]
+        ) == 0
+        assert beagle_update_transition_matrices(
+            instance, 0, [2], [0.3],
+            first_derivative_indices=[3],
+            second_derivative_indices=[4],
+        ) == 0
+        ll = np.zeros(1)
+        d1 = np.zeros(1)
+        d2 = np.zeros(1)
+        assert beagle_calculate_edge_derivatives(
+            instance, [3], [0], [2], [3], [4], [0], [0], [-1], ll, d1, d2
+        ) == 0
+        # The batched entry point evaluates the same edge (twice, to
+        # exercise batching) without any matrix buffers being set up.
+        gll = np.zeros(2)
+        gd1 = np.zeros(2)
+        gd2 = np.zeros(2)
+        rc = beagle_calculate_branch_gradients(
+            instance, 0, [3, 3], [0, 0], [0.3, 0.3], 0, 0, -1,
+            gll, gd1, gd2,
+        )
+        assert rc == 0
+        for out, ref in ((gll, ll[0]), (gd1, d1[0]), (gd2, d2[0])):
+            assert np.allclose(out, ref, rtol=1e-12, atol=1e-10)
+
+    def test_branch_gradients_bad_lengths_error_code(self, instance):
+        _load_basics(instance)
+        out = np.zeros(1)
+        rc = beagle_calculate_branch_gradients(
+            instance, 0, [3], [0], [-0.5], 0, 0, -1, out, out.copy(),
+            out.copy(),
+        )
+        assert rc < 0
 
     def test_get_scale_factors(self, instance):
         _load_basics(instance)

@@ -1,0 +1,341 @@
+"""Cluster scheduler benchmark: placement, calibration, failover, scaling.
+
+Exercises :mod:`repro.cluster` on simulated device fleets and reports
+the four headline qualities of the scheduler, all in *simulated device
+seconds* so the numbers are deterministic and CI-stable:
+
+* **placement quality** — predicted makespan of the calibrated LPT
+  bin-pack against :func:`repro.cluster.makespan_lower_bound` on a
+  heterogeneous (fast + slowed) two-node fleet;
+* **calibration convergence** — evaluation rounds until the EWMA node
+  rates settle within 1% of their final values, starting from the
+  neutral prior (raw device specs carry no perf-model key);
+* **node-loss recovery** — a :mod:`repro.resil` device-loss kills one
+  node mid-analysis; the recovered log-likelihood must be bit-identical
+  to :func:`repro.cluster.serial_shard_sum`, and the overhead is the
+  fraction of shards that had to migrate;
+* **scaling** — fixed-shard throughput on 1 vs 8 identical nodes.
+
+Run standalone for CI (exits non-zero on parity or quality failures)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --assert \
+        --json cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.accel.device import QUADRO_P5000
+from repro.cluster import (
+    ClusterSession,
+    makespan_lower_bound,
+    pack_shards,
+)
+from repro.core.flags import Flag
+from repro.core.manager import ResourceManager
+from repro.model import HKY85, SiteModel
+from repro.resil import FaultEvent, FaultPlan, RetryPolicy
+from repro.seq import synthetic_pattern_set
+from repro.tree import yule_tree
+from repro.util.tables import format_table
+
+#: Calibrated LPT placement must land within this factor of the
+#: indivisible-shard lower bound.
+PLACEMENT_BUDGET = 1.35
+
+#: Node rates count as calibrated once within this of their final value.
+CALIBRATION_TOLERANCE = 0.01
+
+
+def _workload(tips: int, patterns: int):
+    tree = yule_tree(tips, rng=3)
+    model = HKY85(kappa=2.0)
+    site_model = SiteModel.gamma(0.5, 4)
+    data = synthetic_pattern_set(tips, patterns, 4, rng=11)
+    return tree, model, site_model, data
+
+
+def _device(ratio: float = 1.0, name: str = None) -> dict:
+    """One simulated CUDA device request, optionally slowed."""
+    dev = QUADRO_P5000 if ratio == 1.0 and name is None else (
+        QUADRO_P5000.slowed(ratio, name=name or f"sim-slow-{ratio:g}x")
+    )
+    return dict(
+        requirement_flags=Flag.FRAMEWORK_CUDA,
+        manager=ResourceManager([dev]),
+    )
+
+
+def _hetero_nodes(ratio: float) -> dict:
+    """Two single-device nodes ``ratio`` apart in speed.
+
+    Raw device specs get the neutral throughput prior, so the packer
+    starts blind and must *learn* the speed gap from the EWMA.
+    """
+    return {
+        "fast": {"fast-dev0": _device()},
+        "slow": {"slow-dev0": _device(ratio)},
+    }
+
+
+def _uniform_nodes(count: int) -> dict:
+    return {
+        f"n{i}": {f"n{i}-dev0": _device()} for i in range(count)
+    }
+
+
+def _calibration_rounds(history: list) -> int:
+    """First 1-based round after which every rate stays within
+    :data:`CALIBRATION_TOLERANCE` of its final value."""
+    final = history[-1]
+    for i, rates in enumerate(history):
+        drift = max(
+            abs(rates[name] - final[name]) / final[name] for name in final
+        )
+        if drift <= CALIBRATION_TOLERANCE:
+            return i + 1
+    return len(history)
+
+
+def _predicted_makespan(session: ClusterSession) -> tuple:
+    """(predicted makespan, lower bound) of one job under the
+    session's *calibrated* rates."""
+    job = session.submit()
+    job.result()
+    rates = session.rates()
+    _, predicted = pack_shards(job.shards, rates)
+    return predicted, makespan_lower_bound(job.shards, rates)
+
+
+def measure_placement(tips: int, patterns: int, ratio: float,
+                      evaluations: int) -> dict:
+    """Heterogeneous fleet: calibration convergence + packing quality."""
+    tree, model, site_model, data = _workload(tips, patterns)
+    with ClusterSession(
+        data, tree, model, site_model,
+        nodes=_hetero_nodes(ratio), n_shards=8,
+    ) as cs:
+        serial = cs.serial_baseline()
+        history = []
+        for _ in range(evaluations):
+            ll = cs.log_likelihood()
+            history.append(cs.rates())
+        predicted, bound = _predicted_makespan(cs)
+        report = cs.node_report()
+    return {
+        "device_ratio": ratio,
+        "log_likelihood": ll,
+        "serial_baseline": serial,
+        "bit_identical": ll == serial,
+        "calibration_rounds": _calibration_rounds(history),
+        "rates": history[-1],
+        "node_report": [
+            {"node": n, "capacity": c, "rate": r, "completed": done}
+            for n, c, r, done in report
+        ],
+        "predicted_makespan_s": predicted,
+        "lower_bound_s": bound,
+        "placement_vs_optimal": predicted / bound,
+    }
+
+
+def measure_recovery(tips: int, patterns: int, ratio: float) -> dict:
+    """Device-loss mid-analysis: parity with the serial baseline plus
+    the migration overhead of the re-pack."""
+    tree, model, site_model, data = _workload(tips, patterns)
+    plan = FaultPlan([FaultEvent(kind="device-loss", label="fast", at=1)])
+    with ClusterSession(
+        data, tree, model, site_model,
+        nodes=_hetero_nodes(ratio), n_shards=6,
+        retry_policy=RetryPolicy(), fault_plan=plan,
+    ) as cs:
+        serial = cs.serial_baseline()
+        ll = cs.log_likelihood()
+        events = cs.node_loss_events()
+        migrations = cs.migrations
+        quarantined = sorted(cs.quarantined())
+    n_shards = 6
+    return {
+        "log_likelihood": ll,
+        "serial_baseline": serial,
+        "bit_identical": ll == serial,
+        "node_loss_events": len(events),
+        "lost_nodes": quarantined,
+        "migrations": migrations,
+        "n_shards": n_shards,
+        "recovery_overhead": migrations / n_shards,
+    }
+
+
+def measure_scaling(tips: int, patterns: int, n_shards: int,
+                    evaluations: int) -> dict:
+    """Fixed-shard throughput on 1 vs 8 identical nodes."""
+    tree, model, site_model, data = _workload(tips, patterns)
+    per_count = {}
+    for count in (1, 8):
+        with ClusterSession(
+            data, tree, model, site_model,
+            nodes=_uniform_nodes(count), n_shards=n_shards,
+        ) as cs:
+            for _ in range(evaluations):
+                cs.log_likelihood()
+            predicted, _ = _predicted_makespan(cs)
+        per_count[count] = {
+            "nodes": count,
+            "makespan_s": predicted,
+            "throughput_patterns_s": patterns / predicted,
+        }
+    t1 = per_count[1]["throughput_patterns_s"]
+    t8 = per_count[8]["throughput_patterns_s"]
+    return {
+        "n_shards": n_shards,
+        "per_count": per_count,
+        "throughput_1node": t1,
+        "throughput_8node": t8,
+        "scaling_efficiency_8": t8 / (8 * t1),
+    }
+
+
+def measure(
+    tips: int = 12,
+    patterns: int = 6_000,
+    ratio: float = 4.0,
+    evaluations: int = 5,
+) -> dict:
+    return {
+        "workload": {
+            "tips": tips,
+            "patterns": patterns,
+            "device_ratio": ratio,
+            "evaluations": evaluations,
+        },
+        "placement": measure_placement(tips, patterns, ratio, evaluations),
+        "recovery": measure_recovery(tips, patterns, ratio),
+        "scaling": measure_scaling(tips, patterns, 16, 2),
+    }
+
+
+def report_table(report: dict) -> str:
+    placement = report["placement"]
+    recovery = report["recovery"]
+    scaling = report["scaling"]
+    rows = [
+        ["placement vs optimal",
+         f"{placement['placement_vs_optimal']:.3f}x",
+         f"budget {PLACEMENT_BUDGET}x"],
+        ["calibration rounds",
+         str(placement["calibration_rounds"]),
+         f"of {report['workload']['evaluations']}"],
+        ["recovery overhead",
+         f"{recovery['recovery_overhead']:.3f}",
+         f"{recovery['migrations']}/{recovery['n_shards']} shards"],
+        ["node-loss parity",
+         "bit-identical" if recovery["bit_identical"] else "MISMATCH",
+         f"{recovery['log_likelihood']:.6f}"],
+        ["scaling efficiency (8 nodes)",
+         f"{scaling['scaling_efficiency_8']:.3f}",
+         f"{scaling['throughput_1node']:.0f} -> "
+         f"{scaling['throughput_8node']:.0f} patt/s"],
+    ]
+    return format_table(
+        ["metric", "value", "detail"], rows,
+        title="Cluster scheduler (simulated fleets)",
+    )
+
+
+def check(report: dict) -> list:
+    """Parity + quality assertions; returns failure messages."""
+    failures = []
+    placement = report["placement"]
+    recovery = report["recovery"]
+    scaling = report["scaling"]
+    if not placement["bit_identical"]:
+        failures.append(
+            f"clean cluster ll {placement['log_likelihood']!r} != serial "
+            f"baseline {placement['serial_baseline']!r}"
+        )
+    if not recovery["bit_identical"]:
+        failures.append(
+            f"post-failover ll {recovery['log_likelihood']!r} != serial "
+            f"baseline {recovery['serial_baseline']!r}"
+        )
+    if recovery["node_loss_events"] == 0:
+        failures.append("fault plan fired no node-loss event")
+    if placement["placement_vs_optimal"] > PLACEMENT_BUDGET:
+        failures.append(
+            f"placement is {placement['placement_vs_optimal']:.3f}x the "
+            f"lower bound (budget {PLACEMENT_BUDGET}x)"
+        )
+    efficiency = scaling["scaling_efficiency_8"]
+    if not 0.5 <= efficiency <= 1.05:
+        failures.append(
+            f"8-node scaling efficiency {efficiency:.3f} outside [0.5, 1.05]"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulated cluster scheduler"
+    )
+    parser.add_argument("--tips", type=int, default=12)
+    parser.add_argument("--patterns", type=int, default=6_000)
+    parser.add_argument("--ratio", type=float, default=4.0,
+                        help="heterogeneous fleet speed ratio")
+    parser.add_argument("--evaluations", type=int, default=5)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON")
+    parser.add_argument(
+        "--assert", dest="check", action="store_true",
+        help="exit 1 on parity or placement-quality failures",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(
+        tips=args.tips, patterns=args.patterns,
+        ratio=args.ratio, evaluations=args.evaluations,
+    )
+    print(report_table(report))
+    recovery = report["recovery"]
+    print(
+        f"\nnode loss: {recovery['lost_nodes']} after "
+        f"{recovery['node_loss_events']} event(s), "
+        f"{recovery['migrations']} shard(s) migrated, "
+        f"parity {'ok' if recovery['bit_identical'] else 'BROKEN'}"
+    )
+
+    try:
+        from benchmarks.trajectory import write_record
+    except ImportError:
+        from trajectory import write_record
+    write_record("cluster", {
+        "tips": args.tips,
+        "patterns": args.patterns,
+        "ratio": args.ratio,
+        "placement_vs_optimal": report["placement"]["placement_vs_optimal"],
+        "calibration_rounds": report["placement"]["calibration_rounds"],
+        "recovery_overhead": report["recovery"]["recovery_overhead"],
+        "throughput_1node": report["scaling"]["throughput_1node"],
+        "throughput_8node": report["scaling"]["throughput_8node"],
+        "scaling_efficiency_8": report["scaling"]["scaling_efficiency_8"],
+    })
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote report to {args.json}")
+
+    if args.check:
+        failures = check(report)
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,14 @@ def test_regenerate_fig4_nucleotide(benchmark, record):
     x86 = headers.index("OpenCL-x86: Intel Xeon E5-2680v4 x2")
     serial = headers.index("C++ serial: Intel Xeon E5-2680")
 
+    from benchmarks.trajectory import write_record
+
+    write_record("fig4_throughput", {
+        "panel": "nucleotide",
+        "patterns": 475_081,
+        "nucleotide_gflops": by_patterns[475_081][r9],
+    })
+
     # Text anchor: 444.92 GFLOPS at 475,081 patterns, ~58x serial.
     assert abs(by_patterns[475_081][r9] - 444.92) / 444.92 < 0.05
     assert 45 < by_patterns[475_081][r9] / by_patterns[475_081][serial] < 70
@@ -42,6 +50,14 @@ def test_regenerate_fig4_codon(benchmark, record):
     r9 = headers.index("OpenCL-GPU: AMD Radeon R9 Nano")
     x86 = headers.index("OpenCL-x86: Intel Xeon E5-2680v4 x2")
     serial = headers.index("C++ serial: Intel Xeon E5-2680")
+
+    from benchmarks.trajectory import write_record
+
+    write_record("fig4_throughput", {
+        "panel": "codon",
+        "patterns": 28_419,
+        "codon_gflops": by_patterns[28_419][r9],
+    })
 
     # Text anchors: 1324.19 GFLOPS at 28,419 patterns = ~253x serial,
     # ~2x the OpenCL-x86 CPU solution.

@@ -27,6 +27,14 @@ def test_regenerate_fig5(benchmark, record):
     threads = [row[0] for row in result.rows]
     assert [pool[t] for t in threads] == sorted(pool[t] for t in threads)
 
+    from benchmarks.trajectory import write_record
+
+    write_record("fig5_scaling", {
+        "threads_max": max(threads),
+        "pool_speedup": max(pool.values()) / pool[1],
+        "x86_speedup": max(x86.values()) / x86[1],
+    })
+
 
 @pytest.mark.parametrize("threads", [1, 2, 4])
 def test_pool_thread_counts(benchmark, threads):

@@ -81,6 +81,16 @@ def test_kernel_launch_batching(record):
     )
     record("plan_batching_launches", table)
 
+    from benchmarks.trajectory import write_record
+
+    speedups = {row[0]: row[6] for row in rows}
+    write_record("plan_batching", {
+        "tips": 16,
+        "patterns": 4000,
+        "per_device": speedups,
+        "deferred_speedup": min(speedups.values()),
+    })
+
 
 @pytest.mark.parametrize("mode", ["eager", "deferred"])
 def test_threadpool_partials_pass(benchmark, mode):

@@ -34,9 +34,17 @@ def test_regenerate_table3(benchmark, record):
         assert pool > futures > serial
         assert pool > create > serial
         # Model-vs-paper agreement within 25% per cell.
-    for row in result.rows:
-        for model_col, paper_col in ((1, 2), (3, 4), (5, 6), (7, 8)):
-            assert abs(row[model_col] - row[paper_col]) / row[paper_col] < 0.25
+    max_rel_error = max(
+        abs(row[model_col] - row[paper_col]) / row[paper_col]
+        for row in result.rows
+        for model_col, paper_col in ((1, 2), (3, 4), (5, 6), (7, 8))
+    )
+
+    from benchmarks.trajectory import write_record
+
+    write_record("table3_threading", {"max_rel_error": max_rel_error})
+
+    assert max_rel_error < 0.25
 
 
 @pytest.mark.parametrize("design", list(DESIGNS))

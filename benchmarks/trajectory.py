@@ -22,9 +22,46 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _load_payload(path: Path, name: str, context: str):
+    """Parse one trajectory file, or ``None`` for missing/unusable.
+
+    A *missing* file is the normal first-run case and stays silent; a
+    file that exists but is corrupt (truncated JSON, foreign shape) is
+    worth a :class:`RuntimeWarning` — the committed trajectory is being
+    re-seeded and its history ignored.
+    """
+    try:
+        text = path.read_text()
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        warnings.warn(
+            f"trajectory file {path} is corrupt ({exc}); {context}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("benchmark") != name
+        or not isinstance(payload.get("records"), list)
+    ):
+        warnings.warn(
+            f"trajectory file {path} has an unexpected shape "
+            f"(expected benchmark {name!r} with a records list); {context}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return payload
 
 
 def write_record(name: str, record: dict, results_dir=None) -> Path:
@@ -37,15 +74,8 @@ def write_record(name: str, record: dict, results_dir=None) -> Path:
     directory = Path(results_dir) if results_dir else RESULTS_DIR
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    try:
-        payload = json.loads(path.read_text())
-        if (
-            not isinstance(payload, dict)
-            or payload.get("benchmark") != name
-            or not isinstance(payload.get("records"), list)
-        ):
-            payload = {"benchmark": name, "records": []}
-    except (FileNotFoundError, OSError, json.JSONDecodeError):
+    payload = _load_payload(path, name, "restarting the trajectory")
+    if payload is None:
         payload = {"benchmark": name, "records": []}
     entry = dict(record)
     entry.setdefault("run", len(payload["records"]) + 1)
@@ -61,12 +91,7 @@ def read_records(name: str, results_dir=None) -> list:
     """The recorded trajectory for ``name`` (empty if none yet)."""
     directory = Path(results_dir) if results_dir else RESULTS_DIR
     path = directory / f"BENCH_{name}.json"
-    try:
-        payload = json.loads(path.read_text())
-    except (FileNotFoundError, OSError, json.JSONDecodeError):
+    payload = _load_payload(path, name, "treating the trajectory as empty")
+    if payload is None:
         return []
-    if isinstance(payload, dict) and isinstance(
-        payload.get("records"), list
-    ):
-        return payload["records"]
-    return []
+    return payload["records"]

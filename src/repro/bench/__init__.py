@@ -1,5 +1,12 @@
-"""Benchmarking substrate: genomictest, throughput accounting, harnesses."""
+"""Benchmarking substrate: genomictest, throughput, regression harness."""
 
+from repro.bench.regression import (
+    BENCHMARK_METRICS,
+    MetricSpec,
+    RegressionFinding,
+    compare_record,
+    compare_trajectory,
+)
 from repro.bench.genomictest import (
     BACKEND_FLAGS,
     GenomictestResult,
@@ -37,4 +44,9 @@ __all__ = [
     "fig5_scaling",
     "fig6_mrbayes",
     "fig6_speedup",
+    "BENCHMARK_METRICS",
+    "MetricSpec",
+    "RegressionFinding",
+    "compare_record",
+    "compare_trajectory",
 ]

@@ -1,0 +1,259 @@
+"""ReFrame-style perf-regression harness over ``BENCH_*.json`` records.
+
+Every benchmark appends a machine-readable record to its trajectory
+file (``benchmarks/trajectory.py``); until now nothing read them back.
+This module closes the loop: a **candidate** record (by default the
+newest in the trajectory) is compared against the **baseline** (the
+median of the earlier records, per metric) under per-metric,
+direction-aware tolerance bands:
+
+* ``higher-better`` metrics (throughput, speedup, scaling efficiency)
+  regress when the candidate falls below ``baseline * (1 - tolerance)``;
+* ``lower-better`` metrics (latency, overhead, vs-optimum ratios)
+  regress when the candidate rises above ``baseline * (1 + tolerance)``.
+
+Moves in the *good* direction never alarm, however large — an
+improvement simply becomes the new trajectory.  Edge cases are
+deliberately soft: an empty baseline (first record ever) passes and
+seeds the trajectory, and a metric missing from the baseline is
+reported as informational, not gated — only a metric that *was* tracked
+and got worse fails the gate (``tools/check_regression.py``).
+
+The registry :data:`BENCHMARK_METRICS` names, per benchmark, which
+record keys are gated and how; dotted keys index into nested dicts
+(``"seconds_per_call.baseline"``).  Tolerances are wide for wall-clock
+metrics and tight for simulated-time metrics, which are deterministic.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "BENCHMARK_METRICS",
+    "MetricSpec",
+    "RegressionFinding",
+    "baseline_value",
+    "compare_record",
+    "compare_trajectory",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One gated metric: where to find it and what "worse" means."""
+
+    name: str
+    direction: str  # "higher-better" | "lower-better"
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher-better", "lower-better"):
+            raise ValueError(
+                f"direction must be 'higher-better' or 'lower-better', "
+                f"got {self.direction!r}"
+            )
+        if self.tolerance <= 0:
+            raise ValueError(
+                f"tolerance must be positive, got {self.tolerance}"
+            )
+
+
+@dataclass
+class RegressionFinding:
+    """One metric's verdict for a candidate record."""
+
+    benchmark: str
+    metric: str
+    direction: str
+    tolerance: float
+    baseline: Optional[float]
+    candidate: Optional[float]
+    regressed: bool
+    reason: str
+
+    def format(self) -> str:
+        status = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"[{status}] {self.benchmark}.{self.metric}: {self.reason}"
+        )
+
+
+#: Benchmark name -> gated metrics.  Simulated-time metrics get tight
+#: bands (they are deterministic); wall-clock metrics get wide ones.
+BENCHMARK_METRICS: Dict[str, List[MetricSpec]] = {
+    "cluster": [
+        MetricSpec("placement_vs_optimal", "lower-better", 0.10),
+        MetricSpec("calibration_rounds", "lower-better", 0.50),
+        MetricSpec("recovery_overhead", "lower-better", 0.25),
+        MetricSpec("scaling_efficiency_8", "higher-better", 0.10),
+        MetricSpec("throughput_1node", "higher-better", 0.15),
+        MetricSpec("throughput_8node", "higher-better", 0.15),
+    ],
+    "multi_device": [
+        MetricSpec("vs_optimum", "lower-better", 0.15),
+        MetricSpec("rebalanced_s", "lower-better", 0.15),
+    ],
+    "resilience": [
+        MetricSpec("recovery_overhead_s", "lower-better", 0.30),
+    ],
+    # gradients records sweep problem sizes (n_branches 8..64), so only
+    # the dimensionless speedup is comparable across the trajectory.
+    "gradients": [
+        MetricSpec("speedup", "higher-better", 0.15),
+    ],
+    "autotune": [
+        MetricSpec("gain", "higher-better", 0.30),
+    ],
+    "serving": [
+        MetricSpec("throughput_rps", "higher-better", 0.40),
+    ],
+    "obs_overhead": [
+        MetricSpec("disabled_vs_baseline", "lower-better", 0.30),
+    ],
+    "plan_batching": [
+        MetricSpec("deferred_speedup", "higher-better", 0.20),
+    ],
+    "fig4_throughput": [
+        MetricSpec("nucleotide_gflops", "higher-better", 0.10),
+        MetricSpec("codon_gflops", "higher-better", 0.10),
+    ],
+    "fig5_scaling": [
+        MetricSpec("pool_speedup", "higher-better", 0.10),
+    ],
+    "table3_threading": [
+        MetricSpec("max_rel_error", "lower-better", 0.10),
+    ],
+}
+
+
+def _lookup(record: Mapping[str, Any], name: str) -> Optional[float]:
+    """Resolve a (possibly dotted) metric key to a float, else None."""
+    value: Any = record
+    for part in name.split("."):
+        if not isinstance(value, Mapping) or part not in value:
+            return None
+        value = value[part]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def baseline_value(
+    records: Sequence[Mapping[str, Any]], metric: MetricSpec
+) -> Optional[float]:
+    """The baseline for one metric: the median over records holding it.
+
+    The median keeps one outlier run (a loaded CI machine) from
+    dragging the band; ``None`` when no baseline record has the metric.
+    """
+    values = [
+        v for v in (_lookup(r, metric.name) for r in records)
+        if v is not None
+    ]
+    if not values:
+        return None
+    return float(statistics.median(values))
+
+
+def compare_record(
+    benchmark: str,
+    candidate: Mapping[str, Any],
+    baseline_records: Sequence[Mapping[str, Any]],
+    metrics: Optional[Sequence[MetricSpec]] = None,
+) -> List[RegressionFinding]:
+    """Compare one candidate record against a baseline trajectory.
+
+    Returns one finding per registered metric.  Only findings with
+    ``regressed=True`` should gate; the rest are informational
+    (seeding, metric missing from baseline or candidate, in-band moves,
+    improvements).
+    """
+    if metrics is None:
+        metrics = BENCHMARK_METRICS.get(benchmark, [])
+    findings: List[RegressionFinding] = []
+    for metric in metrics:
+        cand = _lookup(candidate, metric.name)
+        base = baseline_value(baseline_records, metric)
+        if cand is None:
+            findings.append(
+                RegressionFinding(
+                    benchmark, metric.name, metric.direction,
+                    metric.tolerance, base, None, False,
+                    "metric absent from candidate record",
+                )
+            )
+            continue
+        if base is None:
+            findings.append(
+                RegressionFinding(
+                    benchmark, metric.name, metric.direction,
+                    metric.tolerance, None, cand, False,
+                    "no baseline yet (seeding the trajectory)",
+                )
+            )
+            continue
+        if metric.direction == "higher-better":
+            bound = base * (1.0 - metric.tolerance)
+            regressed = cand < bound
+            verb = "fell below" if regressed else "within band of"
+        else:
+            bound = base * (1.0 + metric.tolerance)
+            regressed = cand > bound
+            verb = "rose above" if regressed else "within band of"
+        findings.append(
+            RegressionFinding(
+                benchmark, metric.name, metric.direction,
+                metric.tolerance, base, cand, regressed,
+                f"candidate {cand:.6g} {verb} baseline {base:.6g} "
+                f"(±{metric.tolerance:.0%}, {metric.direction})",
+            )
+        )
+    return findings
+
+
+def _read_records(benchmark: str, results_dir: Any) -> List[Dict[str, Any]]:
+    """Trajectory records via ``benchmarks/trajectory.py`` when it is
+    importable (repo checkouts), else a minimal direct read."""
+    try:
+        from benchmarks.trajectory import read_records
+    except ImportError:
+        import json
+        from pathlib import Path
+
+        if results_dir is None:
+            return []
+        path = Path(results_dir) / f"BENCH_{benchmark}.json"
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            return []
+        records = payload.get("records") if isinstance(payload, dict) else None
+        return records if isinstance(records, list) else []
+    return list(read_records(benchmark, results_dir=results_dir))
+
+
+def compare_trajectory(
+    benchmark: str,
+    results_dir: Any = None,
+    candidate: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Sequence[MetricSpec]] = None,
+) -> List[RegressionFinding]:
+    """Gate a trajectory file: newest record against the earlier ones.
+
+    With an explicit ``candidate`` record, the *entire* committed
+    trajectory is the baseline (the CI shape: compare the fresh run
+    against what is committed).  Otherwise the trajectory's last record
+    is the candidate and the preceding records the baseline; a
+    zero- or one-record trajectory passes (nothing to compare yet).
+    """
+    records = _read_records(benchmark, results_dir)
+    if candidate is None:
+        if len(records) < 2:
+            return []
+        candidate, baseline = records[-1], records[:-1]
+    else:
+        baseline = records
+    return compare_record(benchmark, candidate, baseline, metrics=metrics)

@@ -29,6 +29,14 @@ script a device-loss fault into the pool, and gates on a p99 latency
 budget plus bit-exact parity with serial baselines — the same checks
 the ``serve`` CI job enforces.
 
+``pybeagle-cluster`` runs a node-loss drill against the simulated
+cluster scheduler (:mod:`repro.cluster`): it builds a fleet of worker
+nodes, submits sharded analyses through the calibrated bin-packing
+placement, optionally kills or slows a node mid-analysis through the
+fault plan, and gates on the failover invariant — the recovered
+log-likelihood must be bit-identical to
+:func:`repro.cluster.serial_shard_sum` over the same fixed shards.
+
 ``pybeagle-chaos`` runs a scripted fault-injection drill
 (:mod:`repro.resil`) against a multi-device session: it installs a
 :class:`~repro.resil.FaultPlan` (from a JSON file or a built-in
@@ -679,6 +687,199 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
         print(f"\nwrote report to {args.json}")
 
     return 0 if parity_ok else 1
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pybeagle-cluster",
+        description="Run a sharded analysis on a simulated node fleet, "
+                    "optionally killing a node mid-run, and verify the "
+                    "recovered result is bit-identical to the serial "
+                    "baseline",
+    )
+    parser.add_argument("--nodes", type=int, default=3,
+                        help="worker-node count (labels node0..nodeN-1)")
+    parser.add_argument("--devices-per-node", type=int, default=1)
+    parser.add_argument(
+        "--backend", default="cuda",
+        help="backend name for every device (cpu-serial, cpu-sse, "
+             "cpp-threads, opencl-x86, opencl-gpu, cuda)",
+    )
+    parser.add_argument("--taxa", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=2000)
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shards per job (default: 2x device count)")
+    parser.add_argument("--evaluations", type=int, default=3)
+    parser.add_argument(
+        "--scenario", default="node-loss",
+        choices=("node-loss", "slow-node", "none"),
+        help="fault script: the last node is lost mid-run / runs slow / "
+             "nothing is injected",
+    )
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="RetryPolicy bound on in-place retries")
+    parser.add_argument(
+        "--probe-interval", type=int, default=0,
+        help="probe quarantined nodes every N dispatch rounds (0: never)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--trace", action="store_true",
+                        help="print the cluster span tree")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full drill report as JSON")
+    args = parser.parse_args(argv)
+
+    from dataclasses import asdict
+
+    from repro.cluster import ClusterSession
+    from repro.model import HKY85
+    from repro.resil import FaultEvent, FaultPlan, RetryPolicy
+    from repro.seq.simulate import synthetic_pattern_set
+    from repro.session import backend_flags
+    from repro.tree.generate import yule_tree
+
+    try:
+        backend_flags(args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.nodes < 1:
+        print("need --nodes >= 1", file=sys.stderr)
+        return 2
+    if args.scenario == "node-loss" and args.nodes < 2:
+        print("need --nodes >= 2 for a node-loss drill", file=sys.stderr)
+        return 2
+
+    victim = f"node{args.nodes - 1}"
+    if args.scenario == "node-loss":
+        plan = FaultPlan(
+            [FaultEvent("device-loss", victim, at=1)], seed=args.seed
+        )
+    elif args.scenario == "slow-node":
+        plan = FaultPlan(
+            [FaultEvent("latency-spike", victim, at=0, times=4,
+                        seconds=0.05)],
+            seed=args.seed,
+        )
+    else:
+        plan = None
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        probe_interval=args.probe_interval,
+        seed=args.seed,
+    )
+
+    tree = yule_tree(args.taxa, rng=args.seed)
+    data = synthetic_pattern_set(args.taxa, args.patterns, 4,
+                                 rng=args.seed + 1)
+    model = HKY85(kappa=2.0)
+    fleet = {
+        f"node{i}": {
+            f"node{i}-dev{j}": args.backend
+            for j in range(args.devices_per_node)
+        }
+        for i in range(args.nodes)
+    }
+
+    print(f"scenario: {args.scenario} "
+          f"({0 if plan is None else len(plan.events)} scripted event(s))")
+    lls: List[float] = []
+    with ClusterSession(
+        data, tree, model,
+        nodes=fleet, n_shards=args.shards,
+        retry_policy=policy, fault_plan=plan, trace=args.trace,
+    ) as cs:
+        serial_ll = cs.serial_baseline()
+        try:
+            for _ in range(args.evaluations):
+                lls.append(cs.log_likelihood())
+        except Exception as exc:
+            from repro.core.api import beagle_get_last_error_message
+
+            print(f"UNRECOVERED: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            print(f"error surface: {beagle_get_last_error_message()}",
+                  file=sys.stderr)
+            return 1
+        rows = [
+            [name, str(capacity), f"{rate:.1f}", str(completed)]
+            for name, capacity, rate, completed in cs.node_report()
+        ]
+        print(format_table(
+            ["node", "devices", "rate", "shards done"], rows,
+            title=f"Fleet after {args.evaluations} evaluation(s)",
+        ))
+        losses = cs.node_loss_events()
+        quarantined = sorted(cs.quarantined())
+        migrations = cs.migrations
+        placements = len(cs.placements())
+        utilization = cs.utilization()
+        cluster_metrics = {
+            name: cs.metrics.get(name).snapshot()
+            for name in cs.metrics.names()
+            if name.startswith("cluster.")
+        }
+        if args.trace:
+            print()
+            print("— span tree (all evaluations) —")
+            print(cs.span_tree())
+
+    parity_ok = bool(lls) and all(ll == serial_ll for ll in lls)
+
+    print()
+    for i, ll in enumerate(lls):
+        print(f"evaluation {i}: log-likelihood {ll!r}")
+    print(f"serial shard-sum baseline: {serial_ll!r}")
+    print(f"parity: {'OK (bit-identical)' if parity_ok else 'FAIL'}")
+    print()
+    print(f"placement decisions: {placements}, "
+          f"migrations: {migrations}")
+    for event in losses:
+        print(f"  round {event.round}: lost {event.node!r} "
+              f"({event.error}); {len(event.migrated)} shard(s) "
+              f"re-packed onto {event.survivors}")
+    print(f"quarantined: {quarantined}")
+    if utilization:
+        spread = ", ".join(
+            f"{name}={value:.2f}" for name, value in sorted(
+                utilization.items()
+            )
+        )
+        print(f"last-round utilization: {spread}")
+
+    if args.json:
+        report = {
+            "scenario": args.scenario,
+            "plan": None if plan is None else plan.to_dict(),
+            "workload": {
+                "taxa": args.taxa,
+                "patterns": args.patterns,
+                "nodes": args.nodes,
+                "devices_per_node": args.devices_per_node,
+                "backend": args.backend,
+                "evaluations": args.evaluations,
+                "shards": args.shards,
+            },
+            "log_likelihoods": lls,
+            "serial_baseline": serial_ll,
+            "parity_ok": parity_ok,
+            "node_loss_events": [asdict(event) for event in losses],
+            "quarantined": quarantined,
+            "migrations": migrations,
+            "placement_decisions": placements,
+            "utilization": utilization,
+            "metrics": cluster_metrics,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"\nwrote report to {args.json}")
+
+    if not parity_ok:
+        return 1
+    if args.scenario == "node-loss" and not losses:
+        print("node-loss drill fired no node-loss event", file=sys.stderr)
+        return 1
+    return 0
 
 
 def serve_main(argv: Optional[List[str]] = None) -> int:

@@ -18,7 +18,7 @@ class _Fabric:
 
     def __init__(self, size: int) -> None:
         self.size = size
-        self.queues: Dict[Tuple[int, int], "queue.Queue"] = {
+        self.queues: Dict[Tuple[int, int], "queue.Queue[Tuple[int, Any]]"] = {
             (src, dst): queue.Queue()
             for src in range(size)
             for dst in range(size)
@@ -90,17 +90,19 @@ class SimulatedComm:
         self.send(obj, root, tag=-3)
         return None
 
-    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+    def allreduce(
+        self, value: Any, op: Optional[Callable[[Any, Any], Any]] = None
+    ) -> Any:
         import operator
 
         op = op or operator.add
         gathered = self.gather(value, root=0)
+        total: Any = None
         if self.rank == 0:
+            assert gathered is not None
             total = gathered[0]
             for v in gathered[1:]:
                 total = op(total, v)
-        else:
-            total = None
         return self.bcast(total, root=0)
 
 

@@ -431,6 +431,38 @@ class Session:
         """
         return MultiDeviceSession(data, tree, model, site_model, **kwargs)
 
+    # -- cluster -----------------------------------------------------------
+
+    @classmethod
+    def cluster(
+        cls,
+        data: Union[Alignment, PatternSet, SyntheticPatterns],
+        tree: Tree,
+        model: SubstitutionModel,
+        site_model: Optional[SiteModel] = None,
+        **kwargs,
+    ):
+        """Open a :class:`~repro.cluster.ClusterSession`: shards across
+        a fleet of simulated worker nodes.
+
+        One rung above :meth:`multi_device` — the pattern set is split
+        into fixed shards that a :class:`~repro.cluster.ClusterScheduler`
+        bin-packs onto pod-like nodes by calibrated throughput, with
+        node loss folded into quarantine/failover (bit-identical
+        shard-ordered sum)::
+
+            with repro.Session.cluster(
+                data, tree, model,
+                nodes={"a": "cuda", "b": "opencl-gpu"},
+                retry_policy=RetryPolicy(),
+            ) as cs:
+                logl = cs.log_likelihood()
+                print(cs.rates(), cs.utilization())
+        """
+        from repro.cluster import ClusterSession
+
+        return ClusterSession(data, tree, model, site_model, **kwargs)
+
     # -- checkpoint / restore ----------------------------------------------
 
     @staticmethod

@@ -1,0 +1,238 @@
+"""Regression-harness edge cases: directions, baselines, gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    BENCHMARK_METRICS,
+    MetricSpec,
+    RegressionFinding,
+    baseline_value,
+    compare_record,
+    compare_trajectory,
+)
+
+HIGHER = [MetricSpec("throughput", "higher-better", 0.10)]
+LOWER = [MetricSpec("latency", "lower-better", 0.10)]
+
+
+def _regressed(findings):
+    return [f for f in findings if f.regressed]
+
+
+class TestMetricSpec:
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            MetricSpec("x", "sideways-better", 0.1)
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            MetricSpec("x", "higher-better", 0.0)
+
+    def test_registry_entries_are_valid(self):
+        for name, specs in BENCHMARK_METRICS.items():
+            assert specs, name
+            for spec in specs:
+                assert isinstance(spec, MetricSpec)
+
+
+class TestDirectionAwareTolerance:
+    def test_higher_better_regresses_below_band(self):
+        base = [{"throughput": 100.0}]
+        ok = compare_record("b", {"throughput": 91.0}, base, metrics=HIGHER)
+        bad = compare_record("b", {"throughput": 89.0}, base, metrics=HIGHER)
+        assert not _regressed(ok)
+        assert _regressed(bad)
+
+    def test_lower_better_regresses_above_band(self):
+        base = [{"latency": 100.0}]
+        ok = compare_record("b", {"latency": 109.0}, base, metrics=LOWER)
+        bad = compare_record("b", {"latency": 111.0}, base, metrics=LOWER)
+        assert not _regressed(ok)
+        assert _regressed(bad)
+
+    def test_improvement_never_alarms(self):
+        base = [{"throughput": 100.0, "latency": 100.0}]
+        findings = compare_record(
+            "b",
+            {"throughput": 500.0, "latency": 1.0},
+            base,
+            metrics=HIGHER + LOWER,
+        )
+        assert not _regressed(findings)
+
+    def test_finding_format_names_the_verdict(self):
+        base = [{"throughput": 100.0}]
+        (finding,) = compare_record(
+            "bench", {"throughput": 10.0}, base, metrics=HIGHER
+        )
+        assert isinstance(finding, RegressionFinding)
+        text = finding.format()
+        assert text.startswith("[REGRESSED] bench.throughput:")
+
+
+class TestBaselineEdgeCases:
+    def test_empty_baseline_seeds_without_gating(self):
+        findings = compare_record(
+            "b", {"throughput": 5.0}, [], metrics=HIGHER
+        )
+        assert len(findings) == 1
+        assert not findings[0].regressed
+        assert "seeding" in findings[0].reason
+
+    def test_metric_missing_from_baseline_is_informational(self):
+        base = [{"other": 1.0}]
+        (finding,) = compare_record(
+            "b", {"throughput": 5.0}, base, metrics=HIGHER
+        )
+        assert not finding.regressed
+        assert finding.baseline is None
+
+    def test_metric_missing_from_candidate_is_informational(self):
+        base = [{"throughput": 5.0}]
+        (finding,) = compare_record("b", {}, base, metrics=HIGHER)
+        assert not finding.regressed
+        assert finding.candidate is None
+
+    def test_baseline_is_median_over_holding_records(self):
+        spec = HIGHER[0]
+        records = [
+            {"throughput": 10.0},
+            {"other": 1.0},
+            {"throughput": 1000.0},
+            {"throughput": 12.0},
+        ]
+        assert baseline_value(records, spec) == 12.0
+
+    def test_boolean_values_are_not_numbers(self):
+        spec = MetricSpec("parity", "higher-better", 0.1)
+        assert baseline_value([{"parity": True}], spec) is None
+
+    def test_dotted_lookup_into_nested_dicts(self):
+        spec = MetricSpec("seconds.p99", "lower-better", 0.1)
+        base = [{"seconds": {"p99": 1.0}}]
+        ok = compare_record(
+            "b", {"seconds": {"p99": 1.05}}, base, metrics=[spec]
+        )
+        bad = compare_record(
+            "b", {"seconds": {"p99": 1.2}}, base, metrics=[spec]
+        )
+        assert not _regressed(ok)
+        assert _regressed(bad)
+
+
+class TestCompareTrajectory:
+    def _write(self, tmp_path, records, name="cluster"):
+        payload = {"benchmark": name, "records": records}
+        (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+    def test_empty_trajectory_passes(self, tmp_path):
+        assert compare_trajectory("cluster", results_dir=tmp_path) == []
+
+    def test_single_record_trajectory_passes(self, tmp_path):
+        self._write(tmp_path, [{"placement_vs_optimal": 1.0}])
+        assert compare_trajectory("cluster", results_dir=tmp_path) == []
+
+    def test_last_record_gated_against_the_rest(self, tmp_path):
+        self._write(tmp_path, [
+            {"scaling_efficiency_8": 1.0},
+            {"scaling_efficiency_8": 1.0},
+            {"scaling_efficiency_8": 0.5},
+        ])
+        findings = compare_trajectory("cluster", results_dir=tmp_path)
+        regressed = _regressed(findings)
+        assert [f.metric for f in regressed] == ["scaling_efficiency_8"]
+
+    def test_explicit_candidate_uses_whole_trajectory(self, tmp_path):
+        self._write(tmp_path, [
+            {"scaling_efficiency_8": 1.0},
+            {"scaling_efficiency_8": 0.2},
+        ])
+        # Without an explicit candidate the last record regresses...
+        assert _regressed(
+            compare_trajectory("cluster", results_dir=tmp_path)
+        )
+        # ...but an in-band explicit candidate compares against the
+        # median of the *whole* committed trajectory (0.6) and passes.
+        findings = compare_trajectory(
+            "cluster", results_dir=tmp_path,
+            candidate={"scaling_efficiency_8": 0.58},
+        )
+        assert not _regressed(findings)
+
+    def test_unregistered_benchmark_has_no_findings(self, tmp_path):
+        self._write(tmp_path, [{"x": 1.0}, {"x": 2.0}], name="mystery")
+        assert compare_trajectory("mystery", results_dir=tmp_path) == []
+
+
+class TestCheckRegressionCLI:
+    def _gate(self, argv):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression",
+            Path(__file__).resolve().parent.parent
+            / "tools" / "check_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(argv)
+
+    def test_passes_on_healthy_trajectory(self, tmp_path, capsys):
+        payload = {
+            "benchmark": "cluster",
+            "records": [
+                {"recovery_overhead": 0.3},
+                {"recovery_overhead": 0.3},
+                {"recovery_overhead": 0.31},
+            ],
+        }
+        (tmp_path / "BENCH_cluster.json").write_text(json.dumps(payload))
+        code = self._gate(["--results-dir", str(tmp_path)])
+        assert code == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_fails_on_regressed_candidate(self, tmp_path, capsys):
+        payload = {
+            "benchmark": "cluster",
+            "records": [{"recovery_overhead": 0.3}],
+        }
+        (tmp_path / "BENCH_cluster.json").write_text(json.dumps(payload))
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps({"recovery_overhead": 0.9}))
+        report = tmp_path / "findings.json"
+        code = self._gate([
+            "--results-dir", str(tmp_path),
+            "--benchmark", "cluster",
+            "--candidate", str(candidate),
+            "--json", str(report),
+        ])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().err
+        findings = json.loads(report.read_text())
+        assert any(f["regressed"] for f in findings)
+
+    def test_candidate_can_be_a_trajectory_file(self, tmp_path):
+        baseline = {
+            "benchmark": "cluster",
+            "records": [{"throughput_8node": 100.0}],
+        }
+        (tmp_path / "BENCH_cluster.json").write_text(json.dumps(baseline))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps({
+            "benchmark": "cluster",
+            "records": [
+                {"throughput_8node": 100.0},
+                {"throughput_8node": 10.0},
+            ],
+        }))
+        code = self._gate([
+            "--results-dir", str(tmp_path),
+            "--benchmark", "cluster",
+            "--candidate", str(fresh),
+        ])
+        assert code == 1

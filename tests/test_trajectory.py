@@ -1,0 +1,67 @@
+"""Trajectory file robustness: corrupt/truncated BENCH files re-seed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import read_records, write_record
+
+
+def test_write_then_read_roundtrip(tmp_path):
+    write_record("demo", {"metric": 1.0}, results_dir=tmp_path)
+    write_record("demo", {"metric": 2.0}, results_dir=tmp_path)
+    records = read_records("demo", results_dir=tmp_path)
+    assert [r["metric"] for r in records] == [1.0, 2.0]
+    assert [r["run"] for r in records] == [1, 2]
+
+
+def test_missing_file_is_silent(tmp_path, recwarn):
+    assert read_records("absent", results_dir=tmp_path) == []
+    assert not recwarn.list
+
+
+def test_truncated_file_warns_and_reseeds(tmp_path):
+    path = tmp_path / "BENCH_demo.json"
+    intact = write_record("demo", {"metric": 1.0}, results_dir=tmp_path)
+    assert intact == path
+    # Simulate a torn write: cut the file mid-JSON.
+    path.write_text(path.read_text()[:20])
+
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        assert read_records("demo", results_dir=tmp_path) == []
+    with pytest.warns(RuntimeWarning, match="restarting"):
+        write_record("demo", {"metric": 2.0}, results_dir=tmp_path)
+    records = read_records("demo", results_dir=tmp_path)
+    assert [r["metric"] for r in records] == [2.0]
+    assert records[0]["run"] == 1
+
+
+def test_foreign_shape_warns_and_reseeds(tmp_path):
+    path = tmp_path / "BENCH_demo.json"
+    path.write_text(json.dumps({"something": "else"}))
+
+    with pytest.warns(RuntimeWarning, match="unexpected shape"):
+        assert read_records("demo", results_dir=tmp_path) == []
+    with pytest.warns(RuntimeWarning, match="unexpected shape"):
+        write_record("demo", {"metric": 3.0}, results_dir=tmp_path)
+    records = read_records("demo", results_dir=tmp_path)
+    assert [r["metric"] for r in records] == [3.0]
+
+
+def test_wrong_benchmark_name_warns(tmp_path):
+    write_record("other", {"metric": 1.0}, results_dir=tmp_path)
+    (tmp_path / "BENCH_other.json").rename(tmp_path / "BENCH_demo.json")
+    with pytest.warns(RuntimeWarning, match="unexpected shape"):
+        assert read_records("demo", results_dir=tmp_path) == []
+
+
+def test_caller_run_and_timestamp_preserved(tmp_path):
+    write_record(
+        "demo", {"metric": 1.0, "run": 7, "timestamp": 123.0},
+        results_dir=tmp_path,
+    )
+    (record,) = read_records("demo", results_dir=tmp_path)
+    assert record["run"] == 7
+    assert record["timestamp"] == 123.0

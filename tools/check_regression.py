@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Perf-regression gate for CI.
+
+Thin command-line front end over :mod:`repro.bench.regression`: for each
+selected benchmark trajectory (``benchmarks/results/BENCH_<name>.json``)
+the newest record — or an explicit ``--candidate`` record file — is
+compared against the committed baseline under the registry's
+direction-aware tolerance bands, and the process exits 1 if any gated
+metric regressed.  Informational findings (seeding, missing metrics,
+in-band moves) are printed but never gate.
+
+Usage::
+
+    python tools/check_regression.py                     # every registry name
+    python tools/check_regression.py --benchmark cluster
+    python tools/check_regression.py --benchmark cluster \\
+        --candidate fresh-record.json --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for entry in (str(SRC), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.bench.regression import (  # noqa: E402  (path bootstrap above)
+    BENCHMARK_METRICS,
+    RegressionFinding,
+    compare_trajectory,
+)
+
+DEFAULT_RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _load_candidate(path: str) -> Dict[str, Any]:
+    """A candidate record: either a bare record object or the last
+    record of a full trajectory file."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, dict) and isinstance(
+        payload.get("records"), list
+    ) and payload["records"]:
+        record = payload["records"][-1]
+    else:
+        record = payload
+    if not isinstance(record, dict):
+        raise SystemExit(f"candidate file {path!r} holds no record object")
+    return record
+
+
+def run(
+    benchmarks: List[str],
+    results_dir: Path,
+    candidate: Optional[Dict[str, Any]] = None,
+) -> List[RegressionFinding]:
+    findings: List[RegressionFinding] = []
+    for name in benchmarks:
+        findings.extend(
+            compare_trajectory(
+                name, results_dir=results_dir, candidate=candidate
+            )
+        )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json trajectories on perf regressions"
+    )
+    parser.add_argument(
+        "--results-dir", default=str(DEFAULT_RESULTS_DIR),
+        help="directory holding BENCH_*.json files "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--benchmark", action="append", default=None, metavar="NAME",
+        help="benchmark name to gate (repeatable; default: every name "
+        "in the metric registry with a trajectory file present)",
+    )
+    parser.add_argument(
+        "--candidate", metavar="PATH",
+        help="JSON file with the candidate record (or a trajectory file, "
+        "whose last record is used); the whole committed trajectory "
+        "becomes the baseline.  Requires exactly one --benchmark.",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the findings as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(args.results_dir)
+    if args.benchmark:
+        names = list(args.benchmark)
+    else:
+        names = [
+            name for name in sorted(BENCHMARK_METRICS)
+            if (results_dir / f"BENCH_{name}.json").exists()
+        ]
+    candidate = None
+    if args.candidate:
+        if len(names) != 1:
+            parser.error("--candidate requires exactly one --benchmark")
+        candidate = _load_candidate(args.candidate)
+
+    findings = run(names, results_dir, candidate)
+    regressions = [f for f in findings if f.regressed]
+    for finding in findings:
+        stream = sys.stderr if finding.regressed else sys.stdout
+        print(finding.format(), file=stream)
+    if not findings:
+        print(f"no trajectories to gate in {results_dir}")
+    print(
+        f"checked {len(names)} benchmark(s), "
+        f"{len(findings)} metric(s), {len(regressions)} regression(s)"
+    )
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(
+                [vars(finding) for finding in findings], indent=2
+            ) + "\n"
+        )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
